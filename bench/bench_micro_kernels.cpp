@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels behind E2-E5:
+// counter-based RNG, secondary-uncertainty sampling, ELT lookup variants,
+// columnar scans, and financial-term application. These are the ablation
+// data for DESIGN.md's design choices (Philox vs xoshiro, binary search vs
+// dense LUT, metering overhead).
+#include <benchmark/benchmark.h>
+
+#include "core/secondary.hpp"
+#include "data/scan.hpp"
+#include "data/volcano.hpp"
+#include "finance/terms.hpp"
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+
+namespace riskan {
+namespace {
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_PhiloxBlock(benchmark::State& state) {
+  const Philox4x32 philox(1);
+  std::uint64_t ctr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(philox.block(7, ctr++));
+  }
+}
+BENCHMARK(BM_PhiloxBlock);
+
+void BM_PhiloxStreamUniform(benchmark::State& state) {
+  const Philox4x32 philox(1);
+  PhiloxStream stream(philox, 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(to_unit_double(stream()));
+  }
+}
+BENCHMARK(BM_PhiloxStreamUniform);
+
+void BM_BetaSample(benchmark::State& state) {
+  Xoshiro256ss rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_beta(rng, 2.0, 5.0));
+  }
+}
+BENCHMARK(BM_BetaSample);
+
+void BM_SecondarySample(benchmark::State& state) {
+  const auto elt = data::EventLossTable::from_rows({{1, 400.0, 120.0, 1000.0}});
+  const core::SecondarySampler sampler(elt);
+  const Philox4x32 philox(3);
+  TrialId trial = 0;
+  for (auto _ : state) {
+    auto stream = core::occurrence_stream(philox, 0, 0, trial++, 0);
+    benchmark::DoNotOptimize(sampler.sample(0, stream));
+  }
+}
+BENCHMARK(BM_SecondarySample);
+
+data::EventLossTable bench_elt(std::size_t rows) {
+  std::vector<data::EltRow> out;
+  out.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    out.push_back({static_cast<EventId>(i * 7), 100.0, 20.0, 500.0});
+  }
+  return data::EventLossTable::from_rows(std::move(out));
+}
+
+void BM_EltBinarySearch(benchmark::State& state) {
+  const auto elt = bench_elt(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256ss rng(4);
+  const EventId max_event = static_cast<EventId>(state.range(0) * 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elt.find(static_cast<EventId>(sample_index(rng, max_event))));
+  }
+}
+BENCHMARK(BM_EltBinarySearch)->Arg(100)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  const auto elt = bench_elt(static_cast<std::size_t>(state.range(0)));
+  const data::RowElt row_elt(elt);
+  Xoshiro256ss rng(5);
+  const EventId max_event = static_cast<EventId>(state.range(0) * 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        row_elt.index().find(sample_index(rng, max_event)));
+  }
+}
+BENCHMARK(BM_HashIndexProbe)->Arg(100)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_DenseLutLookup(benchmark::State& state) {
+  const auto elt = bench_elt(10'000);
+  const auto lut = data::build_dense_loss_lut(elt, 70'001);
+  Xoshiro256ss rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut[sample_index(rng, lut.size())]);
+  }
+}
+BENCHMARK(BM_DenseLutLookup);
+
+void BM_ScanAggregateDense(benchmark::State& state) {
+  data::YeltGenConfig yg;
+  yg.trials = 10'000;
+  const auto yelt = data::generate_yelt(10'000, yg);
+  const auto elt = bench_elt(1'000);
+  const auto lut = data::build_dense_loss_lut(elt, 10'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::scan_aggregate_dense(yelt, lut));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(yelt.entries()));
+}
+BENCHMARK(BM_ScanAggregateDense);
+
+void BM_ScanAggregateSorted(benchmark::State& state) {
+  data::YeltGenConfig yg;
+  yg.trials = 10'000;
+  const auto yelt = data::generate_yelt(10'000, yg);
+  const auto elt = bench_elt(1'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::scan_aggregate_sorted(yelt, elt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(yelt.entries()));
+}
+BENCHMARK(BM_ScanAggregateSorted);
+
+void BM_ApplyOccurrence(benchmark::State& state) {
+  const auto terms = finance::LayerTerms::typical();
+  double loss = 1e6;
+  for (auto _ : state) {
+    loss = loss * 1.0000001;
+    benchmark::DoNotOptimize(finance::apply_occurrence(terms, loss));
+  }
+}
+BENCHMARK(BM_ApplyOccurrence);
+
+void BM_NormalInvCdf(benchmark::State& state) {
+  double p = 0.0001;
+  for (auto _ : state) {
+    p += 1e-7;
+    if (p >= 0.9999) {
+      p = 0.0001;
+    }
+    benchmark::DoNotOptimize(normal_inv_cdf(p));
+  }
+}
+BENCHMARK(BM_NormalInvCdf);
+
+}  // namespace
+}  // namespace riskan
+
+BENCHMARK_MAIN();

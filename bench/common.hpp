@@ -1,0 +1,67 @@
+// Shared workload builders and reporting helpers for the experiment
+// benches (E1..E9). Every bench prints the rows of the paper claim it
+// reproduces (see DESIGN.md section 3) and mirrors them to CSV next to the
+// binary when RISKAN_BENCH_CSV_DIR is set.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "data/yelt.hpp"
+#include "finance/contract.hpp"
+#include "util/format.hpp"
+#include "util/report.hpp"
+
+namespace riskan::bench {
+
+/// Standard stage-2 workload used across E2/E4/E5/E6: a mid-size book over
+/// a 10k-event catalogue.
+struct Workload {
+  finance::Portfolio portfolio;
+  data::YearEventLossTable yelt;
+  EventId catalog_events = 0;
+};
+
+inline Workload make_workload(std::size_t contracts, std::size_t elt_rows, TrialId trials,
+                              double events_per_year = 10.0,
+                              EventId catalog_events = 10'000) {
+  Workload w;
+  w.catalog_events = catalog_events;
+
+  finance::PortfolioGenConfig pg;
+  pg.contracts = contracts;
+  pg.catalog_events = catalog_events;
+  pg.elt_rows = elt_rows;
+  pg.layers_per_contract = 1;
+  pg.seed = 4242;
+  w.portfolio = finance::generate_portfolio(pg);
+
+  data::YeltGenConfig yg;
+  yg.trials = trials;
+  yg.mean_events_per_year = events_per_year;
+  yg.seed = 777;
+  w.yelt = data::generate_yelt(catalog_events, yg);
+  return w;
+}
+
+/// Quick mode shrinks trial counts ~10x so the full bench suite stays fast
+/// in CI; set RISKAN_BENCH_QUICK=1.
+inline bool quick_mode() {
+  const char* env = std::getenv("RISKAN_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline TrialId scaled_trials(TrialId full) {
+  return quick_mode() ? std::max<TrialId>(1'000, full / 10) : full;
+}
+
+/// Prints the table and optionally mirrors it to $RISKAN_BENCH_CSV_DIR/<id>.csv.
+inline void emit(const std::string& experiment_id, const ReportTable& table) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("RISKAN_BENCH_CSV_DIR")) {
+    table.write_csv(std::string(dir) + "/" + experiment_id + ".csv");
+  }
+}
+
+}  // namespace riskan::bench

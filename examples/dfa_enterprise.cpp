@@ -1,0 +1,65 @@
+// Stage 3 end to end: integrate the catastrophe YLT with investment,
+// interest-rate, market-cycle, counterparty, operational and reserve risks
+// through a Gaussian copula, and report the enterprise view a regulator or
+// rating agency receives.
+//
+// Build & run:  ./build/examples/example_dfa_enterprise
+#include <iostream>
+
+#include "core/aggregate_engine.hpp"
+#include "dfa/dfa_engine.hpp"
+#include "util/format.hpp"
+#include "util/report.hpp"
+
+using namespace riskan;
+
+int main() {
+  // Stage 2 first: the cat YLT.
+  finance::PortfolioGenConfig book;
+  book.contracts = 40;
+  book.catalog_events = 8'000;
+  book.elt_rows = 400;
+  const auto portfolio = finance::generate_portfolio(book);
+  data::YeltGenConfig lens;
+  lens.trials = 50'000;
+  const auto yelt = data::generate_yelt(book.catalog_events, lens);
+
+  core::EngineConfig engine;
+  engine.compute_oep = false;
+  engine.keep_contract_ylts = false;
+  const auto stage2 = core::run_aggregate_analysis(portfolio, yelt, engine);
+  std::cout << "stage 2 cat YLT: " << stage2.portfolio_ylt.trials() << " trials, mean "
+            << format_count(stage2.portfolio_ylt.mean()) << "\n\n";
+
+  // Stage 3 at two dependence levels.
+  for (const double rho : {0.0, 0.35}) {
+    dfa::DfaConfig config;
+    config.correlation = rho;
+    dfa::DfaEngine dfa_engine(dfa::standard_risk_sources(7), config);
+    const auto result = dfa_engine.run(stage2.portfolio_ylt);
+
+    std::cout << "=== copula correlation rho = " << format_fixed(rho, 2) << " ===\n";
+    ReportTable table({"risk", "mean", "VaR99.6 (1-in-250)", "TVaR99"});
+    table.add_row({"catastrophe", format_count(result.cat_summary.mean_annual_loss),
+                   format_count(result.cat_summary.var_99_6),
+                   format_count(result.cat_summary.tvar_99)});
+    for (std::size_t s = 0; s < result.source_names.size(); ++s) {
+      const auto& summary = result.source_summaries[s];
+      table.add_row({result.source_names[s], format_count(summary.mean_annual_loss),
+                     format_count(summary.var_99_6), format_count(summary.tvar_99)});
+    }
+    table.add_row({"ENTERPRISE", format_count(result.enterprise_summary.mean_annual_loss),
+                   format_count(result.enterprise_summary.var_99_6),
+                   format_count(result.enterprise_summary.tvar_99)});
+    table.print(std::cout);
+    std::cout << "economic capital " << format_count(result.economic_capital)
+              << ", diversification benefit "
+              << format_count(result.diversification_benefit) << " (in "
+              << format_seconds(result.seconds) << ")\n\n";
+  }
+
+  std::cout << "raising the copula correlation fattens the enterprise tail and "
+               "erodes diversification — the dependence sensitivity every DFA "
+               "report carries.\n";
+  return 0;
+}

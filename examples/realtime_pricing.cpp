@@ -1,0 +1,75 @@
+// Real-time pricing desk: quote several candidate layer structures for one
+// contract against the shared 1M-trial YELT — the workflow the paper's
+// "25 seconds ... can therefore support real-time pricing" enables.
+//
+// Build & run:  ./build/examples/example_realtime_pricing [trials]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pricer.hpp"
+#include "util/format.hpp"
+#include "util/report.hpp"
+
+using namespace riskan;
+
+int main(int argc, char** argv) {
+  const TrialId trials =
+      argc > 1 ? static_cast<TrialId>(std::strtoul(argv[1], nullptr, 10)) : 200'000;
+
+  // The cedent's book: one contract modelled over a 50k-event catalogue.
+  finance::PortfolioGenConfig book;
+  book.contracts = 1;
+  book.catalog_events = 50'000;
+  book.elt_rows = 5'000;
+  const auto portfolio = finance::generate_portfolio(book);
+  const auto& contract = portfolio.contract(0);
+
+  data::YeltGenConfig lens;
+  lens.trials = trials;
+  const auto yelt = data::generate_yelt(book.catalog_events, lens);
+  std::cout << "pre-simulated YELT: " << yelt.trials() << " trials ("
+            << format_bytes(static_cast<double>(yelt.byte_size())) << ")\n\n";
+
+  core::EngineConfig engine;
+  engine.backend = core::Backend::Threaded;
+  const core::RealTimePricer pricer(yelt, engine);
+
+  // The broker asks for three structures: a working layer, a middle layer,
+  // and a cat layer high on the curve.
+  const auto base = contract.layers()[0].terms;
+  struct Structure {
+    const char* name;
+    double attach_mult;
+    double limit_mult;
+  };
+  const Structure structures[] = {
+      {"working layer (low attach)", 0.5, 1.0},
+      {"middle layer", 2.0, 2.0},
+      {"cat layer (high attach)", 6.0, 4.0},
+  };
+
+  ReportTable table({"structure", "EL", "sigma", "TVaR99", "premium", "RoL",
+                     "quote time"});
+  for (const auto& s : structures) {
+    finance::Layer layer;
+    layer.id = 0;
+    layer.terms = base;
+    layer.terms.occ_retention = base.occ_retention * s.attach_mult;
+    layer.terms.occ_limit = base.occ_limit * s.limit_mult;
+    layer.terms.agg_limit = layer.terms.occ_limit * 2.0;
+
+    const auto quote = pricer.price(contract, layer);
+    table.add_row({s.name, format_count(quote.loss_stats.expected_loss),
+                   format_count(quote.loss_stats.loss_stdev),
+                   format_count(quote.loss_stats.tvar_99),
+                   format_count(quote.technical_premium),
+                   format_fixed(quote.rate_on_line * 100.0, 1) + "%",
+                   format_seconds(quote.seconds)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nhigher layers carry lower expected loss but fatter relative "
+               "tails — the premium ordering above is the sanity check every "
+               "pricing desk applies.\n";
+  return 0;
+}

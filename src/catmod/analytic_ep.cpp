@@ -1,0 +1,99 @@
+#include "catmod/analytic_ep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace riskan::catmod {
+
+namespace {
+
+/// (loss, rate) pairs sorted by descending loss, with suffix-cumulated
+/// rates: cum[i] = Lambda(loss just below loss[i]).
+struct RateCurve {
+  std::vector<Money> losses;  // descending
+  std::vector<double> cum_rates;
+};
+
+RateCurve build_curve(const catmod::EventCatalog& catalog,
+                      const data::EventLossTable& elt) {
+  std::vector<std::pair<Money, double>> pairs;
+  pairs.reserve(elt.size());
+  for (std::size_t i = 0; i < elt.size(); ++i) {
+    const EventId event = elt.event_ids()[i];
+    RISKAN_REQUIRE(event < catalog.size(), "ELT references an event outside the catalogue");
+    pairs.emplace_back(elt.mean_loss()[i], catalog.event(event).annual_rate);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  RateCurve curve;
+  curve.losses.reserve(pairs.size());
+  curve.cum_rates.reserve(pairs.size());
+  double cum = 0.0;
+  for (const auto& [loss, rate] : pairs) {
+    cum += rate;
+    curve.losses.push_back(loss);
+    curve.cum_rates.push_back(cum);
+  }
+  return curve;
+}
+
+double lambda_above(const RateCurve& curve, Money x) {
+  // Rates of events with loss > x: find the last index with loss > x.
+  // losses are descending; upper_bound with greater comparator.
+  const auto it = std::upper_bound(curve.losses.begin(), curve.losses.end(), x,
+                                   [](Money value, Money element) { return value > element; });
+  if (it == curve.losses.begin()) {
+    return 0.0;
+  }
+  const auto idx = static_cast<std::size_t>(it - curve.losses.begin()) - 1;
+  return curve.cum_rates[idx];
+}
+
+}  // namespace
+
+std::vector<AnalyticEpPoint> analytic_oep(const catmod::EventCatalog& catalog,
+                                          const data::EventLossTable& elt,
+                                          std::span<const Money> loss_thresholds) {
+  RISKAN_REQUIRE(!elt.empty(), "analytic OEP needs a non-empty ELT");
+  const auto curve = build_curve(catalog, elt);
+
+  std::vector<AnalyticEpPoint> out;
+  out.reserve(loss_thresholds.size());
+  for (const Money x : loss_thresholds) {
+    AnalyticEpPoint point;
+    point.loss = x;
+    point.annual_rate_above = lambda_above(curve, x);
+    point.exceedance_probability = 1.0 - std::exp(-point.annual_rate_above);
+    point.return_period_years = point.exceedance_probability > 0.0
+                                    ? 1.0 / point.exceedance_probability
+                                    : std::numeric_limits<double>::infinity();
+    out.push_back(point);
+  }
+  return out;
+}
+
+Money analytic_oep_loss_at(const catmod::EventCatalog& catalog,
+                           const data::EventLossTable& elt, double years) {
+  RISKAN_REQUIRE(years > 1.0, "return period must exceed 1 year");
+  RISKAN_REQUIRE(!elt.empty(), "analytic OEP needs a non-empty ELT");
+  const auto curve = build_curve(catalog, elt);
+  const double target_lambda = -std::log(1.0 - 1.0 / years);
+
+  // Find the smallest loss level whose Lambda stays below the target:
+  // walking the descending-loss curve, Lambda grows; we want the loss at
+  // which Lambda crosses target_lambda.
+  for (std::size_t i = 0; i < curve.losses.size(); ++i) {
+    if (curve.cum_rates[i] >= target_lambda) {
+      return curve.losses[i];
+    }
+  }
+  // Even the full catalogue is rarer than the requested period: the curve
+  // bottoms out at the smallest modelled loss.
+  return curve.losses.back();
+}
+
+}  // namespace riskan::catmod

@@ -1,0 +1,59 @@
+#include "catmod/event_catalog.hpp"
+
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace riskan::catmod {
+
+EventCatalog EventCatalog::generate(const CatalogConfig& config) {
+  RISKAN_REQUIRE(config.events > 0, "catalogue needs events");
+  RISKAN_REQUIRE(config.max_magnitude > config.min_magnitude, "magnitude range inverted");
+
+  Xoshiro256ss rng(config.seed);
+  EventCatalog catalog;
+  catalog.events_.reserve(config.events);
+
+  for (EventId id = 0; id < config.events; ++id) {
+    CatalogEvent event;
+    event.id = id;
+    event.peril = static_cast<Peril>(sample_index(rng, kPerilCount));
+    event.region = static_cast<Region>(sample_index(rng, kRegionCount));
+
+    // Truncated Gutenberg–Richter: magnitudes exponential with rate
+    // b*ln(10), truncated to [min, max].
+    const double beta = config.gr_b_value * std::log(10.0);
+    const double span = config.max_magnitude - config.min_magnitude;
+    const double u = to_unit_double_open(rng());
+    const double norm = 1.0 - std::exp(-beta * span);
+    event.magnitude = config.min_magnitude - std::log(1.0 - u * norm) / beta;
+
+    event.x = sample_uniform(rng, 0.0, 10.0);
+    event.y = sample_uniform(rng, 0.0, 10.0);
+
+    // Rate decays with magnitude (big events are rare); jitter by a
+    // lognormal factor so equal-magnitude events differ.
+    const double base_rate = std::pow(10.0, -config.gr_b_value *
+                                                 (event.magnitude - config.min_magnitude));
+    event.annual_rate = 0.05 * base_rate * sample_lognormal(rng, 0.0, 0.5);
+    catalog.events_.push_back(event);
+  }
+  return catalog;
+}
+
+const CatalogEvent& EventCatalog::event(EventId id) const {
+  RISKAN_REQUIRE(id < events_.size(), "event id out of range");
+  return events_[id];
+}
+
+double EventCatalog::total_annual_rate() const noexcept {
+  double total = 0.0;
+  for (const auto& event : events_) {
+    total += event.annual_rate;
+  }
+  return total;
+}
+
+}  // namespace riskan::catmod

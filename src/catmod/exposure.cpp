@@ -1,0 +1,71 @@
+#include "catmod/exposure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace riskan::catmod {
+
+const char* to_string(ConstructionType type) noexcept {
+  switch (type) {
+    case ConstructionType::Wood: return "wood";
+    case ConstructionType::Masonry: return "masonry";
+    case ConstructionType::Concrete: return "concrete";
+    case ConstructionType::Steel: return "steel";
+  }
+  return "unknown";
+}
+
+ExposureDatabase ExposureDatabase::generate(const ExposureConfig& config) {
+  RISKAN_REQUIRE(config.sites > 0, "exposure database needs sites");
+  RISKAN_REQUIRE(config.cities > 0, "need at least one city");
+
+  Xoshiro256ss rng(config.seed);
+
+  // City centres, uniform over the grid.
+  std::vector<std::pair<double, double>> cities;
+  cities.reserve(config.cities);
+  for (int c = 0; c < config.cities; ++c) {
+    cities.emplace_back(sample_uniform(rng, 1.0, 9.0), sample_uniform(rng, 1.0, 9.0));
+  }
+
+  ExposureDatabase db;
+  db.sites_.reserve(config.sites);
+  for (LocationId id = 0; id < config.sites; ++id) {
+    Site site;
+    site.id = id;
+    site.region = static_cast<Region>(sample_index(rng, kRegionCount));
+
+    const auto& [cx, cy] = cities[sample_index(rng, cities.size())];
+    site.x = std::clamp(cx + sample_normal(rng, 0.0, config.city_spread), 0.0, 10.0);
+    site.y = std::clamp(cy + sample_normal(rng, 0.0, config.city_spread), 0.0, 10.0);
+
+    site.value = sample_lognormal(rng, config.mean_log_value, config.sigma_log_value);
+    site.construction = static_cast<ConstructionType>(sample_index(rng, kConstructionCount));
+    site.occupancy = static_cast<Occupancy>(sample_index(rng, kOccupancyCount));
+
+    // Insurance terms: 1-5% deductible; limit at 60-100% of value.
+    site.site_deductible = site.value * sample_uniform(rng, 0.01, 0.05);
+    site.site_limit = site.value * sample_uniform(rng, 0.6, 1.0);
+    db.sites_.push_back(site);
+  }
+  return db;
+}
+
+const Site& ExposureDatabase::site(LocationId id) const {
+  RISKAN_REQUIRE(id < sites_.size(), "site id out of range");
+  return sites_[id];
+}
+
+Money ExposureDatabase::total_insured_value() const noexcept {
+  Money total = 0.0;
+  for (const auto& site : sites_) {
+    total += site.value;
+  }
+  return total;
+}
+
+}  // namespace riskan::catmod

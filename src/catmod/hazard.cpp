@@ -1,0 +1,41 @@
+#include "catmod/hazard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace riskan::catmod {
+
+double grid_distance(double x1, double y1, double x2, double y2) noexcept {
+  const double dx = x1 - x2;
+  const double dy = y1 - y2;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double local_intensity(const CatalogEvent& event, const Site& site,
+                       const HazardConfig& config) noexcept {
+  const double d = grid_distance(event.x, event.y, site.x, site.y);
+  if (d > config.cutoff_distance) {
+    return 0.0;
+  }
+  double intensity;
+  switch (event.peril) {
+    case Peril::Earthquake:
+      intensity = config.eq_c1 * event.magnitude - config.eq_c2 * std::log(d + config.eq_c3);
+      break;
+    case Peril::Hurricane:
+    case Peril::Tornado:
+      intensity = config.eq_c1 * event.magnitude * std::exp(-d / config.wind_decay);
+      break;
+    case Peril::Flood:
+    case Peril::Wildfire:
+      // Footprint perils: intensity plateaus near the centre, then decays.
+      intensity = config.eq_c1 * event.magnitude / (1.0 + d * d);
+      break;
+    default:
+      intensity = 0.0;
+      break;
+  }
+  return std::max(0.0, intensity);
+}
+
+}  // namespace riskan::catmod

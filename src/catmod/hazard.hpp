@@ -1,0 +1,34 @@
+// Hazard module — module (i) of the paper's catastrophe model: "the hazard
+// intensity at exposure sites".
+//
+// Converts an event's magnitude and distance-to-site into a local intensity
+// on a peril-appropriate scale via standard attenuation forms:
+//   EQ-like : I = c1*M - c2*ln(d + c3)        (Cornell-style attenuation)
+//   wind-like: I = c1*M * exp(-d / decay)     (radial wind-field decay)
+// Intensities are clipped at zero; events farther than a cutoff contribute
+// nothing, which is what makes stage 1 sparse (each event touches only
+// nearby exposure).
+#pragma once
+
+#include "catmod/event_catalog.hpp"
+#include "catmod/exposure.hpp"
+
+namespace riskan::catmod {
+
+struct HazardConfig {
+  double eq_c1 = 1.0;
+  double eq_c2 = 1.8;
+  double eq_c3 = 0.3;
+  double wind_decay = 1.5;
+  /// Sites beyond this grid distance see zero intensity.
+  double cutoff_distance = 4.0;
+};
+
+/// Euclidean distance on the abstract grid.
+double grid_distance(double x1, double y1, double x2, double y2) noexcept;
+
+/// Local intensity of `event` at `site`; >= 0, 0 beyond the cutoff.
+double local_intensity(const CatalogEvent& event, const Site& site,
+                       const HazardConfig& config = {}) noexcept;
+
+}  // namespace riskan::catmod

@@ -1,0 +1,94 @@
+#include "catmod/pipeline.hpp"
+
+#include <atomic>
+#include <optional>
+
+#include "catmod/financial.hpp"
+#include "catmod/spatial_index.hpp"
+#include "catmod/vulnerability.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::catmod {
+
+data::EventLossTable run_cat_model(const EventCatalog& catalog,
+                                   const ExposureDatabase& exposure,
+                                   const PipelineConfig& config, PipelineStats* stats) {
+  Stopwatch watch;
+  const auto& events = catalog.events();
+  const auto& sites = exposure.sites();
+
+  std::optional<SiteGrid> grid;
+  if (config.use_spatial_index) {
+    grid.emplace(exposure, config.spatial_grid_cells);
+  }
+
+  std::vector<data::EltRow> rows(events.size());
+  std::vector<std::uint8_t> has_loss(events.size(), 0);
+  std::atomic<std::uint64_t> pairs_with_loss{0};
+  std::atomic<std::uint64_t> pairs_evaluated{0};
+
+  auto process_events = [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t local_hits = 0;
+    std::uint64_t local_evaluated = 0;
+    for (std::size_t e = lo; e < hi; ++e) {
+      const auto& event = events[e];
+      EventLossAccumulator accumulator(event.id);
+      auto evaluate_site = [&](const Site& site) {
+        ++local_evaluated;
+        const double intensity = local_intensity(event, site, config.hazard);
+        if (intensity <= 0.0) {
+          return;
+        }
+        const auto damage = damage_from_intensity(intensity, site.construction);
+        const auto loss = site_loss(site, damage);
+        if (loss.mean > 0.0) {
+          ++local_hits;
+          accumulator.add(loss);
+        }
+      };
+      if (grid) {
+        grid->for_each_candidate(event.x, event.y, config.hazard.cutoff_distance,
+                                 evaluate_site);
+      } else {
+        for (const auto& site : sites) {
+          evaluate_site(site);
+        }
+      }
+      if (accumulator.has_loss()) {
+        const auto row = accumulator.row();
+        if (row.mean_loss >= config.min_mean_loss) {
+          rows[e] = row;
+          has_loss[e] = 1;
+        }
+      }
+    }
+    pairs_with_loss += local_hits;
+    pairs_evaluated += local_evaluated;
+  };
+
+  if (config.parallel) {
+    parallel_for(0, events.size(), process_events,
+                 ParallelConfig{config.pool, config.event_grain});
+  } else {
+    process_events(0, events.size());
+  }
+
+  std::vector<data::EltRow> kept;
+  kept.reserve(events.size());
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (has_loss[e] != 0) {
+      kept.push_back(rows[e]);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->event_exposure_pairs = pairs_evaluated.load();
+    stats->pairs_with_loss = pairs_with_loss.load();
+    stats->elt_rows = kept.size();
+    stats->seconds = watch.seconds();
+  }
+  return data::EventLossTable::from_rows(std::move(kept));
+}
+
+}  // namespace riskan::catmod

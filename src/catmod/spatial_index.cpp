@@ -1,0 +1,57 @@
+#include "catmod/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "catmod/hazard.hpp"
+#include "util/require.hpp"
+
+namespace riskan::catmod {
+
+namespace {
+constexpr double kGridExtent = 10.0;
+}
+
+SiteGrid::SiteGrid(const ExposureDatabase& exposure, int cells)
+    : exposure_(exposure), cells_(cells) {
+  RISKAN_REQUIRE(cells > 0, "grid needs at least one cell");
+  cell_size_ = kGridExtent / cells_;
+  buckets_.resize(static_cast<std::size_t>(cells_) * cells_);
+  for (const auto& site : exposure.sites()) {
+    buckets_[bucket_of(site.x, site.y)].push_back(site.id);
+  }
+}
+
+std::size_t SiteGrid::bucket_of(double x, double y) const noexcept {
+  const int cx = std::clamp(static_cast<int>(x / cell_size_), 0, cells_ - 1);
+  const int cy = std::clamp(static_cast<int>(y / cell_size_), 0, cells_ - 1);
+  return static_cast<std::size_t>(cy) * cells_ + cx;
+}
+
+void SiteGrid::for_each_candidate(double x, double y, double radius,
+                                  const std::function<void(const Site&)>& visit) const {
+  RISKAN_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  const int lo_x = std::clamp(static_cast<int>((x - radius) / cell_size_), 0, cells_ - 1);
+  const int hi_x = std::clamp(static_cast<int>((x + radius) / cell_size_), 0, cells_ - 1);
+  const int lo_y = std::clamp(static_cast<int>((y - radius) / cell_size_), 0, cells_ - 1);
+  const int hi_y = std::clamp(static_cast<int>((y + radius) / cell_size_), 0, cells_ - 1);
+  for (int cy = lo_y; cy <= hi_y; ++cy) {
+    for (int cx = lo_x; cx <= hi_x; ++cx) {
+      for (const LocationId id : buckets_[static_cast<std::size_t>(cy) * cells_ + cx]) {
+        visit(exposure_.site(id));
+      }
+    }
+  }
+}
+
+std::size_t SiteGrid::count_within(double x, double y, double radius) const {
+  std::size_t count = 0;
+  for_each_candidate(x, y, radius, [&](const Site& site) {
+    if (grid_distance(x, y, site.x, site.y) <= radius) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+}  // namespace riskan::catmod

@@ -1,0 +1,49 @@
+// Uniform-grid spatial index over exposure sites.
+//
+// Stage 1 is quadratic in (events x sites) if every pair is tested, but
+// hazard dies beyond a cutoff distance, so each event only touches sites in
+// a disc. Bucketing sites on a uniform grid turns the inner loop into
+// "visit the buckets the disc overlaps" — the standard fix that makes
+// production catastrophe models feasible at 100k events x millions of
+// locations. The pipeline uses it when PipelineConfig::use_spatial_index
+// is set; results equal the exhaustive sweep up to floating-point
+// summation order (sites are visited bucket-by-bucket; tested to 1e-9
+// relative), and the work drops from events x sites to events x candidates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "catmod/exposure.hpp"
+
+namespace riskan::catmod {
+
+class SiteGrid {
+ public:
+  /// Buckets `exposure`'s sites on a cells x cells grid over [0,10]^2.
+  /// Keeps a reference to the exposure database.
+  SiteGrid(const ExposureDatabase& exposure, int cells = 16);
+
+  /// Invokes `visit(site)` for every site within `radius` of (x, y) —
+  /// plus possibly a few just outside (callers re-check the exact
+  /// distance; the grid only prunes).
+  void for_each_candidate(double x, double y, double radius,
+                          const std::function<void(const Site&)>& visit) const;
+
+  /// Exact count of sites within radius (testing aid).
+  std::size_t count_within(double x, double y, double radius) const;
+
+  int cells() const noexcept { return cells_; }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+ private:
+  std::size_t bucket_of(double x, double y) const noexcept;
+
+  const ExposureDatabase& exposure_;
+  int cells_;
+  double cell_size_;
+  std::vector<std::vector<LocationId>> buckets_;
+};
+
+}  // namespace riskan::catmod

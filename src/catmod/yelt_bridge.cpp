@@ -1,0 +1,36 @@
+#include "catmod/yelt_bridge.hpp"
+
+#include "util/alias_table.hpp"
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace riskan::catmod {
+
+data::YearEventLossTable simulate_yelt(const EventCatalog& catalog,
+                                       const CatalogYeltConfig& config) {
+  RISKAN_REQUIRE(catalog.size() > 0, "catalogue is empty");
+  RISKAN_REQUIRE(config.rate_multiplier > 0.0, "rate multiplier must be positive");
+
+  std::vector<double> rates;
+  rates.reserve(catalog.size());
+  for (const auto& event : catalog.events()) {
+    rates.push_back(event.annual_rate);
+  }
+  const AliasTable alias(rates);
+  const double mean_per_year = catalog.total_annual_rate() * config.rate_multiplier;
+
+  Xoshiro256ss rng(config.seed);
+  data::YearEventLossTable::Builder builder(config.trials);
+  for (TrialId t = 0; t < config.trials; ++t) {
+    builder.begin_trial();
+    const auto count = sample_poisson(rng, mean_per_year);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const auto event = static_cast<EventId>(alias.sample(rng));
+      const auto day = static_cast<std::uint16_t>(sample_index(rng, 365));
+      builder.add(event, day);
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace riskan::catmod

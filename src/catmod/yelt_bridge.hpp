@@ -1,0 +1,26 @@
+// Stage-1 -> stage-2 bridge: simulate the pre-simulated YELT from a
+// catalogue's annual rates.
+//
+// The YELT is "pre-simulated" precisely so every downstream analysis sees
+// the same alternative years. This generator is that pre-simulation: each
+// trial year draws its occurrence count from Poisson(total catalogue rate)
+// and attributes occurrences to events proportional to their annual rates
+// (O(1) per draw via an alias table). Deterministic in the seed.
+#pragma once
+
+#include "catmod/event_catalog.hpp"
+#include "data/yelt.hpp"
+
+namespace riskan::catmod {
+
+struct CatalogYeltConfig {
+  TrialId trials = 10'000;
+  std::uint64_t seed = 2013;
+  /// Optional rate multiplier (>1 = a more active view of climate).
+  double rate_multiplier = 1.0;
+};
+
+data::YearEventLossTable simulate_yelt(const EventCatalog& catalog,
+                                       const CatalogYeltConfig& config);
+
+}  // namespace riskan::catmod

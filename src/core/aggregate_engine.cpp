@@ -1,0 +1,206 @@
+#include "core/aggregate_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/device_engine.hpp"
+#include "core/secondary.hpp"
+#include "finance/terms.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::core {
+
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Sequential: return "sequential";
+    case Backend::Threaded: return "threaded";
+    case Backend::DeviceSim: return "device-sim";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Everything the per-trial kernel needs about one layer.
+struct LayerContext {
+  const data::EventLossTable* elt = nullptr;
+  const SecondarySampler* sampler = nullptr;  // null = use ELT means
+  finance::LayerTerms terms;
+  finance::Reinstatements reinstatements;
+  Money upfront_premium = 0.0;
+  ContractId contract_id = 0;
+  LayerId layer_id = 0;
+  TrialId trial_base = 0;
+};
+
+struct TrialOutputs {
+  std::span<Money> contract_losses;      // per-trial, may be empty
+  std::span<Money> portfolio_losses;     // per-trial
+  std::span<Money> occurrence_accum;     // per-occurrence, may be empty (OEP off)
+  std::span<Money> reinstatement_prem;   // per-trial
+};
+
+/// Processes trials [lo, hi) of one layer. The only state shared between
+/// concurrent calls is indexed by trial (or by the trial's occurrence
+/// range), so disjoint trial ranges never race.
+std::uint64_t process_layer_trials(const LayerContext& ctx,
+                                   const data::YearEventLossTable& yelt,
+                                   const Philox4x32& philox, bool secondary, TrialId lo,
+                                   TrialId hi, const TrialOutputs& out) {
+  const auto offsets = yelt.offsets();
+  const auto events = yelt.events();
+  const auto& elt = *ctx.elt;
+  const auto means = elt.mean_loss();
+  std::uint64_t lookups_found = 0;
+
+  for (TrialId t = lo; t < hi; ++t) {
+    Money annual = 0.0;
+    const std::uint64_t begin = offsets[t];
+    const std::uint64_t end = offsets[t + 1];
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const auto row = elt.find(events[i]);
+      if (row == data::EventLossTable::npos) {
+        continue;
+      }
+      ++lookups_found;
+      Money ground_up;
+      if (secondary) {
+        auto stream = occurrence_stream(philox, ctx.contract_id, ctx.layer_id,
+                                        ctx.trial_base + t,
+                                        static_cast<std::uint32_t>(i - begin));
+        ground_up = ctx.sampler->sample(row, stream);
+      } else {
+        ground_up = means[row];
+      }
+      const Money occ = finance::apply_occurrence(ctx.terms, ground_up);
+      annual += occ;
+      if (!out.occurrence_accum.empty() && occ > 0.0) {
+        out.occurrence_accum[i] += occ * ctx.terms.share;
+      }
+    }
+    const Money consumed = finance::apply_aggregate(ctx.terms, annual);
+    const Money net = consumed * ctx.terms.share;
+    if (net > 0.0) {
+      if (!out.contract_losses.empty()) {
+        out.contract_losses[t] += net;
+      }
+      out.portfolio_losses[t] += net;
+      out.reinstatement_prem[t] += ctx.reinstatements.premium_due(
+          consumed, ctx.terms.occ_limit, ctx.upfront_premium);
+    }
+  }
+  return lookups_found;
+}
+
+}  // namespace
+
+EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
+                                    const data::YearEventLossTable& yelt,
+                                    const EngineConfig& config) {
+  RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
+  RISKAN_REQUIRE(yelt.trials() > 0, "YELT must contain trials");
+
+  if (config.backend == Backend::DeviceSim) {
+    return run_aggregate_device(portfolio, yelt, config);
+  }
+
+  Stopwatch watch;
+  const TrialId trials = yelt.trials();
+
+  EngineResult result;
+  result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
+  result.reinstatement_premium = data::YearLossTable(trials, "reinstatement-premium");
+  if (config.keep_contract_ylts) {
+    result.contract_ylts.reserve(portfolio.size());
+    for (const auto& contract : portfolio.contracts()) {
+      result.contract_ylts.emplace_back(
+          trials, "contract-" + std::to_string(contract.id()));
+    }
+  }
+
+  std::vector<Money> occurrence_accum;
+  if (config.compute_oep) {
+    occurrence_accum.assign(yelt.entries(), 0.0);
+  }
+
+  const Philox4x32 philox(config.seed);
+  std::atomic<std::uint64_t> lookups{0};
+
+  for (std::size_t c = 0; c < portfolio.size(); ++c) {
+    const auto& contract = portfolio.contract(c);
+    std::optional<SecondarySampler> sampler;
+    if (config.secondary_uncertainty) {
+      sampler.emplace(contract.elt());
+    }
+    for (const auto& layer : contract.layers()) {
+      LayerContext ctx;
+      ctx.elt = &contract.elt();
+      ctx.sampler = sampler ? &*sampler : nullptr;
+      ctx.terms = layer.terms;
+      ctx.reinstatements = layer.reinstatements;
+      ctx.upfront_premium = layer.upfront_premium;
+      ctx.contract_id = contract.id();
+      ctx.layer_id = layer.id;
+      ctx.trial_base = config.trial_base;
+
+      TrialOutputs out;
+      out.contract_losses = config.keep_contract_ylts
+                                ? result.contract_ylts[c].mutable_losses()
+                                : std::span<Money>{};
+      out.portfolio_losses = result.portfolio_ylt.mutable_losses();
+      out.occurrence_accum = occurrence_accum;
+      out.reinstatement_prem = result.reinstatement_premium.mutable_losses();
+
+      const bool secondary = config.secondary_uncertainty;
+      if (config.backend == Backend::Sequential) {
+        lookups += process_layer_trials(ctx, yelt, philox, secondary, 0, trials, out);
+      } else {
+        parallel_for(
+            0, trials,
+            [&](std::size_t lo, std::size_t hi) {
+              lookups += process_layer_trials(ctx, yelt, philox, secondary,
+                                              static_cast<TrialId>(lo),
+                                              static_cast<TrialId>(hi), out);
+            },
+            ParallelConfig{config.pool, config.trial_grain});
+      }
+    }
+  }
+
+  if (config.compute_oep) {
+    result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
+    auto oep = result.portfolio_occurrence_ylt.mutable_losses();
+    const auto offsets = yelt.offsets();
+    for (TrialId t = 0; t < trials; ++t) {
+      Money worst = 0.0;
+      for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+        worst = std::max(worst, occurrence_accum[i]);
+      }
+      oep[t] = worst;
+    }
+  }
+
+  result.seconds = watch.seconds();
+  result.occurrences_processed =
+      yelt.entries() * static_cast<std::uint64_t>(portfolio.layer_count());
+  result.elt_lookups = lookups.load();
+  return result;
+}
+
+std::vector<Money> run_layer(const finance::Contract& contract, const finance::Layer& layer,
+                             const data::YearEventLossTable& yelt,
+                             const EngineConfig& config) {
+  finance::Portfolio single;
+  single.add(finance::Contract(contract.id(), contract.elt(), {layer}, contract.region(),
+                               contract.lob(), contract.peril()));
+  EngineConfig cfg = config;
+  cfg.keep_contract_ylts = false;
+  cfg.compute_oep = false;
+  auto result = run_aggregate_analysis(single, yelt, cfg);
+  auto losses = result.portfolio_ylt.losses();
+  return std::vector<Money>(losses.begin(), losses.end());
+}
+
+}  // namespace riskan::core

@@ -1,0 +1,100 @@
+// Aggregate analysis — the paper's stage-2 Monte Carlo engine.
+//
+// "An additional Monte Carlo simulation, referred to as aggregate analysis,
+// is necessary for generating an alternate view of which events occur and
+// in which order they occur within a contractual year... a pre-simulated
+// Year-Event-Loss Table containing between several thousand and millions of
+// alternative views of a single contractual year is used. The output of
+// aggregate analysis is a Year-Loss Table."
+//
+// For every (contract, layer, trial): walk the trial's YELT occurrences,
+// look up each event in the contract ELT, optionally sample secondary
+// uncertainty, apply per-occurrence terms, sum, apply annual aggregate
+// terms and share, and accumulate into the contract's and the portfolio's
+// YLT. The loop nest is layer-major so a layer's ELT stays hot while its
+// trials stream — the in-memory analogue of the paper's chunking.
+//
+// Three backends, bit-identical outputs (tests enforce):
+//   Sequential — single thread; the baseline of the paper's "15x" claim.
+//   Threaded   — parallel_for over trial chunks on the shared-memory pool.
+//   DeviceSim  — the GPU execution model (src/core/device_engine.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/yelt.hpp"
+#include "data/ylt.hpp"
+#include "finance/contract.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace riskan::core {
+
+enum class Backend {
+  Sequential,
+  Threaded,
+  DeviceSim,
+};
+
+const char* to_string(Backend backend) noexcept;
+
+struct EngineConfig {
+  Backend backend = Backend::Threaded;
+  /// Master seed for secondary uncertainty streams.
+  std::uint64_t seed = 2012;
+  /// Sample per-occurrence secondary uncertainty (beta). Off = use ELT
+  /// means; the ablation bench measures the cost.
+  bool secondary_uncertainty = true;
+  /// Trials per parallel chunk (Threaded) — the chunking knob of E4.
+  /// 0 = library default.
+  std::size_t trial_grain = 0;
+  /// Also produce the per-trial maximum occurrence loss (OEP input).
+  /// Costs one Money per YELT occurrence of scratch.
+  bool compute_oep = true;
+  /// Keep per-contract YLTs in the result. Off saves contracts x trials
+  /// doubles when only the portfolio view is needed (large benches).
+  bool keep_contract_ylts = true;
+  /// Pool for the Threaded backend; nullptr = shared pool.
+  ThreadPool* pool = nullptr;
+  /// Global id of this YELT's first trial. Secondary-uncertainty streams
+  /// are keyed by (trial_base + local trial), so a partition of the YELT
+  /// processed separately (MapReduce splits) reproduces the exact losses of
+  /// a monolithic run.
+  TrialId trial_base = 0;
+  /// Trials per device block (DeviceSim); one thread per trial.
+  int device_block_dim = 128;
+  /// Max ELT rows staged per device chunk; 0 = fit to constant memory.
+  std::size_t device_elt_chunk_rows = 0;
+};
+
+/// Result of one aggregate-analysis run.
+struct EngineResult {
+  /// Per-trial portfolio net loss (annual aggregate) — the AEP sample.
+  data::YearLossTable portfolio_ylt;
+  /// Per-trial maximum single-occurrence portfolio net loss — the OEP
+  /// sample. Empty when compute_oep is off.
+  data::YearLossTable portfolio_occurrence_ylt;
+  /// Per-contract aggregate YLTs, indexed as the portfolio's contracts.
+  std::vector<data::YearLossTable> contract_ylts;
+  /// Per-trial reinstatement premium earned back by the portfolio.
+  data::YearLossTable reinstatement_premium;
+
+  double seconds = 0.0;
+  std::uint64_t occurrences_processed = 0;
+  std::uint64_t elt_lookups = 0;
+};
+
+/// Runs aggregate analysis for `portfolio` over `yelt` with `config`.
+/// Deterministic in (portfolio, yelt, seed) — backend and scheduling do not
+/// change a single bit of the YLTs.
+EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
+                                    const data::YearEventLossTable& yelt,
+                                    const EngineConfig& config = {});
+
+/// Single-layer convenience used by the pricer and micro-benches: returns
+/// the layer's per-trial net losses.
+std::vector<Money> run_layer(const finance::Contract& contract, const finance::Layer& layer,
+                             const data::YearEventLossTable& yelt, const EngineConfig& config);
+
+}  // namespace riskan::core

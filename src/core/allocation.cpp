@@ -1,0 +1,83 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace riskan::core {
+
+AllocationResult allocate_co_tvar(std::span<const data::YearLossTable> components,
+                                  const data::YearLossTable& total, double p) {
+  RISKAN_REQUIRE(!components.empty(), "allocation needs components");
+  RISKAN_REQUIRE(!total.empty(), "allocation needs a total YLT");
+  RISKAN_REQUIRE(p > 0.0 && p < 1.0, "allocation level must lie in (0,1)");
+  for (const auto& component : components) {
+    RISKAN_REQUIRE(component.trials() == total.trials(),
+                   "component YLT trials must align with the total");
+  }
+
+  const TrialId trials = total.trials();
+
+  // Verify the decomposition on a sample of trials (full check would be
+  // O(components x trials); the property must hold by construction).
+  for (TrialId t = 0; t < trials; t += std::max<TrialId>(1, trials / 64)) {
+    Money sum = 0.0;
+    for (const auto& component : components) {
+      sum += component[t];
+    }
+    RISKAN_REQUIRE(std::abs(sum - total[t]) <=
+                       1e-6 * std::max<Money>(1.0, std::abs(total[t])),
+                   "components do not sum to the total YLT");
+  }
+
+  AllocationResult result;
+  result.level = p;
+  result.enterprise_var = value_at_risk(total, p);
+
+  // Tail membership: trials with total strictly above VaR (consistent with
+  // tail_mean_above, so additivity against tail_value_at_risk is exact).
+  std::vector<TrialId> tail;
+  for (TrialId t = 0; t < trials; ++t) {
+    if (total[t] > result.enterprise_var) {
+      tail.push_back(t);
+    }
+  }
+  result.tail_trials = tail.size();
+  result.enterprise_tvar = tail_value_at_risk(total, p);
+
+  result.components.reserve(components.size());
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const auto& component = components[i];
+    Allocation allocation;
+    allocation.component = component.label().empty()
+                               ? "component-" + std::to_string(i)
+                               : component.label();
+
+    if (tail.empty()) {
+      // Degenerate tail (all losses equal): fall back to the VaR itself,
+      // split by standalone means.
+      allocation.co_tvar = component.mean();
+    } else {
+      Money sum = 0.0;
+      for (const TrialId t : tail) {
+        sum += component[t];
+      }
+      allocation.co_tvar = sum / static_cast<double>(tail.size());
+    }
+    allocation.standalone_tvar = tail_value_at_risk(component, p);
+    allocation.diversification_factor =
+        allocation.standalone_tvar != 0.0
+            ? allocation.co_tvar / allocation.standalone_tvar
+            : 0.0;
+    allocation.share_of_total = result.enterprise_tvar != 0.0
+                                    ? allocation.co_tvar / result.enterprise_tvar
+                                    : 0.0;
+    result.components.push_back(std::move(allocation));
+  }
+  return result;
+}
+
+}  // namespace riskan::core

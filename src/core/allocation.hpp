@@ -1,0 +1,56 @@
+// Capital allocation — the Enterprise Risk Management step.
+//
+// "these metrics then flow into the final stage in the risk analysis
+// pipeline, namely Enterprise Risk Management, where liability, asset, and
+// other forms of risks are combined and correlated to generate an
+// enterprise wide view of risk."
+//
+// Combining is only half of ERM; the other half is handing the combined
+// capital requirement back to the businesses that caused it. We implement
+// Euler allocation under TVaR (the standard coherent choice): component
+// i's share of enterprise TVaR_p is its expected loss *on the trials where
+// the enterprise is in its tail*,
+//
+//   A_i = E[ X_i | X_total >= VaR_p(X_total) ]  (co-TVaR)
+//
+// which by linearity sums exactly to the enterprise TVaR_p — the full
+// additivity property that makes the allocation auditable (tested).
+// Works on any trial-aligned decomposition: DFA risk sources, warehouse
+// cells, or individual contracts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/ylt.hpp"
+#include "util/types.hpp"
+
+namespace riskan::core {
+
+struct Allocation {
+  std::string component;
+  Money co_tvar = 0.0;        ///< contribution to enterprise TVaR_p
+  Money standalone_tvar = 0.0;
+  /// co_tvar / standalone_tvar: < 1 means the component is rewarded for
+  /// diversifying the book, > 1 means it concentrates the tail.
+  double diversification_factor = 0.0;
+  double share_of_total = 0.0;  ///< co_tvar / enterprise TVaR_p
+};
+
+struct AllocationResult {
+  std::vector<Allocation> components;
+  Money enterprise_tvar = 0.0;
+  Money enterprise_var = 0.0;
+  double level = 0.0;
+  std::size_t tail_trials = 0;
+};
+
+/// Allocates enterprise TVaR at `p` to `components`, whose trial-aligned
+/// YLTs must sum to `total` (checked to a tolerance, since they were
+/// produced together). Components are labelled by their YLT labels, or
+/// "component-<i>" when unlabelled.
+AllocationResult allocate_co_tvar(std::span<const data::YearLossTable> components,
+                                  const data::YearLossTable& total, double p);
+
+}  // namespace riskan::core

@@ -1,0 +1,72 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace riskan::core {
+
+ConfidenceInterval bootstrap_ci(const data::YearLossTable& ylt, const SortedMetric& metric,
+                                const BootstrapConfig& config) {
+  RISKAN_REQUIRE(!ylt.empty(), "bootstrap of an empty YLT");
+  RISKAN_REQUIRE(config.replicates >= 10, "need at least 10 bootstrap replicates");
+  RISKAN_REQUIRE(config.confidence > 0.0 && config.confidence < 1.0,
+                 "confidence must lie in (0,1)");
+
+  const auto losses = ylt.losses();
+  const std::size_t n = losses.size();
+
+  std::vector<Money> sorted(losses.begin(), losses.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  ConfidenceInterval ci;
+  ci.point = metric(sorted);
+  ci.confidence = config.confidence;
+
+  const Philox4x32 philox(config.seed);
+  std::vector<Money> replicate(n);
+  std::vector<Money> estimates;
+  estimates.reserve(config.replicates);
+
+  for (std::uint32_t b = 0; b < config.replicates; ++b) {
+    PhiloxStream stream(philox, 0xB007ull, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      replicate[i] = losses[sample_index(stream, n)];
+    }
+    std::sort(replicate.begin(), replicate.end());
+    estimates.push_back(metric(replicate));
+  }
+
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - config.confidence) / 2.0;
+  ci.lo = quantile_sorted(estimates, alpha);
+  ci.hi = quantile_sorted(estimates, 1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_var(const data::YearLossTable& ylt, double p,
+                                 const BootstrapConfig& config) {
+  return bootstrap_ci(
+      ylt, [p](std::span<const Money> sorted) { return quantile_sorted(sorted, p); },
+      config);
+}
+
+ConfidenceInterval bootstrap_tvar(const data::YearLossTable& ylt, double p,
+                                  const BootstrapConfig& config) {
+  return bootstrap_ci(
+      ylt, [p](std::span<const Money> sorted) { return tail_mean_above(sorted, p); },
+      config);
+}
+
+ConfidenceInterval bootstrap_pml(const data::YearLossTable& ylt, double return_period_years,
+                                 const BootstrapConfig& config) {
+  RISKAN_REQUIRE(return_period_years > 1.0, "PML needs a return period above 1 year");
+  const double p = 1.0 - 1.0 / return_period_years;
+  return bootstrap_var(ylt, p, config);
+}
+
+}  // namespace riskan::core

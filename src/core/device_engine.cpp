@@ -1,0 +1,305 @@
+#include "core/device_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "core/secondary.hpp"
+#include "finance/terms.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::core {
+
+namespace {
+
+/// Packed ELT row as uploaded to simulated constant memory: the event id,
+/// the mean (for secondary-off runs), and the secondary-uncertainty
+/// parameters.
+struct DeviceEltRow {
+  EventId event_id;
+  Money mean_loss;
+  SecondarySampler::Param param;
+};
+
+/// Binary search over the chunk's rows (sorted by event id).
+inline std::size_t chunk_find(const DeviceEltRow* rows, std::size_t n, EventId event) noexcept {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (rows[mid].event_id < event) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < n && rows[lo].event_id == event) {
+    return lo;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+// Approximate FLOP cost of one beta draw (two Marsaglia-Tsang gammas plus
+// transforms); feeds the performance model only.
+constexpr std::uint64_t kBetaFlops = 220;
+constexpr std::uint64_t kOccTermFlops = 4;
+
+}  // namespace
+
+EngineResult run_aggregate_device(const finance::Portfolio& portfolio,
+                                  const data::YearEventLossTable& yelt,
+                                  const EngineConfig& config, DeviceSpec spec,
+                                  DeviceRunInfo* info) {
+  RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
+  RISKAN_REQUIRE(yelt.trials() > 0, "YELT must contain trials");
+  RISKAN_REQUIRE(config.device_block_dim > 0, "device block dim must be positive");
+
+  Stopwatch watch;
+  Device device(spec, config.pool);
+
+  const TrialId trials = yelt.trials();
+  const int block_dim = config.device_block_dim;
+  const int grid_dim = static_cast<int>((trials + block_dim - 1) / block_dim);
+
+  EngineResult result;
+  result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
+  result.reinstatement_premium = data::YearLossTable(trials, "reinstatement-premium");
+  if (config.keep_contract_ylts) {
+    result.contract_ylts.reserve(portfolio.size());
+    for (const auto& contract : portfolio.contracts()) {
+      result.contract_ylts.emplace_back(trials,
+                                        "contract-" + std::to_string(contract.id()));
+    }
+  }
+
+  // Global-memory buffers of the simulated device.
+  std::vector<Money> layer_scratch(yelt.entries(), 0.0);
+  std::vector<Money> occurrence_accum;
+  if (config.compute_oep) {
+    occurrence_accum.assign(yelt.entries(), 0.0);
+  }
+
+  DeviceRunInfo run_info;
+  const Philox4x32 philox(config.seed);
+  std::uint64_t lookups = 0;
+
+  const auto offsets = yelt.offsets();
+  const auto events = yelt.events();
+
+  for (std::size_t c = 0; c < portfolio.size(); ++c) {
+    const auto& contract = portfolio.contract(c);
+    const auto& elt = contract.elt();
+    std::optional<SecondarySampler> sampler;
+    if (config.secondary_uncertainty) {
+      sampler.emplace(elt);
+    }
+
+    // Pack ELT rows for constant-memory upload.
+    std::vector<DeviceEltRow> packed(elt.size());
+    for (std::size_t i = 0; i < elt.size(); ++i) {
+      packed[i].event_id = elt.event_ids()[i];
+      packed[i].mean_loss = elt.mean_loss()[i];
+      if (sampler) {
+        packed[i].param = sampler->param(i);
+      }
+    }
+
+    std::size_t chunk_rows = config.device_elt_chunk_rows;
+    if (chunk_rows == 0) {
+      chunk_rows = std::max<std::size_t>(
+          1, (device.const_capacity() - 64) / sizeof(DeviceEltRow));
+    }
+
+    for (const auto& layer : contract.layers()) {
+      const auto terms = layer.terms;
+      const bool secondary = config.secondary_uncertainty;
+      const ContractId contract_id = contract.id();
+      const LayerId layer_id = layer.id;
+
+      std::fill(layer_scratch.begin(), layer_scratch.end(), 0.0);
+
+      // ---- Phase 1: per-occurrence losses, one launch per ELT chunk.
+      std::size_t chunk_count = 0;
+      for (std::size_t chunk_lo = 0; chunk_lo < packed.size(); chunk_lo += chunk_rows) {
+        const std::size_t rows = std::min(chunk_rows, packed.size() - chunk_lo);
+        ++chunk_count;
+        device.const_clear();
+        const std::size_t const_off =
+            device.const_upload(packed.data() + chunk_lo, rows * sizeof(DeviceEltRow));
+        const auto* chunk =
+            reinterpret_cast<const DeviceEltRow*>(device.const_data(const_off));
+        const std::uint64_t probe_bytes =
+            16 * (64 - static_cast<std::uint64_t>(__builtin_clzll(rows | 1)));
+
+        auto stats = device.launch_blocks(grid_dim, block_dim, [&](BlockContext& ctx) {
+          const auto first_trial =
+              static_cast<TrialId>(static_cast<std::uint64_t>(ctx.block_id()) * block_dim);
+          const auto last_trial =
+              std::min<TrialId>(trials, first_trial + static_cast<TrialId>(block_dim));
+          if (first_trial >= last_trial) {
+            return;
+          }
+          const std::uint64_t slice_lo = offsets[first_trial];
+          const std::uint64_t slice_hi = offsets[last_trial];
+          const std::size_t slice_len = static_cast<std::size_t>(slice_hi - slice_lo);
+
+          // Stage the block's YELT occurrence slice into shared memory when
+          // it fits; otherwise fall back to global reads.
+          const EventId* slice_events = nullptr;
+          const bool staged = slice_len * sizeof(EventId) <= ctx.shared_capacity();
+          if (staged && slice_len > 0) {
+            EventId* shared_events = ctx.shared_alloc<EventId>(slice_len);
+            std::memcpy(shared_events, events.data() + slice_lo,
+                        slice_len * sizeof(EventId));
+            ctx.meter_global_read(slice_len * sizeof(EventId));
+            ctx.meter_shared_write(slice_len * sizeof(EventId));
+            slice_events = shared_events;
+          }
+
+          std::uint64_t local_lookups = 0;
+          for (TrialId t = first_trial; t < last_trial; ++t) {
+            const std::uint64_t begin = offsets[t];
+            const std::uint64_t end = offsets[t + 1];
+            for (std::uint64_t i = begin; i < end; ++i) {
+              EventId event;
+              if (slice_events != nullptr) {
+                event = slice_events[i - slice_lo];
+                ctx.meter_shared_read(sizeof(EventId));
+              } else {
+                event = events[i];
+                ctx.meter_global_read(sizeof(EventId));
+              }
+              ctx.meter_const_read(probe_bytes);
+              const auto row = chunk_find(chunk, rows, event);
+              if (row == static_cast<std::size_t>(-1)) {
+                continue;
+              }
+              ++local_lookups;
+              Money ground_up;
+              if (secondary) {
+                auto stream = occurrence_stream(philox, contract_id, layer_id,
+                                                config.trial_base + t,
+                                                static_cast<std::uint32_t>(i - begin));
+                SecondarySampler::Param p = chunk[row].param;
+                if (p.degenerate) {
+                  ground_up = p.exposure * p.mean_ratio;
+                } else {
+                  ground_up = p.exposure * sample_beta(stream, p.alpha, p.beta);
+                }
+                ctx.meter_flops(kBetaFlops);
+              } else {
+                ground_up = chunk[row].mean_loss;
+              }
+              const Money occ = finance::apply_occurrence(terms, ground_up);
+              ctx.meter_flops(kOccTermFlops);
+              if (occ != 0.0) {
+                layer_scratch[i] += occ;
+                ctx.meter_global_write(sizeof(Money));
+              }
+            }
+          }
+          ctx.meter_flops(local_lookups);  // loop bookkeeping, negligible
+        });
+
+        run_info.counters += stats.counters;
+        run_info.modeled_seconds += stats.modeled_seconds;
+        ++run_info.launches;
+      }
+      run_info.elt_chunks += chunk_count;
+
+      // Count staged/spilled blocks once per layer for the report.
+      for (int b = 0; b < grid_dim; ++b) {
+        const auto first_trial =
+            static_cast<TrialId>(static_cast<std::uint64_t>(b) * block_dim);
+        const auto last_trial =
+            std::min<TrialId>(trials, first_trial + static_cast<TrialId>(block_dim));
+        if (first_trial >= last_trial) {
+          continue;
+        }
+        const auto len = offsets[last_trial] - offsets[first_trial];
+        if (len * sizeof(EventId) <= spec.shared_mem_per_block) {
+          ++run_info.shared_staged_blocks;
+        } else {
+          ++run_info.shared_spill_blocks;
+        }
+      }
+
+      // ---- Phase 2: per-trial reduction + annual terms.
+      auto portfolio_losses = result.portfolio_ylt.mutable_losses();
+      auto reinst = result.reinstatement_premium.mutable_losses();
+      auto contract_losses = config.keep_contract_ylts
+                                 ? result.contract_ylts[c].mutable_losses()
+                                 : std::span<Money>{};
+      const auto reinstatements = layer.reinstatements;
+      const Money upfront = layer.upfront_premium;
+      std::vector<std::uint64_t> block_lookups(static_cast<std::size_t>(grid_dim), 0);
+
+      auto stats = device.launch_blocks(grid_dim, block_dim, [&](BlockContext& ctx) {
+        const auto first_trial =
+            static_cast<TrialId>(static_cast<std::uint64_t>(ctx.block_id()) * block_dim);
+        const auto last_trial =
+            std::min<TrialId>(trials, first_trial + static_cast<TrialId>(block_dim));
+        std::uint64_t found = 0;
+        for (TrialId t = first_trial; t < last_trial; ++t) {
+          Money annual = 0.0;
+          for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+            const Money occ = layer_scratch[i];
+            ctx.meter_global_read(sizeof(Money));
+            annual += occ;
+            if (occ != 0.0) {
+              ++found;
+              if (!occurrence_accum.empty()) {
+                occurrence_accum[i] += occ * terms.share;
+                ctx.meter_global_write(sizeof(Money));
+              }
+            }
+          }
+          const Money consumed = finance::apply_aggregate(terms, annual);
+          const Money net = consumed * terms.share;
+          ctx.meter_flops(6);
+          if (net > 0.0) {
+            if (!contract_losses.empty()) {
+              contract_losses[t] += net;
+            }
+            portfolio_losses[t] += net;
+            reinst[t] += reinstatements.premium_due(consumed, terms.occ_limit, upfront);
+            ctx.meter_global_write(3 * sizeof(Money));
+          }
+        }
+        block_lookups[static_cast<std::size_t>(ctx.block_id())] = found;
+      });
+      run_info.counters += stats.counters;
+      run_info.modeled_seconds += stats.modeled_seconds;
+      ++run_info.launches;
+      for (const auto found : block_lookups) {
+        lookups += found;
+      }
+    }
+  }
+
+  if (config.compute_oep) {
+    result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
+    auto oep = result.portfolio_occurrence_ylt.mutable_losses();
+    for (TrialId t = 0; t < trials; ++t) {
+      Money worst = 0.0;
+      for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+        worst = std::max(worst, occurrence_accum[i]);
+      }
+      oep[t] = worst;
+    }
+  }
+
+  result.seconds = watch.seconds();
+  result.occurrences_processed =
+      yelt.entries() * static_cast<std::uint64_t>(portfolio.layer_count());
+  result.elt_lookups = lookups;
+
+  run_info.host_seconds = result.seconds;
+  if (info != nullptr) {
+    *info = run_info;
+  }
+  return result;
+}
+
+}  // namespace riskan::core

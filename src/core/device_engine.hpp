@@ -1,0 +1,43 @@
+// DeviceSim backend of aggregate analysis — the GPU execution-model
+// implementation behind the paper's "15x" and "25 seconds for 1 million
+// trials" claims (see src/parallel/device.hpp for the substitution
+// rationale).
+//
+// Kernel decomposition, mirroring the CUDA implementation of the companion
+// paper [7]:
+//   * one device thread per trial, device_block_dim trials per block;
+//   * the layer's ELT (with precomputed secondary-uncertainty parameters)
+//     is staged chunk-wise into simulated constant memory;
+//   * each block stages its trials' YELT occurrence slice into simulated
+//     shared memory when it fits (the paper's "utilising shared and
+//     constant memory as much as possible");
+//   * phase 1 writes per-occurrence layer losses to a global scratch
+//     buffer; phase 2 reduces each trial's occurrences in order and applies
+//     annual terms — which makes the result bit-identical to the
+//     sequential engine regardless of ELT chunking (tests enforce).
+#pragma once
+
+#include "core/aggregate_engine.hpp"
+#include "parallel/device.hpp"
+
+namespace riskan::core {
+
+/// Per-run device telemetry for the E2/E4 reports.
+struct DeviceRunInfo {
+  double modeled_seconds = 0.0;  ///< performance-model device time
+  double host_seconds = 0.0;     ///< wall-clock of the simulation on this host
+  DeviceCounters counters;
+  int launches = 0;
+  std::size_t elt_chunks = 0;
+  std::size_t shared_staged_blocks = 0;
+  std::size_t shared_spill_blocks = 0;
+};
+
+/// Runs aggregate analysis on the simulated device. `info`, when non-null,
+/// receives counters and the modeled device time.
+EngineResult run_aggregate_device(const finance::Portfolio& portfolio,
+                                  const data::YearEventLossTable& yelt,
+                                  const EngineConfig& config, DeviceSpec spec = {},
+                                  DeviceRunInfo* info = nullptr);
+
+}  // namespace riskan::core

@@ -1,0 +1,75 @@
+#include "core/elasticity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace riskan::core {
+
+StageRequirement processors_required(const StageDemand& demand) {
+  RISKAN_REQUIRE(demand.units_per_core_second > 0.0, "throughput must be positive");
+  RISKAN_REQUIRE(demand.deadline_seconds > 0.0, "deadline must be positive");
+  RISKAN_REQUIRE(demand.parallel_efficiency > 0.0 && demand.parallel_efficiency <= 1.0,
+                 "parallel efficiency must lie in (0,1]");
+
+  StageRequirement req;
+  req.stage = demand.stage;
+  req.work_units = demand.work_units;
+  req.core_seconds = demand.work_units / demand.units_per_core_second;
+  req.processors = std::max(
+      1.0, std::ceil(req.core_seconds /
+                     (demand.deadline_seconds * demand.parallel_efficiency)));
+  return req;
+}
+
+std::vector<StageRequirement> paper_scenario(const MeasuredThroughput& measured,
+                                             const Derating& derating) {
+  RISKAN_REQUIRE(measured.stage1_pairs_per_sec > 0.0 &&
+                     measured.stage2_occurrences_per_sec > 0.0 &&
+                     measured.stage3_evals_per_sec > 0.0,
+                 "measured throughputs must be positive");
+  RISKAN_REQUIRE(derating.core_2012 >= 1.0, "core derating must be >= 1");
+
+  const double t1 =
+      measured.stage1_pairs_per_sec / (derating.core_2012 * derating.stage1_complexity);
+  const double t2 = measured.stage2_occurrences_per_sec /
+                    (derating.core_2012 * derating.stage2_complexity);
+  const double t3 =
+      measured.stage3_evals_per_sec / (derating.core_2012 * derating.stage3_complexity);
+
+  std::vector<StageRequirement> out;
+  auto add = [&out](std::string stage, std::string cadence, double work, double tput,
+                    double deadline) {
+    StageDemand demand;
+    demand.stage = std::move(stage);
+    demand.work_units = work;
+    demand.units_per_core_second = tput;
+    demand.deadline_seconds = deadline;
+    auto req = processors_required(demand);
+    req.cadence = std::move(cadence);
+    out.push_back(std::move(req));
+  };
+
+  // Stage 1: 100k events x 1M exposure locations, weekly model refresh.
+  const double stage1_work = 1e5 * 1e6;
+  add("1. risk modelling (ELT build)", "weekly", stage1_work, t1, 7.0 * 86400.0);
+
+  // Stage 2: 10k contracts x 1M trials ("millions of alternative views")
+  // x ~10 occurrences per trial year.
+  const double stage2_work = 1e4 * 1e6 * 10.0;
+  add("2. portfolio roll-up", "overnight (8h)", stage2_work, t2, 8.0 * 3600.0);
+  add("2. portfolio roll-up", "interactive (1 min)", stage2_work, t2, 60.0);
+
+  // Stage 2b: one contract, 1M trials, the paper's 25 s pricing budget.
+  add("2b. real-time pricing (1 contract)", "25 s", 1e6 * 10.0, t2, 25.0);
+
+  // Stage 3: 100-scenario DFA sweep, 10M trials x 100 risk dimensions.
+  const double stage3_work = 100.0 * 1e7 * 100.0;
+  add("3. DFA / enterprise", "quarterly batch (4h)", stage3_work, t3, 4.0 * 3600.0);
+  add("3. DFA / enterprise", "interactive what-if (10 min)", stage3_work, t3, 600.0);
+
+  return out;
+}
+
+}  // namespace riskan::core

@@ -1,0 +1,77 @@
+// Burst-elasticity model — experiment E8.
+//
+// "While in the first stage less than ten processors may be sufficient to
+// handle the data, in the second and third stages thousands or even tens of
+// thousands of processors need to be put together to manage and analyse the
+// data. The elastic demand ... makes cloud-based computing attractive."
+//
+// The model re-derives that claim: each stage has a work volume (in its
+// natural unit) at production sizing, a single-core throughput, and a
+// deadline; processors required = work / (throughput x deadline x
+// efficiency). Throughputs are measured on this machine by bench_e8 and
+// then *derated* to the paper's 2012 setting by two documented factors:
+//   * core_derating    — a 2012 server core sustains roughly a tenth of a
+//                        modern core's throughput on these kernels;
+//   * model_complexity — our synthetic hazard/vulnerability/financial
+//                        modules are deliberately cheap; production
+//                        catastrophe models evaluate ground-motion fields,
+//                        site-level coverages and multi-term financial
+//                        structures that cost one to two orders of
+//                        magnitude more per unit.
+// Both factors are parameters, printed with the results, so the derivation
+// is auditable rather than baked in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace riskan::core {
+
+struct StageDemand {
+  std::string stage;
+  std::string unit;
+  double work_units = 0.0;           ///< total units at production sizing
+  double units_per_core_second = 0;  ///< effective (derated) throughput
+  double deadline_seconds = 0.0;
+  double parallel_efficiency = 0.9;  ///< fraction of linear scaling retained
+};
+
+struct StageRequirement {
+  std::string stage;
+  std::string cadence;
+  double work_units = 0.0;
+  double core_seconds = 0.0;
+  double processors = 0.0;  ///< cores needed to meet the deadline
+};
+
+/// Cores needed for one stage/deadline pair.
+StageRequirement processors_required(const StageDemand& demand);
+
+/// Measured single-core throughputs on this host (from calibration runs).
+struct MeasuredThroughput {
+  double stage1_pairs_per_sec = 0.0;        ///< event-exposure pairs
+  double stage2_occurrences_per_sec = 0.0;  ///< trial-layer occurrences
+  double stage3_evals_per_sec = 0.0;        ///< trial-dimension evaluations
+};
+
+/// Derating factors mapping this host + synthetic models onto the paper's
+/// 2012 production setting. Printed alongside results.
+struct Derating {
+  double core_2012 = 10.0;          ///< modern core ~10x a 2012 core here
+  double stage1_complexity = 50.0;  ///< production hazard/financial cost
+  double stage2_complexity = 10.0;  ///< coverage-level terms, multi-view
+  double stage3_complexity = 10.0;  ///< nested stochastic DFA
+};
+
+/// The production scenario at the paper's sizing:
+///   stage 1: 100k events x 1M exposure locations, weekly refresh;
+///   stage 2: 10k contracts x 1M trials x ~10 occurrences — overnight
+///            roll-up AND the interactive (1 min) variant;
+///   stage 2b: single-contract pricing in the paper's 25 s budget;
+///   stage 3: 100-scenario DFA sweep over 10M trials x 100 dimensions —
+///            quarterly batch AND interactive what-if (10 min).
+/// Returns one row per (stage, deadline).
+std::vector<StageRequirement> paper_scenario(const MeasuredThroughput& measured,
+                                             const Derating& derating = {});
+
+}  // namespace riskan::core

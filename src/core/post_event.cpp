@@ -1,0 +1,96 @@
+#include "core/post_event.hpp"
+
+#include <algorithm>
+
+#include "finance/terms.hpp"
+#include "util/require.hpp"
+
+namespace riskan::core {
+
+PostEventAnalyzer::PostEventAnalyzer(const finance::Portfolio& portfolio)
+    : portfolio_(portfolio) {
+  RISKAN_REQUIRE(!portfolio.empty(), "post-event analysis needs a portfolio");
+}
+
+EventImpact PostEventAnalyzer::analyse(EventId event, double intensity_scale,
+                                       std::span<const Money> prior_annual_by_contract) const {
+  RISKAN_REQUIRE(intensity_scale > 0.0, "intensity scale must be positive");
+  RISKAN_REQUIRE(prior_annual_by_contract.empty() ||
+                     prior_annual_by_contract.size() == portfolio_.size(),
+                 "prior annual losses must align with the portfolio");
+
+  EventImpact impact;
+  impact.event = event;
+
+  for (std::size_t c = 0; c < portfolio_.size(); ++c) {
+    const auto& contract = portfolio_.contract(c);
+    const auto row = contract.elt().find(event);
+    if (row == data::EventLossTable::npos) {
+      continue;
+    }
+    const Money ground_up = contract.elt().mean_loss()[row] * intensity_scale;
+    if (ground_up <= 0.0) {
+      continue;
+    }
+    ++impact.contracts_hit;
+    impact.portfolio_ground_up += ground_up;
+
+    const Money prior =
+        prior_annual_by_contract.empty() ? 0.0 : prior_annual_by_contract[c];
+
+    for (const auto& layer : contract.layers()) {
+      const auto& terms = layer.terms;
+      LayerImpact li;
+      li.contract = contract.id();
+      li.layer = layer.id;
+      li.ground_up = ground_up;
+      li.occurrence_loss = finance::apply_occurrence(terms, ground_up);
+      li.attaches = li.occurrence_loss > 0.0;
+      li.exhausts = li.occurrence_loss >= terms.occ_limit;
+
+      // Aggregate capacity: what the year can still pay after prior losses
+      // plus this occurrence.
+      const Money consumed_before = finance::apply_aggregate(terms, prior);
+      const Money consumed_after =
+          finance::apply_aggregate(terms, prior + li.occurrence_loss);
+      li.net_loss = (consumed_after - consumed_before) * terms.share;
+      li.remaining_agg_capacity = std::max(Money{0.0}, terms.agg_limit - consumed_after);
+
+      if (li.attaches) {
+        ++impact.layers_attaching;
+      }
+      if (li.exhausts) {
+        ++impact.layers_exhausted;
+      }
+      impact.portfolio_net += li.net_loss;
+      impact.layers.push_back(li);
+    }
+  }
+  return impact;
+}
+
+std::vector<EventImpact> PostEventAnalyzer::worst_events(
+    std::span<const EventId> candidates, std::size_t top_n) const {
+  RISKAN_REQUIRE(top_n > 0, "need at least one event in the ranking");
+  std::vector<EventImpact> impacts;
+  impacts.reserve(candidates.size());
+  for (const EventId event : candidates) {
+    auto impact = analyse(event);
+    if (impact.contracts_hit > 0) {
+      // The ranking table carries totals only; drop the per-layer detail
+      // to keep worst-event sweeps over full catalogues cheap.
+      impact.layers.clear();
+      impact.layers.shrink_to_fit();
+      impacts.push_back(std::move(impact));
+    }
+  }
+  const std::size_t keep = std::min(top_n, impacts.size());
+  std::partial_sort(impacts.begin(), impacts.begin() + static_cast<std::ptrdiff_t>(keep),
+                    impacts.end(), [](const EventImpact& a, const EventImpact& b) {
+                      return a.portfolio_net > b.portfolio_net;
+                    });
+  impacts.resize(keep);
+  return impacts;
+}
+
+}  // namespace riskan::core

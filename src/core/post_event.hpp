@@ -1,0 +1,72 @@
+// Rapid post-event analysis.
+//
+// The authors' companion workshop paper ("Rapid Post-Event Catastrophe
+// Modelling and Visualisation", DEXA'12 — reference [2] of the target
+// paper) motivates the interactive counterpart of stage 2: a catastrophe
+// has just happened; the reinsurer needs, in seconds, the answer to "what
+// does this event do to my book?" — per-contract losses, which layers
+// attach or exhaust, and how the year's remaining aggregate capacity
+// changes.
+//
+// Because the ELTs are already in memory (the paper's accumulate-large-
+// memory architecture), this is a pure lookup-and-terms pass: O(portfolio)
+// per event, no simulation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "data/ylt.hpp"
+#include "finance/contract.hpp"
+#include "util/types.hpp"
+
+namespace riskan::core {
+
+/// Impact of one event on one layer of one contract.
+struct LayerImpact {
+  ContractId contract = 0;
+  LayerId layer = 0;
+  Money ground_up = 0.0;       ///< modelled mean loss to the contract
+  Money occurrence_loss = 0.0; ///< after occurrence terms
+  Money net_loss = 0.0;        ///< after share
+  bool attaches = false;       ///< loss enters the layer
+  bool exhausts = false;       ///< occurrence limit fully consumed
+  /// Remaining aggregate capacity after this event, given `prior_annual`
+  /// occurrence losses already booked this year.
+  Money remaining_agg_capacity = 0.0;
+};
+
+/// Whole-book impact of one event.
+struct EventImpact {
+  EventId event = kInvalidEvent;
+  Money portfolio_ground_up = 0.0;
+  Money portfolio_net = 0.0;
+  std::size_t contracts_hit = 0;
+  std::size_t layers_attaching = 0;
+  std::size_t layers_exhausted = 0;
+  std::vector<LayerImpact> layers;  ///< only layers with non-zero ground-up
+};
+
+class PostEventAnalyzer {
+ public:
+  /// Keeps a reference to the portfolio (the in-memory book).
+  explicit PostEventAnalyzer(const finance::Portfolio& portfolio);
+
+  /// Impact of `event`. `intensity_scale` scales the modelled mean loss
+  /// (early post-event intensity estimates are revised repeatedly; 1.0 =
+  /// the catalogue's modelled event). `prior_annual_by_contract`, when
+  /// provided, carries each contract's already-booked occurrence losses
+  /// this year so remaining aggregate capacity is computed net of them.
+  EventImpact analyse(EventId event, double intensity_scale = 1.0,
+                      std::span<const Money> prior_annual_by_contract = {}) const;
+
+  /// Ranks the catalogue's worst events for this book: the `top_n` events
+  /// by portfolio net loss. The realistic-disaster-scenario table.
+  std::vector<EventImpact> worst_events(std::span<const EventId> candidates,
+                                        std::size_t top_n) const;
+
+ private:
+  const finance::Portfolio& portfolio_;
+};
+
+}  // namespace riskan::core

@@ -1,0 +1,31 @@
+#include "core/pricer.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::core {
+
+RealTimePricer::RealTimePricer(const data::YearEventLossTable& yelt, EngineConfig config,
+                               finance::PricingTerms pricing)
+    : yelt_(yelt), config_(config), pricing_(pricing) {}
+
+PricingQuote RealTimePricer::price(const finance::Contract& contract,
+                                   const finance::Layer& layer) const {
+  Stopwatch watch;
+  const auto losses = run_layer(contract, layer, yelt_, config_);
+  PricingQuote quote;
+  quote.seconds = watch.seconds();
+  quote.trials = yelt_.trials();
+  quote.loss_stats = finance::summarise_losses(losses);
+  quote.technical_premium = finance::technical_premium(quote.loss_stats, pricing_);
+  quote.rate_on_line = finance::rate_on_line(quote.technical_premium, layer.terms.occ_limit);
+
+  std::vector<double> sorted(losses.begin(), losses.end());
+  std::sort(sorted.begin(), sorted.end());
+  quote.pml_250 = quantile_sorted(sorted, 1.0 - 1.0 / 250.0);
+  return quote;
+}
+
+}  // namespace riskan::core

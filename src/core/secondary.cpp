@@ -1,0 +1,35 @@
+#include "core/secondary.hpp"
+
+namespace riskan::core {
+
+SecondarySampler::SecondarySampler(const data::EventLossTable& elt) {
+  params_.resize(elt.size());
+  const auto means = elt.mean_loss();
+  const auto sigmas = elt.sigma_loss();
+  const auto exposures = elt.exposure();
+  for (std::size_t i = 0; i < elt.size(); ++i) {
+    Param& p = params_[i];
+    p.exposure = exposures[i];
+    if (p.exposure <= 0.0 || means[i] <= 0.0) {
+      p.degenerate = true;
+      p.mean_ratio = 0.0;
+      continue;
+    }
+    const double mean_ratio = means[i] / p.exposure;
+    p.mean_ratio = mean_ratio;
+    if (mean_ratio >= 1.0) {
+      // Loss pinned at the exposure limit.
+      p.degenerate = true;
+      p.mean_ratio = 1.0;
+      continue;
+    }
+    const double sigma_ratio = sigmas[i] / p.exposure;
+    if (sigma_ratio <= 1e-9) {
+      p.degenerate = true;  // effectively deterministic
+      continue;
+    }
+    beta_from_moments(mean_ratio, sigma_ratio, p.alpha, p.beta);
+  }
+}
+
+}  // namespace riskan::core

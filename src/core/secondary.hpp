@@ -1,0 +1,72 @@
+// Secondary uncertainty — sampling an actual loss around the ELT mean.
+//
+// Catastrophe models report, per event, a mean loss and a spread; the loss
+// given that the event occurs is Beta-distributed on [0, exposure]
+// (industry convention; see Meyers et al. [5] of the paper). Aggregate
+// analysis optionally samples this distribution per (trial, event)
+// occurrence, which is the dominant FLOP cost of stage 2.
+//
+// Determinism contract: the sample depends only on (seed, contract, layer,
+// trial, occurrence-sequence) through a counter-based Philox stream, so all
+// engine backends produce bit-identical YLTs regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/elt.hpp"
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+
+namespace riskan::core {
+
+/// Precomputed per-ELT-row beta parameters (method of moments on the
+/// normalised loss mean/sigma). Computing these once per table keeps the
+/// per-occurrence hot path to a gamma-pair draw.
+class SecondarySampler {
+ public:
+  /// Precomputes parameters for every row of `elt`.
+  explicit SecondarySampler(const data::EventLossTable& elt);
+
+  /// Samples the loss for ELT row `row` under stream `stream`.
+  /// Mean of the samples converges to the row's mean_loss.
+  template <typename Rng>
+  Money sample(std::size_t row, Rng& rng) const {
+    const Param& p = params_[row];
+    if (p.degenerate) {
+      return p.exposure * p.mean_ratio;
+    }
+    return p.exposure * sample_beta(rng, p.alpha, p.beta);
+  }
+
+  std::size_t size() const noexcept { return params_.size(); }
+
+  /// Parameter bytes (device chunk planning).
+  std::size_t byte_size() const noexcept { return params_.size() * sizeof(Param); }
+
+  struct Param {
+    double alpha = 1.0;
+    double beta = 1.0;
+    Money exposure = 0.0;
+    double mean_ratio = 0.0;
+    bool degenerate = false;
+  };
+
+  const Param& param(std::size_t row) const { return params_[row]; }
+
+ private:
+  std::vector<Param> params_;
+};
+
+/// Builds the Philox stream for one (contract, layer, trial, occurrence).
+inline PhiloxStream occurrence_stream(const Philox4x32& engine, ContractId contract,
+                                      LayerId layer, TrialId trial,
+                                      std::uint32_t occurrence_seq) noexcept {
+  const std::uint64_t hi =
+      (static_cast<std::uint64_t>(contract) << 16) | static_cast<std::uint64_t>(layer);
+  const std::uint64_t lo =
+      (static_cast<std::uint64_t>(trial) << 20) | static_cast<std::uint64_t>(occurrence_seq);
+  return PhiloxStream(engine, hi, lo);
+}
+
+}  // namespace riskan::core

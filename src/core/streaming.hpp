@@ -1,0 +1,44 @@
+// Streaming aggregate analysis — stage 2 with bounded memory.
+//
+// The paper's approach (i) accumulates "large quantities of physical
+// memory to support in-memory analytics on large but not enormous datasets
+// (less than 1TB)". When the YELT is enormous — a 50M-trial view does not
+// fit a node — the same engine can stream it: the YELT lives on disk as a
+// chunked file of trial blocks; each block is decoded, analysed with
+// trial_base set so counter-based sampling lines up, and discarded. Memory
+// high-water = one block + the YLT (one Money per trial), and the output
+// is bit-identical to the in-memory run (tested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/aggregate_engine.hpp"
+#include "data/yelt.hpp"
+
+namespace riskan::core {
+
+struct StreamingResult {
+  data::YearLossTable portfolio_ylt;
+  double seconds = 0.0;
+  std::uint64_t bytes_read = 0;
+  std::size_t blocks = 0;
+  /// Peak bytes held for YELT data at any point (largest single block).
+  std::size_t peak_block_bytes = 0;
+};
+
+/// Writes `yelt` as a chunked file of `trials_per_chunk`-trial blocks —
+/// the on-disk layout run_aggregate_streaming consumes. Returns chunks
+/// written.
+std::size_t save_yelt_chunked(const data::YearEventLossTable& yelt, const std::string& path,
+                              TrialId trials_per_chunk);
+
+/// Streams aggregate analysis over a chunked YELT file. `config.backend`
+/// applies within each block (Sequential/Threaded); per-contract YLTs and
+/// the OEP view are not produced in streaming mode (the occurrence scratch
+/// would defeat the bounded-memory point).
+StreamingResult run_aggregate_streaming(const finance::Portfolio& portfolio,
+                                        const std::string& chunked_yelt_path,
+                                        const EngineConfig& config = {});
+
+}  // namespace riskan::core

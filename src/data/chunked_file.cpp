@@ -1,0 +1,78 @@
+#include "data/chunked_file.hpp"
+
+#include "util/require.hpp"
+
+namespace riskan::data {
+
+namespace {
+constexpr std::uint32_t kChunkMagic = 0x43484B31;  // "CHK1"
+}
+
+ChunkedFileWriter::ChunkedFileWriter(std::string path) : path_(std::move(path)) {}
+
+std::size_t ChunkedFileWriter::append(std::span<const std::byte> chunk) {
+  RISKAN_REQUIRE(!finished_, "append after finish");
+  body_.insert(body_.end(), chunk.begin(), chunk.end());
+  sizes_.push_back(chunk.size());
+  return sizes_.size() - 1;
+}
+
+void ChunkedFileWriter::finish() {
+  RISKAN_REQUIRE(!finished_, "double finish");
+  finished_ = true;
+
+  ByteWriter footer;
+  const std::uint64_t dir_offset = body_.size();
+  footer.u64(sizes_.size());
+  for (const auto size : sizes_) {
+    footer.u64(size);
+  }
+  footer.u32(kChunkMagic);
+  footer.u64(dir_offset);
+
+  std::vector<std::byte> file = std::move(body_);
+  file.insert(file.end(), footer.buffer().begin(), footer.buffer().end());
+  write_file(path_, file);
+}
+
+ChunkedFileWriter::~ChunkedFileWriter() {
+  if (!finished_) {
+    // Best effort: never leave a truncated container behind silently.
+    try {
+      finish();
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — destructor must not throw
+    }
+  }
+}
+
+ChunkedFileReader::ChunkedFileReader(const std::string& path) : data_(read_file(path)) {
+  RISKAN_REQUIRE(data_.size() >= sizeof(std::uint32_t) + sizeof(std::uint64_t),
+                 "chunked file too small: " + path);
+
+  // Footer: last 12 bytes are magic + directory offset.
+  ByteReader tail(std::span<const std::byte>(data_).subspan(data_.size() - 12));
+  const auto magic = tail.u32();
+  RISKAN_REQUIRE(magic == kChunkMagic, "bad chunked-file magic: " + path);
+  const auto dir_offset = tail.u64();
+  RISKAN_REQUIRE(dir_offset <= data_.size() - 12, "corrupt directory offset: " + path);
+
+  ByteReader dir(std::span<const std::byte>(data_).subspan(dir_offset));
+  const auto count = dir.u64();
+  offsets_.reserve(count);
+  sizes_.reserve(count);
+  std::uint64_t offset = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto size = dir.u64();
+    offsets_.push_back(offset);
+    sizes_.push_back(size);
+    offset += size;
+  }
+  RISKAN_ENSURE(offset == dir_offset, "chunk sizes do not cover body: " + path);
+}
+
+std::span<const std::byte> ChunkedFileReader::chunk(std::size_t i) const {
+  RISKAN_REQUIRE(i < offsets_.size(), "chunk index out of range");
+  return std::span<const std::byte>(data_).subspan(offsets_[i], sizes_[i]);
+}
+
+}  // namespace riskan::data

@@ -1,0 +1,63 @@
+// Chunked container file — the on-disk unit of the "large distributed file
+// space" approach.
+//
+// A ChunkedFile holds N independently readable chunks (byte blobs) behind a
+// footer directory. The MapReduce layer stores YELT splits as chunks and
+// hands each to a mapper; streamed stage boundaries write chunks
+// sequentially. Layout:
+//
+//   [chunk 0 bytes][chunk 1 bytes]...[directory][footer: magic, dir offset]
+//
+// The directory is at the end so chunks can be appended in one pass without
+// knowing their count in advance — the write pattern of a simulation that
+// spills as it goes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace riskan::data {
+
+class ChunkedFileWriter {
+ public:
+  explicit ChunkedFileWriter(std::string path);
+
+  /// Appends one chunk; returns its index.
+  std::size_t append(std::span<const std::byte> chunk);
+
+  /// Writes directory + footer and closes. No further appends.
+  void finish();
+
+  ~ChunkedFileWriter();
+
+  std::size_t chunks_written() const noexcept { return sizes_.size(); }
+
+ private:
+  std::string path_;
+  std::vector<std::byte> body_;
+  std::vector<std::uint64_t> sizes_;
+  bool finished_ = false;
+};
+
+class ChunkedFileReader {
+ public:
+  explicit ChunkedFileReader(const std::string& path);
+
+  std::size_t chunk_count() const noexcept { return offsets_.size(); }
+
+  /// Zero-copy view of chunk i (valid while the reader lives).
+  std::span<const std::byte> chunk(std::size_t i) const;
+
+  std::size_t total_bytes() const noexcept { return data_.size(); }
+
+ private:
+  std::vector<std::byte> data_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint64_t> sizes_;
+};
+
+}  // namespace riskan::data

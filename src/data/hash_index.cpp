@@ -1,0 +1,63 @@
+#include "data/hash_index.hpp"
+
+namespace riskan::data {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+HashIndex::HashIndex(std::size_t expected) {
+  slots_.resize(round_up_pow2(expected * 2));
+}
+
+void HashIndex::insert(std::uint64_t key, std::uint64_t value) {
+  RISKAN_REQUIRE(key != kEmpty, "key collides with empty sentinel");
+  if ((size_ + 1) * 10 > slots_.size() * 7) {
+    grow();
+  }
+  std::size_t slot = slot_for(key);
+  for (;;) {
+    if (slots_[slot].key == kEmpty) {
+      slots_[slot] = Slot{key, value};
+      ++size_;
+      return;
+    }
+    RISKAN_REQUIRE(slots_[slot].key != key, "duplicate key in hash index");
+    slot = (slot + 1) & (slots_.size() - 1);
+  }
+}
+
+std::optional<std::uint64_t> HashIndex::find(std::uint64_t key) const noexcept {
+  std::size_t slot = slot_for(key);
+  for (;;) {
+    ++probes_;
+    if (slots_[slot].key == key) {
+      return slots_[slot].value;
+    }
+    if (slots_[slot].key == kEmpty) {
+      return std::nullopt;
+    }
+    slot = (slot + 1) & (slots_.size() - 1);
+  }
+}
+
+void HashIndex::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  size_ = 0;
+  for (const auto& slot : old) {
+    if (slot.key != kEmpty) {
+      insert(slot.key, slot.value);
+    }
+  }
+}
+
+}  // namespace riskan::data

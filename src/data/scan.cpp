@@ -1,0 +1,53 @@
+#include "data/scan.hpp"
+
+#include "util/require.hpp"
+
+namespace riskan::data {
+
+std::vector<Money> build_dense_loss_lut(const EventLossTable& elt, EventId catalog_events) {
+  RISKAN_REQUIRE(elt.empty() || elt.event_ids().back() < catalog_events,
+                 "catalogue size smaller than ELT's largest event id");
+  std::vector<Money> lut(catalog_events, 0.0);
+  const auto ids = elt.event_ids();
+  const auto means = elt.mean_loss();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    lut[ids[i]] = means[i];
+  }
+  return lut;
+}
+
+std::vector<Money> scan_aggregate_dense(const YearEventLossTable& yelt,
+                                        std::span<const Money> loss_lut) {
+  std::vector<Money> per_trial(yelt.trials(), 0.0);
+  const auto offsets = yelt.offsets();
+  const auto events = yelt.events();
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    Money sum = 0.0;
+    for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+      sum += loss_lut[events[i]];
+    }
+    per_trial[t] = sum;
+  }
+  return per_trial;
+}
+
+std::vector<Money> scan_aggregate_sorted(const YearEventLossTable& yelt,
+                                         const EventLossTable& elt) {
+  std::vector<Money> per_trial(yelt.trials(), 0.0);
+  const auto offsets = yelt.offsets();
+  const auto events = yelt.events();
+  const auto means = elt.mean_loss();
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    Money sum = 0.0;
+    for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+      const auto idx = elt.find(events[i]);
+      if (idx != EventLossTable::npos) {
+        sum += means[idx];
+      }
+    }
+    per_trial[t] = sum;
+  }
+  return per_trial;
+}
+
+}  // namespace riskan::data

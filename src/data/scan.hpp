@@ -1,0 +1,34 @@
+// Columnar scan kernels — the "scan, don't seek" side of experiment E5.
+//
+// Same query as the Volcano baseline (per-trial sum of ELT mean losses over
+// YELT occurrences), executed the way the paper prescribes: stream the
+// columnar YELT start-to-finish and resolve event losses against an
+// in-memory lookup. Two lookup variants bracket the design space:
+//
+//   * dense  — O(1) array indexed by event id (the in-memory accumulation
+//              approach; needs catalogue-sized memory per contract);
+//   * sorted — binary search of the compact sorted ELT (what the aggregate
+//              engines use; memory proportional to the contract footprint).
+#pragma once
+
+#include <vector>
+
+#include "data/elt.hpp"
+#include "data/yelt.hpp"
+#include "util/types.hpp"
+
+namespace riskan::data {
+
+/// Dense event-id -> mean-loss lookup built from an ELT. Events absent from
+/// the ELT map to 0 loss.
+std::vector<Money> build_dense_loss_lut(const EventLossTable& elt, EventId catalog_events);
+
+/// Per-trial loss sums via columnar scan + dense LUT.
+std::vector<Money> scan_aggregate_dense(const YearEventLossTable& yelt,
+                                        std::span<const Money> loss_lut);
+
+/// Per-trial loss sums via columnar scan + binary search into the ELT.
+std::vector<Money> scan_aggregate_sorted(const YearEventLossTable& yelt,
+                                         const EventLossTable& elt);
+
+}  // namespace riskan::data

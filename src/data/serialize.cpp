@@ -1,0 +1,166 @@
+#include "data/serialize.hpp"
+
+#include "util/require.hpp"
+
+namespace riskan::data {
+
+namespace {
+
+constexpr std::uint32_t kEltMagic = 0x454C5431;   // "ELT1"
+constexpr std::uint32_t kYeltMagic = 0x59454C31;  // "YEL1"
+constexpr std::uint32_t kYltMagic = 0x594C5431;   // "YLT1"
+constexpr std::uint32_t kVersion = 1;
+
+void check_header(ByteReader& reader, std::uint32_t magic, const char* what) {
+  RISKAN_REQUIRE(reader.u32() == magic, std::string("bad magic for ") + what);
+  RISKAN_REQUIRE(reader.u32() == kVersion, std::string("unsupported version for ") + what);
+}
+
+}  // namespace
+
+void encode(const EventLossTable& table, ByteWriter& writer) {
+  writer.u32(kEltMagic);
+  writer.u32(kVersion);
+  writer.u64(table.size());
+  for (const auto id : table.event_ids()) {
+    writer.u32(id);
+  }
+  for (const auto v : table.mean_loss()) {
+    writer.f64(v);
+  }
+  for (const auto v : table.sigma_loss()) {
+    writer.f64(v);
+  }
+  for (const auto v : table.exposure()) {
+    writer.f64(v);
+  }
+}
+
+EventLossTable decode_elt(ByteReader& reader) {
+  check_header(reader, kEltMagic, "ELT");
+  const auto n = reader.u64();
+  std::vector<EltRow> rows(n);
+  for (auto& row : rows) {
+    row.event_id = reader.u32();
+  }
+  for (auto& row : rows) {
+    row.mean_loss = reader.f64();
+  }
+  for (auto& row : rows) {
+    row.sigma_loss = reader.f64();
+  }
+  for (auto& row : rows) {
+    row.exposure = reader.f64();
+  }
+  return EventLossTable::from_rows(std::move(rows));
+}
+
+void encode(const YearEventLossTable& table, ByteWriter& writer) {
+  writer.u32(kYeltMagic);
+  writer.u32(kVersion);
+  writer.u64(table.trials());
+  writer.u64(table.entries());
+  for (const auto off : table.offsets()) {
+    writer.u64(off);
+  }
+  for (const auto e : table.events()) {
+    writer.u32(e);
+  }
+  for (const auto d : table.days()) {
+    writer.u32(d);  // widened for alignment simplicity
+  }
+}
+
+YearEventLossTable decode_yelt(ByteReader& reader) {
+  check_header(reader, kYeltMagic, "YELT");
+  const auto trials = reader.u64();
+  const auto entries = reader.u64();
+
+  std::vector<std::uint64_t> offsets(trials + 1);
+  for (auto& off : offsets) {
+    off = reader.u64();
+  }
+  std::vector<EventId> events(entries);
+  for (auto& e : events) {
+    e = reader.u32();
+  }
+  std::vector<std::uint16_t> days(entries);
+  for (auto& d : days) {
+    d = static_cast<std::uint16_t>(reader.u32());
+  }
+
+  YearEventLossTable::Builder builder(static_cast<TrialId>(trials));
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    builder.begin_trial();
+    for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+      builder.add(events[i], days[i]);
+    }
+  }
+  auto table = builder.finish();
+  RISKAN_ENSURE(table.entries() == entries, "YELT decode entry-count mismatch");
+  return table;
+}
+
+void encode(const YearLossTable& table, ByteWriter& writer) {
+  writer.u32(kYltMagic);
+  writer.u32(kVersion);
+  writer.str(table.label());
+  writer.u64(table.trials());
+  for (const auto loss : table.losses()) {
+    writer.f64(loss);
+  }
+}
+
+YearLossTable decode_ylt(ByteReader& reader) {
+  check_header(reader, kYltMagic, "YLT");
+  auto label = reader.str();
+  const auto trials = reader.u64();
+  std::vector<Money> losses(trials);
+  for (auto& loss : losses) {
+    loss = reader.f64();
+  }
+  return YearLossTable(std::move(losses), std::move(label));
+}
+
+namespace {
+
+template <typename Table>
+void save_impl(const Table& table, const std::string& path) {
+  ByteWriter writer;
+  encode(table, writer);
+  write_file(path, writer.buffer());
+}
+
+}  // namespace
+
+void save_elt(const EventLossTable& table, const std::string& path) {
+  save_impl(table, path);
+}
+
+EventLossTable load_elt(const std::string& path) {
+  const auto data = read_file(path);
+  ByteReader reader(data);
+  return decode_elt(reader);
+}
+
+void save_yelt(const YearEventLossTable& table, const std::string& path) {
+  save_impl(table, path);
+}
+
+YearEventLossTable load_yelt(const std::string& path) {
+  const auto data = read_file(path);
+  ByteReader reader(data);
+  return decode_yelt(reader);
+}
+
+void save_ylt(const YearLossTable& table, const std::string& path) {
+  save_impl(table, path);
+}
+
+YearLossTable load_ylt(const std::string& path) {
+  const auto data = read_file(path);
+  ByteReader reader(data);
+  return decode_ylt(reader);
+}
+
+}  // namespace riskan::data

@@ -1,0 +1,38 @@
+// Binary serialization for the pipeline tables.
+//
+// Simple tagged little-endian format (magic + version + columns). Stage
+// boundaries in a production deployment are files: stage 1 emits ELT files,
+// stage 2 reads ELT+YELT files and writes YLT files, the MapReduce backend
+// splits YELT files into DFS blocks. Tests round-trip every table type.
+#pragma once
+
+#include <string>
+
+#include "data/elt.hpp"
+#include "data/yelt.hpp"
+#include "data/ylt.hpp"
+#include "util/bytes.hpp"
+
+namespace riskan::data {
+
+// In-memory encode/decode.
+void encode(const EventLossTable& table, ByteWriter& writer);
+EventLossTable decode_elt(ByteReader& reader);
+
+void encode(const YearEventLossTable& table, ByteWriter& writer);
+YearEventLossTable decode_yelt(ByteReader& reader);
+
+void encode(const YearLossTable& table, ByteWriter& writer);
+YearLossTable decode_ylt(ByteReader& reader);
+
+// File convenience wrappers.
+void save_elt(const EventLossTable& table, const std::string& path);
+EventLossTable load_elt(const std::string& path);
+
+void save_yelt(const YearEventLossTable& table, const std::string& path);
+YearEventLossTable load_yelt(const std::string& path);
+
+void save_ylt(const YearLossTable& table, const std::string& path);
+YearLossTable load_ylt(const std::string& path);
+
+}  // namespace riskan::data

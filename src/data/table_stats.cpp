@@ -1,0 +1,94 @@
+#include "data/table_stats.hpp"
+
+#include "data/yellt.hpp"
+#include "util/require.hpp"
+#include "util/types.hpp"
+
+namespace riskan::data {
+
+PipelineSizing PipelineSizing::paper_example() {
+  return PipelineSizing{};  // defaults are the paper's numbers
+}
+
+PipelineSizing PipelineSizing::scaled_down() {
+  PipelineSizing s;
+  s.contracts = 20;
+  s.events = 1'000;
+  s.locations = 10;
+  s.trials = 500;
+  s.elt_hit_ratio = 0.10;
+  s.events_per_trial_year = 10.0;
+  return s;
+}
+
+VolumeModel::VolumeModel(PipelineSizing sizing) : sizing_(sizing) {
+  RISKAN_REQUIRE(sizing_.elt_hit_ratio > 0.0 && sizing_.elt_hit_ratio <= 1.0,
+                 "ELT hit ratio must lie in (0,1]");
+  RISKAN_REQUIRE(sizing_.contracts > 0 && sizing_.events > 0 && sizing_.locations > 0 &&
+                     sizing_.trials > 0,
+                 "all sizing axes must be positive");
+}
+
+double VolumeModel::yellt_entries() const {
+  return YelltStream::entries_for_sizing(sizing_.contracts, sizing_.events, sizing_.locations,
+                                         sizing_.trials);
+}
+
+double VolumeModel::yelt_entries() const {
+  return sizing_.contracts * sizing_.events * sizing_.trials;
+}
+
+double VolumeModel::ylt_entries() const {
+  return sizing_.contracts * sizing_.trials;
+}
+
+double VolumeModel::elt_entries_per_contract() const {
+  return sizing_.events * sizing_.elt_hit_ratio;
+}
+
+double VolumeModel::elt_entries_total() const {
+  return elt_entries_per_contract() * sizing_.contracts;
+}
+
+double VolumeModel::yellt_bytes() const {
+  return yellt_entries() * static_cast<double>(kYelltRecordBytes);
+}
+
+double VolumeModel::yelt_bytes() const {
+  // Packed occurrence record: event id + day + loss.
+  return yelt_entries() * (sizeof(EventId) + sizeof(std::uint16_t) + sizeof(Money));
+}
+
+double VolumeModel::ylt_bytes() const {
+  return ylt_entries() * sizeof(Money);
+}
+
+double VolumeModel::elt_bytes_total() const {
+  return elt_entries_total() * (sizeof(EventId) + 3 * sizeof(Money));
+}
+
+double VolumeModel::yellt_over_yelt() const {
+  return yellt_entries() / yelt_entries();
+}
+
+double VolumeModel::yelt_over_ylt_dense() const {
+  return yelt_entries() / ylt_entries();
+}
+
+double VolumeModel::yelt_over_ylt_footprint() const {
+  return elt_entries_per_contract();
+}
+
+std::vector<VolumeRow> VolumeModel::rows() const {
+  return {
+      {"ELT (all contracts)", elt_entries_total(), elt_bytes_total(),
+       "stage-1 output: per-contract event losses"},
+      {"YELT (dense view)", yelt_entries(), yelt_bytes(),
+       "stage-2: per-contract event-loss per trial"},
+      {"YELLT", yellt_entries(), yellt_bytes(),
+       "stage-2 full resolution (streamed only, never stored)"},
+      {"YLT", ylt_entries(), ylt_bytes(), "stage-2 output: per-trial net loss"},
+  };
+}
+
+}  // namespace riskan::data

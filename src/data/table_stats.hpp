@@ -1,0 +1,102 @@
+// Pipeline sizing arithmetic — experiment E1.
+//
+// Encodes the paper's head-line data-volume claims as checkable functions:
+//   * the worked example (10k contracts x 100k events x 1k locations x
+//     50k trials) yields a YELLT of "over 5x10^16 entries";
+//   * "The YELT is generally 1000 times smaller than the YELLT and 1000
+//     times bigger than the YLT."
+// bench_e1_data_volumes prints the full stage-by-stage volume table for the
+// paper's sizing and for a scaled-down instance that is actually
+// materialised and measured, validating the scaling laws empirically.
+//
+// Two models are provided:
+//   * VolumeModel — the paper's *dense-axis* arithmetic (an entry per
+//     contract x event x location x trial combination). Reproduces the
+//     5x10^16 figure exactly; the YELLT/YELT ratio is the location axis
+//     (1,000 in the example, matching "1000 times smaller"), the YELT/YLT
+//     ratio is the per-contract loss-causing event axis ("generally 1000"
+//     for a typical ~1k-event contract footprint).
+//   * The physical tables we actually build are occurrence-sparse (a trial
+//     holds only the events that occur); the E1 bench materialises those at
+//     scaled_down() size and reports measured entries/bytes next to the
+//     analytic rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace riskan::data {
+
+/// The axes of the paper's sizing example.
+struct PipelineSizing {
+  double contracts = 10'000;
+  double events = 100'000;
+  double locations = 1'000;
+  double trials = 50'000;
+  /// Fraction of the catalogue that causes loss to any one contract
+  /// (the contract's ELT footprint). 1% of 100k events = the ~1k-event
+  /// footprint behind the paper's "generally 1000x" YELT/YLT ratio.
+  double elt_hit_ratio = 0.01;
+  /// Mean event occurrences per trial year in the physical (sparse) YELT.
+  double events_per_trial_year = 10.0;
+
+  /// The paper's worked example, verbatim.
+  static PipelineSizing paper_example();
+
+  /// A laptop-scale instance: each axis shrunk so the YELLT fits in memory,
+  /// used for empirical validation of the analytic laws.
+  static PipelineSizing scaled_down();
+};
+
+/// Entry counts and packed byte sizes per pipeline table.
+struct VolumeRow {
+  std::string table;
+  double entries = 0.0;
+  double bytes = 0.0;
+  std::string role;
+};
+
+/// Analytic dense-axis volume model (the paper's arithmetic).
+class VolumeModel {
+ public:
+  explicit VolumeModel(PipelineSizing sizing);
+
+  /// contracts x events x locations x trials — the 5x10^16 figure.
+  double yellt_entries() const;
+
+  /// Location axis collapsed: contracts x events x trials.
+  double yelt_entries() const;
+
+  /// One entry per (contract, trial).
+  double ylt_entries() const;
+
+  /// Per-contract ELT rows: events x hit ratio.
+  double elt_entries_per_contract() const;
+  double elt_entries_total() const;
+
+  double yellt_bytes() const;
+  double yelt_bytes() const;
+  double ylt_bytes() const;
+  double elt_bytes_total() const;
+
+  /// YELLT/YELT entry ratio == location axis (paper: "1000 times smaller").
+  double yellt_over_yelt() const;
+
+  /// YELT/YLT entry ratio == event axis. For the worked example this is
+  /// 10^5 on the raw catalogue; restricted to a contract's loss-causing
+  /// footprint (hit ratio) it is ~10^3 — the paper's "generally 1000 times
+  /// bigger". Both are reported.
+  double yelt_over_ylt_dense() const;
+  double yelt_over_ylt_footprint() const;
+
+  /// Stage-by-stage table for reports.
+  std::vector<VolumeRow> rows() const;
+
+  const PipelineSizing& sizing() const { return sizing_; }
+
+ private:
+  PipelineSizing sizing_;
+};
+
+}  // namespace riskan::data

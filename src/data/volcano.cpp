@@ -1,0 +1,104 @@
+#include "data/volcano.hpp"
+
+#include "util/require.hpp"
+
+namespace riskan::data {
+
+RowYelt::RowYelt(const YearEventLossTable& yelt) {
+  rows_.reserve(yelt.entries());
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    const auto events = yelt.trial_events(t);
+    const auto days = yelt.trial_days(t);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      rows_.push_back(Row{static_cast<double>(t), static_cast<double>(events[i]),
+                          static_cast<double>(days[i])});
+    }
+  }
+}
+
+RowElt::RowElt(const EventLossTable& elt) : index_(elt.size()) {
+  rows_.reserve(elt.size());
+  for (std::size_t i = 0; i < elt.size(); ++i) {
+    const auto row = elt.row(i);
+    rows_.push_back(Row{static_cast<double>(row.event_id), row.mean_loss, row.sigma_loss,
+                        row.exposure});
+    index_.insert(row.event_id, i);
+  }
+}
+
+bool YeltScanOp::next(Tuple& out) {
+  if (cursor_ >= table_.rows().size()) {
+    return false;
+  }
+  const auto& row = table_.rows()[cursor_++];
+  out.assign({row.trial, row.event, row.day});
+  return true;
+}
+
+bool IndexJoinOp::next(Tuple& out) {
+  Tuple in;
+  while (child_->next(in)) {
+    RISKAN_ASSERT(event_col_ < in.size(), "join column out of range");
+    const auto event = static_cast<std::uint64_t>(in[event_col_]);
+    const auto hit = elt_.index().find(event);
+    if (!hit) {
+      continue;
+    }
+    const auto& elt_row = elt_.rows()[*hit];
+    out.assign({in[0], elt_row.mean_loss});
+    return true;
+  }
+  return false;
+}
+
+bool FilterOp::next(Tuple& out) {
+  while (child_->next(out)) {
+    if (pred_(out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HashAggOp::open() {
+  child_->open();
+  groups_.clear();
+  Tuple in;
+  while (child_->next(in)) {
+    RISKAN_ASSERT(key_col_ < in.size() && value_col_ < in.size(),
+                  "aggregate column out of range");
+    groups_[static_cast<std::uint64_t>(in[key_col_])] += in[value_col_];
+  }
+  it_ = groups_.cbegin();
+  opened_ = true;
+}
+
+bool HashAggOp::next(Tuple& out) {
+  RISKAN_REQUIRE(opened_, "HashAggOp::next before open");
+  if (it_ == groups_.cend()) {
+    return false;
+  }
+  out.assign({static_cast<double>(it_->first), it_->second});
+  ++it_;
+  return true;
+}
+
+void HashAggOp::close() {
+  child_->close();
+  groups_.clear();
+  opened_ = false;
+}
+
+std::unordered_map<std::uint64_t, double> run_group_query(Operator& root) {
+  std::unordered_map<std::uint64_t, double> result;
+  root.open();
+  Tuple row;
+  while (root.next(row)) {
+    RISKAN_REQUIRE(row.size() >= 2, "group query expects (key, value) tuples");
+    result[static_cast<std::uint64_t>(row[0])] = row[1];
+  }
+  root.close();
+  return result;
+}
+
+}  // namespace riskan::data

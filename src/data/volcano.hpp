@@ -1,0 +1,155 @@
+// A miniature row-oriented relational execution engine ("Volcano" iterator
+// model) — the traditional-database baseline of experiment E5.
+//
+// The paper's thesis: "Traditional database management techniques do not fit
+// the requirements of this stage as data needs to be scanned over rather
+// than randomly access data." To make that claim testable rather than
+// rhetorical, we implement the way a row-store RDBMS would actually execute
+// the stage-2 aggregation query
+//
+//   SELECT trial, SUM(elt.mean_loss)
+//   FROM yelt JOIN elt ON yelt.event = elt.event
+//   GROUP BY trial;
+//
+// i.e. tuple-at-a-time iterators with virtual dispatch, row-major storage,
+// an index-nested-loop join probing a hash index per row, and a hash
+// aggregate. Each piece is implemented competently — the baseline loses on
+// architecture (random access, per-row overheads), not on sloppiness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/elt.hpp"
+#include "data/hash_index.hpp"
+#include "data/yelt.hpp"
+#include "util/types.hpp"
+
+namespace riskan::data {
+
+/// A row: fixed small vector of numeric fields (doubles carry ids exactly
+/// up to 2^53; event/trial ids are far below that).
+using Tuple = std::vector<double>;
+
+/// Volcano operator interface: open / next / close with virtual dispatch,
+/// exactly the per-row overhead profile of a classic row store.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual void open() = 0;
+  /// Produces the next tuple; returns false at end of stream.
+  virtual bool next(Tuple& out) = 0;
+  virtual void close() = 0;
+};
+
+/// Row-major materialisation of a YELT: one (trial, event, day) row per
+/// occurrence — how the table would live in a heap file.
+class RowYelt {
+ public:
+  explicit RowYelt(const YearEventLossTable& yelt);
+
+  struct Row {
+    double trial;
+    double event;
+    double day;
+  };
+
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+  std::size_t byte_size() const noexcept { return rows_.size() * sizeof(Row); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Row-major ELT heap file plus a hash index on event_id.
+class RowElt {
+ public:
+  explicit RowElt(const EventLossTable& elt);
+
+  struct Row {
+    double event;
+    double mean_loss;
+    double sigma_loss;
+    double exposure;
+  };
+
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+  const HashIndex& index() const noexcept { return index_; }
+  std::size_t byte_size() const noexcept { return rows_.size() * sizeof(Row); }
+
+ private:
+  std::vector<Row> rows_;
+  HashIndex index_;
+};
+
+/// Sequential scan over the YELT heap file.
+class YeltScanOp final : public Operator {
+ public:
+  explicit YeltScanOp(const RowYelt& table) : table_(table) {}
+  void open() override { cursor_ = 0; }
+  bool next(Tuple& out) override;
+  void close() override {}
+
+ private:
+  const RowYelt& table_;
+  std::size_t cursor_ = 0;
+};
+
+/// Index nested-loop join: probes the ELT hash index with the event id of
+/// each input row; emits (trial, mean_loss). Rows whose event misses the
+/// ELT are dropped (no loss to this contract).
+class IndexJoinOp final : public Operator {
+ public:
+  IndexJoinOp(std::unique_ptr<Operator> child, const RowElt& elt, std::size_t event_col = 1)
+      : child_(std::move(child)), elt_(elt), event_col_(event_col) {}
+  void open() override { child_->open(); }
+  bool next(Tuple& out) override;
+  void close() override { child_->close(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const RowElt& elt_;
+  std::size_t event_col_;
+};
+
+/// Predicate filter (used by tests and richer queries).
+class FilterOp final : public Operator {
+ public:
+  using Predicate = bool (*)(const Tuple&);
+  FilterOp(std::unique_ptr<Operator> child, Predicate pred)
+      : child_(std::move(child)), pred_(pred) {}
+  void open() override { child_->open(); }
+  bool next(Tuple& out) override;
+  void close() override { child_->close(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Predicate pred_;
+};
+
+/// Hash aggregation: GROUP BY column `key_col`, SUM column `value_col`.
+/// Pipeline-breaking, as in any row store: drains its child on open().
+class HashAggOp final : public Operator {
+ public:
+  HashAggOp(std::unique_ptr<Operator> child, std::size_t key_col, std::size_t value_col)
+      : child_(std::move(child)), key_col_(key_col), value_col_(value_col) {}
+  void open() override;
+  bool next(Tuple& out) override;
+  void close() override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::size_t key_col_;
+  std::size_t value_col_;
+  std::unordered_map<std::uint64_t, double> groups_;
+  std::unordered_map<std::uint64_t, double>::const_iterator it_;
+  bool opened_ = false;
+};
+
+/// Executes a plan to completion, returning group-by results keyed by
+/// column 0 (the shape of the stage-2 query). Helper for tests/benches.
+std::unordered_map<std::uint64_t, double> run_group_query(Operator& root);
+
+}  // namespace riskan::data

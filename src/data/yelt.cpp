@@ -1,0 +1,121 @@
+#include "data/yelt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace riskan::data {
+
+YearEventLossTable::Builder::Builder(TrialId expected_trials) {
+  offsets_.reserve(expected_trials + 1);
+  offsets_.push_back(0);
+}
+
+void YearEventLossTable::Builder::begin_trial() {
+  if (open_) {
+    offsets_.push_back(events_.size());
+  }
+  open_ = true;
+}
+
+void YearEventLossTable::Builder::add(EventId event, std::uint16_t day) {
+  RISKAN_REQUIRE(open_, "add() before begin_trial()");
+  RISKAN_REQUIRE(day < 365, "day of year out of range");
+  events_.push_back(event);
+  days_.push_back(day);
+}
+
+YearEventLossTable YearEventLossTable::Builder::finish() {
+  if (open_) {
+    offsets_.push_back(events_.size());
+    open_ = false;
+  }
+  YearEventLossTable table;
+  table.offsets_ = std::move(offsets_);
+  table.events_ = std::move(events_);
+  table.days_ = std::move(days_);
+  return table;
+}
+
+std::span<const EventId> YearEventLossTable::trial_events(TrialId t) const {
+  RISKAN_REQUIRE(t < trials(), "trial id out of range");
+  const auto lo = offsets_[t];
+  const auto hi = offsets_[t + 1];
+  return std::span<const EventId>(events_).subspan(lo, hi - lo);
+}
+
+std::span<const std::uint16_t> YearEventLossTable::trial_days(TrialId t) const {
+  RISKAN_REQUIRE(t < trials(), "trial id out of range");
+  const auto lo = offsets_[t];
+  const auto hi = offsets_[t + 1];
+  return std::span<const std::uint16_t>(days_).subspan(lo, hi - lo);
+}
+
+std::size_t YearEventLossTable::trial_size(TrialId t) const {
+  RISKAN_REQUIRE(t < trials(), "trial id out of range");
+  return static_cast<std::size_t>(offsets_[t + 1] - offsets_[t]);
+}
+
+std::size_t YearEventLossTable::byte_size() const noexcept {
+  return offsets_.size() * sizeof(std::uint64_t) + events_.size() * sizeof(EventId) +
+         days_.size() * sizeof(std::uint16_t);
+}
+
+double YearEventLossTable::mean_events_per_trial() const noexcept {
+  const auto t = trials();
+  return t == 0 ? 0.0 : static_cast<double>(entries()) / static_cast<double>(t);
+}
+
+YearEventLossTable generate_yelt(EventId catalog_events, const YeltGenConfig& config) {
+  RISKAN_REQUIRE(catalog_events > 0, "catalogue must contain events");
+  RISKAN_REQUIRE(config.mean_events_per_year > 0.0, "mean events per year must be positive");
+
+  // Per-event relative rate ~ power law over event rank: rate_i ∝ 1/(i+1)^0.7.
+  // Build the cumulative distribution once; each occurrence samples an event
+  // by inverse transform (binary search).
+  std::vector<double> cumulative(catalog_events);
+  double total = 0.0;
+  for (EventId e = 0; e < catalog_events; ++e) {
+    total += 1.0 / std::pow(static_cast<double>(e) + 1.0, 0.7);
+    cumulative[e] = total;
+  }
+  for (auto& c : cumulative) {
+    c /= total;
+  }
+
+  RISKAN_REQUIRE(config.dispersion >= 0.0, "dispersion must be non-negative");
+
+  Xoshiro256ss rng(config.seed);
+  YearEventLossTable::Builder builder(config.trials);
+  std::vector<YeltEntry> year;
+  for (TrialId t = 0; t < config.trials; ++t) {
+    builder.begin_trial();
+    // Gamma-Poisson mixture: rate multiplier with mean 1, variance d.
+    double year_rate = config.mean_events_per_year;
+    if (config.dispersion > 0.0) {
+      const double shape = 1.0 / config.dispersion;
+      year_rate *= sample_gamma(rng, shape) / shape;
+    }
+    const std::uint32_t count = sample_poisson(rng, year_rate);
+    year.clear();
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const double u = to_unit_double(rng());
+      const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+      const auto event = static_cast<EventId>(it - cumulative.begin());
+      const auto day = static_cast<std::uint16_t>(sample_index(rng, 365));
+      year.push_back(YeltEntry{std::min(event, catalog_events - 1), day});
+    }
+    if (config.sort_by_day) {
+      std::stable_sort(year.begin(), year.end(),
+                       [](const YeltEntry& a, const YeltEntry& b) { return a.day < b.day; });
+    }
+    for (const auto& entry : year) {
+      builder.add(entry.event_id, entry.day);
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace riskan::data

@@ -1,0 +1,47 @@
+#include "data/ylt.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace riskan::data {
+
+YearLossTable::YearLossTable(TrialId trials, std::string label)
+    : losses_(trials, 0.0), label_(std::move(label)) {}
+
+YearLossTable::YearLossTable(std::vector<Money> losses, std::string label)
+    : losses_(std::move(losses)), label_(std::move(label)) {}
+
+YearLossTable& YearLossTable::operator+=(const YearLossTable& other) {
+  RISKAN_REQUIRE(trials() == other.trials(),
+                 "YLT trial counts differ; tables come from different simulations");
+  for (std::size_t i = 0; i < losses_.size(); ++i) {
+    losses_[i] += other.losses_[i];
+  }
+  return *this;
+}
+
+YearLossTable& YearLossTable::operator*=(double factor) {
+  for (auto& loss : losses_) {
+    loss *= factor;
+  }
+  return *this;
+}
+
+Money YearLossTable::total() const noexcept {
+  Money sum = 0.0;
+  for (const Money loss : losses_) {
+    sum += loss;
+  }
+  return sum;
+}
+
+Money YearLossTable::mean() const noexcept {
+  return losses_.empty() ? 0.0 : total() / static_cast<double>(losses_.size());
+}
+
+Money YearLossTable::max() const noexcept {
+  return losses_.empty() ? 0.0 : *std::max_element(losses_.begin(), losses_.end());
+}
+
+}  // namespace riskan::data

@@ -1,0 +1,60 @@
+// Year-Loss Table (YLT) — the output of stage 2 and the currency of
+// stage 3 (DFA).
+//
+// One Money per trial: the contract's (or portfolio's) net loss in that
+// alternative realisation of the contractual year. Risk metrics (PML, VaR,
+// TVaR, EP curves — src/core/metrics.hpp) and DFA both consume YLTs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace riskan::data {
+
+class YearLossTable {
+ public:
+  YearLossTable() = default;
+
+  /// Zero-initialised table for `trials` trials.
+  explicit YearLossTable(TrialId trials, std::string label = {});
+
+  /// Adopts an existing loss vector.
+  YearLossTable(std::vector<Money> losses, std::string label = {});
+
+  TrialId trials() const noexcept { return static_cast<TrialId>(losses_.size()); }
+  bool empty() const noexcept { return losses_.empty(); }
+
+  Money& operator[](TrialId t) { return losses_[t]; }
+  Money operator[](TrialId t) const { return losses_[t]; }
+
+  std::span<const Money> losses() const noexcept { return losses_; }
+  std::span<Money> mutable_losses() noexcept { return losses_; }
+
+  const std::string& label() const noexcept { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Trial-wise sum: combining contract YLTs into a portfolio YLT, or risk
+  /// YLTs into an enterprise YLT (stage 3). Trial counts must match — the
+  /// whole point of the pre-simulated YELT is that every contract sees the
+  /// same trials.
+  YearLossTable& operator+=(const YearLossTable& other);
+
+  /// Scales every trial loss (share / participation factors).
+  YearLossTable& operator*=(double factor);
+
+  Money total() const noexcept;
+  Money mean() const noexcept;
+  Money max() const noexcept;
+
+  std::size_t byte_size() const noexcept { return losses_.size() * sizeof(Money); }
+
+ private:
+  std::vector<Money> losses_;
+  std::string label_;
+};
+
+}  // namespace riskan::data

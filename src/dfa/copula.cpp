@@ -1,0 +1,82 @@
+#include "dfa/copula.hpp"
+
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace riskan::dfa {
+
+CorrelationMatrix::CorrelationMatrix(std::size_t n) : n_(n), values_(n * n, 0.0) {
+  RISKAN_REQUIRE(n > 0, "correlation matrix needs dimensions");
+  for (std::size_t i = 0; i < n; ++i) {
+    values_[i * n + i] = 1.0;
+  }
+}
+
+double CorrelationMatrix::at(std::size_t i, std::size_t j) const {
+  RISKAN_REQUIRE(i < n_ && j < n_, "correlation index out of range");
+  return values_[i * n_ + j];
+}
+
+void CorrelationMatrix::set(std::size_t i, std::size_t j, double rho) {
+  RISKAN_REQUIRE(i < n_ && j < n_, "correlation index out of range");
+  RISKAN_REQUIRE(i != j, "diagonal is fixed at 1");
+  RISKAN_REQUIRE(rho > -1.0 && rho < 1.0, "correlation must lie in (-1,1)");
+  values_[i * n_ + j] = rho;
+  values_[j * n_ + i] = rho;
+}
+
+CorrelationMatrix CorrelationMatrix::exchangeable(std::size_t n, double rho) {
+  CorrelationMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      matrix.set(i, j, rho);
+    }
+  }
+  return matrix;
+}
+
+GaussianCopula::GaussianCopula(const CorrelationMatrix& correlation, std::uint64_t seed)
+    : n_(correlation.size()), cholesky_(n_ * n_, 0.0), philox_(seed) {
+  // Cholesky–Banachiewicz.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = correlation.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= cholesky_[i * n_ + k] * cholesky_[j * n_ + k];
+      }
+      if (i == j) {
+        RISKAN_REQUIRE(sum > 1e-12, "correlation matrix is not positive definite");
+        cholesky_[i * n_ + i] = std::sqrt(sum);
+      } else {
+        cholesky_[i * n_ + j] = sum / cholesky_[j * n_ + j];
+      }
+    }
+  }
+}
+
+void GaussianCopula::sample(TrialId trial, std::span<double> out_uniforms) const {
+  RISKAN_REQUIRE(out_uniforms.size() == n_, "output span size must equal dimensions");
+
+  // Independent standard normals for this trial.
+  std::vector<double> z(n_);
+  PhiloxStream stream(philox_, /*hi=*/0xDFA0ull, /*lo=*/trial);
+  for (auto& value : z) {
+    value = sample_standard_normal(stream);
+  }
+
+  // Correlate (x = L z) and map through the normal CDF.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double x = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) {
+      x += cholesky_[i * n_ + k] * z[k];
+    }
+    double u = normal_cdf(x);
+    // Clamp away from the exact endpoints for downstream inverse CDFs.
+    u = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+    out_uniforms[i] = u;
+  }
+}
+
+}  // namespace riskan::dfa

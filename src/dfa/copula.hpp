@@ -1,0 +1,58 @@
+// Gaussian copula — the correlation machinery of DFA.
+//
+// Stage 3 "integrate[s] investment, reserving, interest rate, market cycle,
+// counter-party, and operational risks" with the catastrophe YLT. Risk
+// sources are calibrated marginally; the copula supplies the dependence:
+// draw a correlated standard-normal vector per trial (Cholesky factor of
+// the correlation matrix), map each component to a uniform through the
+// normal CDF, and feed each source its uniform. Counter-based PRNG keyed by
+// trial keeps every backend and replication bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "util/types.hpp"
+
+namespace riskan::dfa {
+
+/// Dense symmetric positive-definite correlation matrix.
+class CorrelationMatrix {
+ public:
+  /// Identity (independent sources).
+  explicit CorrelationMatrix(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  double at(std::size_t i, std::size_t j) const;
+  /// Sets rho(i,j) = rho(j,i); diagonal is fixed at 1.
+  void set(std::size_t i, std::size_t j, double rho);
+
+  /// Uniform off-diagonal correlation.
+  static CorrelationMatrix exchangeable(std::size_t n, double rho);
+
+ private:
+  std::size_t n_;
+  std::vector<double> values_;
+};
+
+class GaussianCopula {
+ public:
+  /// Factorises the matrix; throws ContractViolation when it is not
+  /// positive definite.
+  GaussianCopula(const CorrelationMatrix& correlation, std::uint64_t seed);
+
+  std::size_t dimensions() const noexcept { return n_; }
+
+  /// Correlated uniforms for one trial, deterministic in (seed, trial).
+  void sample(TrialId trial, std::span<double> out_uniforms) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> cholesky_;  // lower triangular, row-major n x n
+  Philox4x32 philox_;
+};
+
+}  // namespace riskan::dfa

@@ -1,0 +1,97 @@
+#include "dfa/dfa_engine.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::dfa {
+
+DfaEngine::DfaEngine(std::vector<std::unique_ptr<RiskSource>> sources, DfaConfig config)
+    : sources_(std::move(sources)), config_(config) {
+  RISKAN_REQUIRE(!sources_.empty(), "DFA needs at least one risk source");
+  for (const auto& source : sources_) {
+    RISKAN_REQUIRE(source != nullptr, "null risk source");
+  }
+}
+
+DfaResult DfaEngine::run(const data::YearLossTable& cat_ylt) const {
+  RISKAN_REQUIRE(!cat_ylt.empty(), "catastrophe YLT is empty");
+  Stopwatch watch;
+
+  const TrialId trials = cat_ylt.trials();
+  const std::size_t dims = sources_.size() + 1;  // cat occupies dimension 0
+
+  const GaussianCopula copula(
+      CorrelationMatrix::exchangeable(dims, config_.correlation), config_.seed);
+
+  DfaResult result;
+  result.enterprise_ylt = data::YearLossTable(trials, "enterprise");
+  result.source_names.reserve(sources_.size());
+  for (const auto& source : sources_) {
+    result.source_names.push_back(source->name());
+  }
+  if (config_.keep_source_ylts) {
+    result.source_ylts.reserve(sources_.size());
+    for (const auto& source : sources_) {
+      result.source_ylts.emplace_back(trials, source->name());
+    }
+  }
+
+  // The cat YLT's copula dimension re-orders which trial is "bad" jointly
+  // with the other sources: we map dimension-0 uniforms to the cat-loss
+  // quantile. Sorting once gives the quantile function.
+  std::vector<Money> cat_sorted(cat_ylt.losses().begin(), cat_ylt.losses().end());
+  std::sort(cat_sorted.begin(), cat_sorted.end());
+  auto cat_quantile = [&cat_sorted](double u) {
+    const double h = u * static_cast<double>(cat_sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(h);
+    if (idx + 1 >= cat_sorted.size()) {
+      return cat_sorted.back();
+    }
+    const double frac = h - static_cast<double>(idx);
+    return cat_sorted[idx] + frac * (cat_sorted[idx + 1] - cat_sorted[idx]);
+  };
+
+  std::vector<double> uniforms(dims);
+  auto enterprise = result.enterprise_ylt.mutable_losses();
+
+  for (TrialId t = 0; t < trials; ++t) {
+    copula.sample(t, uniforms);
+    Money total = cat_quantile(uniforms[0]);
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+      const Money loss = sources_[s]->loss(uniforms[s + 1], t);
+      total += loss;
+      if (config_.keep_source_ylts) {
+        result.source_ylts[s][t] = loss;
+      }
+    }
+    enterprise[t] = total;
+  }
+
+  // Summaries and capital metrics.
+  result.cat_summary = core::summarise(cat_ylt);
+  result.enterprise_summary = core::summarise(result.enterprise_ylt);
+  Money standalone_var_sum = result.cat_summary.var_99_6;
+  if (config_.keep_source_ylts) {
+    result.source_summaries.reserve(sources_.size());
+    for (const auto& ylt : result.source_ylts) {
+      auto summary = core::summarise(ylt);
+      standalone_var_sum += summary.var_99_6;
+      result.source_summaries.push_back(summary);
+    }
+    result.diversification_benefit =
+        standalone_var_sum - result.enterprise_summary.var_99_6;
+  }
+  result.economic_capital =
+      result.enterprise_summary.var_99_6 - result.enterprise_summary.mean_annual_loss;
+
+  result.seconds = watch.seconds();
+  // Each trial logically touches one Money per dimension plus the combined
+  // output — the unit of the paper's "terabytes" arithmetic.
+  result.ylt_bytes_touched =
+      static_cast<std::uint64_t>(trials) * (dims + 1) * sizeof(Money);
+  return result;
+}
+
+}  // namespace riskan::dfa

@@ -1,0 +1,70 @@
+// Multi-year DFA projection — the forward-looking half of Dynamic
+// Financial Analysis (Blum & Dacorogna [6]).
+//
+// The single-year DfaEngine answers "how bad can this year be?"; the
+// projection answers the question DFA was invented for: "does the company
+// survive the next N years?". Each simulated path evolves capital year by
+// year:
+//
+//   capital[y+1] = capital[y]
+//                + premium income (grown by the market cycle)
+//                - expenses
+//                - catastrophe loss   (resampled from the stage-2 YLT)
+//                - other risk losses  (copula-correlated, as in DfaEngine)
+//                + investment return on capital
+//
+// and the outputs are ruin probability (capital < 0 at any year-end),
+// time-to-ruin distribution, and capital-path quantiles — the solvency
+// trajectory a regulator's ORSA asks for.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/ylt.hpp"
+#include "dfa/copula.hpp"
+#include "dfa/risk_sources.hpp"
+
+namespace riskan::dfa {
+
+struct ProjectionConfig {
+  int horizon_years = 5;
+  std::uint32_t paths = 10'000;
+  std::uint64_t seed = 4711;
+  Money initial_capital = 1.0e9;
+  Money annual_premium = 8.0e8;
+  double expense_ratio = 0.30;       ///< of premium
+  double premium_growth = 0.02;      ///< deterministic trend
+  double investment_return = 0.04;   ///< earned on start-of-year capital
+  double correlation = 0.25;         ///< copula off-diagonal, as in DfaEngine
+};
+
+struct ProjectionResult {
+  /// P(capital < 0 at or before year-end y), cumulative, length = horizon.
+  std::vector<double> ruin_probability_by_year;
+  /// Overall ruin probability over the horizon.
+  double ruin_probability = 0.0;
+  /// Capital-path quantiles per year: [year][q] for q in {5%, 50%, 95%}.
+  std::vector<std::array<Money, 3>> capital_quantiles;
+  /// Mean terminal capital over surviving paths.
+  Money mean_terminal_capital = 0.0;
+  double seconds = 0.0;
+};
+
+class MultiYearProjection {
+ public:
+  /// `sources` as in DfaEngine (takes ownership); `cat_ylt` is the stage-2
+  /// portfolio YLT, resampled with replacement per path-year.
+  MultiYearProjection(std::vector<std::unique_ptr<RiskSource>> sources,
+                      ProjectionConfig config);
+
+  ProjectionResult run(const data::YearLossTable& cat_ylt) const;
+
+ private:
+  std::vector<std::unique_ptr<RiskSource>> sources_;
+  ProjectionConfig config_;
+};
+
+}  // namespace riskan::dfa

@@ -1,0 +1,138 @@
+#include "finance/contract.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace riskan::finance {
+
+Contract::Contract(ContractId id, data::EventLossTable elt, std::vector<Layer> layers,
+                   Region region, LineOfBusiness lob, Peril peril)
+    : id_(id),
+      elt_(std::move(elt)),
+      layers_(std::move(layers)),
+      region_(region),
+      lob_(lob),
+      peril_(peril) {
+  RISKAN_REQUIRE(!layers_.empty(), "contract needs at least one layer");
+  for (const auto& layer : layers_) {
+    layer.terms.validate();
+  }
+}
+
+void Portfolio::add(Contract contract) {
+  contracts_.push_back(std::move(contract));
+}
+
+const Contract& Portfolio::contract(std::size_t i) const {
+  RISKAN_REQUIRE(i < contracts_.size(), "contract index out of range");
+  return contracts_[i];
+}
+
+std::size_t Portfolio::layer_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& contract : contracts_) {
+    count += contract.layers().size();
+  }
+  return count;
+}
+
+std::size_t Portfolio::elt_byte_size() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& contract : contracts_) {
+    bytes += contract.elt().byte_size();
+  }
+  return bytes;
+}
+
+Portfolio generate_portfolio(const PortfolioGenConfig& config) {
+  RISKAN_REQUIRE(config.contracts > 0, "portfolio needs contracts");
+  RISKAN_REQUIRE(config.elt_rows > 0, "contracts need ELT rows");
+  RISKAN_REQUIRE(config.elt_rows <= config.catalog_events,
+                 "ELT footprint cannot exceed the catalogue");
+
+  Portfolio portfolio;
+  Xoshiro256ss rng(config.seed);
+
+  for (std::size_t c = 0; c < config.contracts; ++c) {
+    // Sample a distinct event footprint for this contract. For footprints
+    // much smaller than the catalogue, rejection sampling is cheap; for
+    // dense footprints, sweep with a Bernoulli filter.
+    std::vector<EventId> footprint;
+    footprint.reserve(config.elt_rows);
+    if (config.elt_rows * 4 < config.catalog_events) {
+      std::vector<bool> taken(config.catalog_events, false);
+      while (footprint.size() < config.elt_rows) {
+        const auto e = static_cast<EventId>(sample_index(rng, config.catalog_events));
+        if (!taken[e]) {
+          taken[e] = true;
+          footprint.push_back(e);
+        }
+      }
+    } else {
+      const double keep =
+          static_cast<double>(config.elt_rows) / static_cast<double>(config.catalog_events);
+      for (EventId e = 0; e < config.catalog_events && footprint.size() < config.elt_rows;
+           ++e) {
+        if (to_unit_double(rng()) < keep) {
+          footprint.push_back(e);
+        }
+      }
+      // Top up deterministically if the Bernoulli sweep undershot.
+      for (EventId e = 0; e < config.catalog_events && footprint.size() < config.elt_rows;
+           ++e) {
+        if (std::find(footprint.begin(), footprint.end(), e) == footprint.end()) {
+          footprint.push_back(e);
+        }
+      }
+    }
+
+    std::vector<data::EltRow> rows;
+    rows.reserve(footprint.size());
+    Money mean_sum = 0.0;
+    for (const EventId event : footprint) {
+      data::EltRow row;
+      row.event_id = event;
+      row.mean_loss = sample_truncated_pareto(rng, config.severity_alpha, config.severity_lo,
+                                              config.severity_hi);
+      // Coefficient of variation between 0.3 and 1.2 — the secondary
+      // uncertainty spread typical of vulnerability curves.
+      row.sigma_loss = row.mean_loss * sample_uniform(rng, 0.3, 1.2);
+      // Exposure (max loss) a few means above the mean.
+      row.exposure = row.mean_loss * sample_uniform(rng, 3.0, 8.0);
+      mean_sum += row.mean_loss;
+      rows.push_back(row);
+    }
+
+    // Layer terms scaled to the contract's loss scale so layers attach in
+    // the meat of the distribution rather than above it.
+    const Money scale = mean_sum / static_cast<double>(rows.size());
+    std::vector<Layer> layers;
+    for (int l = 0; l < config.layers_per_contract; ++l) {
+      Layer layer;
+      layer.id = static_cast<LayerId>(l);
+      layer.terms.occ_retention = scale * (0.5 + 0.5 * l);
+      layer.terms.occ_limit = scale * (2.0 + 1.0 * l);
+      layer.terms.agg_retention = 0.0;
+      layer.terms.agg_limit = layer.terms.occ_limit * 2.0;
+      layer.terms.share = 1.0;
+      layer.reinstatements.count = 1;
+      layer.reinstatements.premium_rate = 1.0;
+      layer.upfront_premium = scale * 0.25;
+      layers.push_back(layer);
+    }
+
+    const auto region = static_cast<Region>(c % kRegionCount);
+    const auto lob = static_cast<LineOfBusiness>(c % kLobCount);
+    const auto peril = static_cast<Peril>(c % kPerilCount);
+    portfolio.add(Contract(static_cast<ContractId>(c),
+                           data::EventLossTable::from_rows(std::move(rows)),
+                           std::move(layers), region, lob, peril));
+  }
+  return portfolio;
+}
+
+}  // namespace riskan::finance

@@ -1,0 +1,75 @@
+#include "finance/terms.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "util/require.hpp"
+
+namespace riskan::finance {
+
+void LayerTerms::validate() const {
+  RISKAN_REQUIRE(occ_retention >= 0.0, "occurrence retention must be non-negative");
+  RISKAN_REQUIRE(occ_limit > 0.0, "occurrence limit must be positive");
+  RISKAN_REQUIRE(agg_retention >= 0.0, "aggregate retention must be non-negative");
+  RISKAN_REQUIRE(agg_limit > 0.0, "aggregate limit must be positive");
+  RISKAN_REQUIRE(share > 0.0 && share <= 1.0, "share must lie in (0,1]");
+}
+
+LayerTerms LayerTerms::typical() {
+  LayerTerms terms;
+  terms.occ_retention = 40e6;
+  terms.occ_limit = 60e6;
+  terms.agg_retention = 0.0;
+  terms.agg_limit = 120e6;  // one reinstatement of a 60M limit
+  terms.share = 1.0;
+  return terms;
+}
+
+Money apply_occurrence(const LayerTerms& terms, Money ground_up) noexcept {
+  if (terms.retention_kind == RetentionKind::Franchise) {
+    // Franchise: nothing until the trigger, then the full loss (capped).
+    if (ground_up <= terms.occ_retention) {
+      return 0.0;
+    }
+    return std::min(ground_up, terms.occ_limit);
+  }
+  const Money excess = ground_up - terms.occ_retention;
+  if (excess <= 0.0) {
+    return 0.0;
+  }
+  return std::min(excess, terms.occ_limit);
+}
+
+Money apply_aggregate(const LayerTerms& terms, Money annual_sum) noexcept {
+  const Money excess = annual_sum - terms.agg_retention;
+  if (excess <= 0.0) {
+    return 0.0;
+  }
+  return std::min(excess, terms.agg_limit);
+}
+
+Money apply_year(const LayerTerms& terms, std::span<const Money> ground_up_losses) noexcept {
+  Money annual = 0.0;
+  for (const Money gu : ground_up_losses) {
+    annual += apply_occurrence(terms, gu);
+  }
+  return apply_aggregate(terms, annual) * terms.share;
+}
+
+Money Reinstatements::implied_agg_limit(Money occ_limit) const noexcept {
+  return occ_limit * static_cast<double>(count + 1);
+}
+
+Money Reinstatements::premium_due(Money limit_consumed, Money occ_limit,
+                                  Money upfront_premium) const noexcept {
+  if (count <= 0 || occ_limit <= 0.0 || limit_consumed <= 0.0) {
+    return 0.0;
+  }
+  // Only consumption beyond the original limit triggers reinstatement, up
+  // to `count` full limits.
+  const Money reinstated = std::clamp(limit_consumed, Money{0.0},
+                                      occ_limit * static_cast<double>(count));
+  return upfront_premium * premium_rate * (reinstated / occ_limit);
+}
+
+}  // namespace riskan::finance

@@ -1,0 +1,74 @@
+// Reinsurance financial terms applied during aggregate analysis.
+//
+// A catastrophe excess-of-loss layer transforms losses in two passes:
+//   per occurrence : l' = min(max(l - occ_retention, 0), occ_limit)
+//   per year       : y' = min(max(sum l' - agg_retention, 0), agg_limit)
+//   net to layer   : share * y'
+// plus optional reinstatements, which cap the aggregate limit at
+// (1 + reinstatements) * occ_limit and charge pro-rata reinstatement
+// premium as the limit is consumed.
+//
+// These four numbers are the "financial terms" stage 2 applies to every
+// event of every trial; their algebra (monotonicity, translation bounds)
+// is covered by property tests.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace riskan::finance {
+
+/// How the per-occurrence retention operates.
+enum class RetentionKind : std::uint8_t {
+  /// Standard excess: pay the loss above the retention, capped.
+  Deductible = 0,
+  /// Franchise: once the loss clears the retention, pay from the ground up
+  /// (common in industry-loss-warranty-style covers).
+  Franchise = 1,
+};
+
+/// Excess-of-loss layer terms.
+struct LayerTerms {
+  Money occ_retention = 0.0;  ///< per-occurrence deductible (attachment)
+  Money occ_limit = std::numeric_limits<Money>::max();  ///< per-occurrence limit
+  Money agg_retention = 0.0;  ///< annual aggregate deductible
+  Money agg_limit = std::numeric_limits<Money>::max();  ///< annual aggregate limit
+  double share = 1.0;         ///< ceded share in (0, 1]
+  RetentionKind retention_kind = RetentionKind::Deductible;
+
+  /// Validates invariants (non-negative monies, share in (0,1]).
+  void validate() const;
+
+  /// A working catastrophe layer: retention 40M xs attach, 60M limit,
+  /// 1 aggregate reinstatement, 100% share. Used by examples and benches as
+  /// the paper's "typical contract".
+  static LayerTerms typical();
+};
+
+/// Applies per-occurrence terms to one ground-up loss.
+Money apply_occurrence(const LayerTerms& terms, Money ground_up) noexcept;
+
+/// Applies annual aggregate terms to a year's summed occurrence losses.
+Money apply_aggregate(const LayerTerms& terms, Money annual_sum) noexcept;
+
+/// Full-year net: aggregate over occurrence-transformed losses, then share.
+/// Convenience for tests; the engines inline the same algebra.
+Money apply_year(const LayerTerms& terms, std::span<const Money> ground_up_losses) noexcept;
+
+/// Reinstatement schedule for a layer (optional).
+struct Reinstatements {
+  int count = 0;                 ///< number of reinstatements purchased
+  double premium_rate = 0.0;     ///< fraction of upfront premium per full reinstatement
+
+  /// Aggregate limit implied by occurrence limit + reinstatements.
+  Money implied_agg_limit(Money occ_limit) const noexcept;
+
+  /// Reinstatement premium owed for `limit_consumed` of aggregate limit use,
+  /// given the layer's occurrence limit and upfront premium. Pro-rata to
+  /// amount, capped at `count` full reinstatements.
+  Money premium_due(Money limit_consumed, Money occ_limit, Money upfront_premium) const noexcept;
+};
+
+}  // namespace riskan::finance

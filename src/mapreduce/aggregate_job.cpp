@@ -1,0 +1,91 @@
+#include "mapreduce/aggregate_job.hpp"
+
+#include "data/serialize.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::mapreduce {
+
+std::size_t stage_yelt(Dfs& dfs, const data::YearEventLossTable& yelt,
+                       const AggregateJobConfig& config) {
+  RISKAN_REQUIRE(config.trials_per_block > 0, "trials per block must be positive");
+  const TrialId trials = yelt.trials();
+
+  std::vector<std::vector<std::byte>> blocks;
+  for (TrialId lo = 0; lo < trials; lo += config.trials_per_block) {
+    const TrialId hi = std::min<TrialId>(trials, lo + config.trials_per_block);
+    data::YearEventLossTable::Builder builder(hi - lo);
+    for (TrialId t = lo; t < hi; ++t) {
+      builder.begin_trial();
+      const auto events = yelt.trial_events(t);
+      const auto days = yelt.trial_days(t);
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        builder.add(events[i], days[i]);
+      }
+    }
+    const auto slice = builder.finish();
+    ByteWriter writer;
+    data::encode(slice, writer);
+    blocks.push_back(writer.buffer());
+  }
+  dfs.write_chunked(config.dfs_file, blocks);
+  return blocks.size();
+}
+
+AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfolio,
+                                     const data::YearEventLossTable& yelt,
+                                     const AggregateJobConfig& config) {
+  AggregateJobResult result;
+
+  Stopwatch stage_watch;
+  if (!dfs.exists(config.dfs_file)) {
+    stage_yelt(dfs, yelt, config);
+  }
+  result.stage_in_seconds = stage_watch.seconds();
+  result.blocks = dfs.block_count(config.dfs_file);
+  result.dfs_bytes = dfs.physical_bytes();
+
+  const TrialId total_trials = yelt.trials();
+  const TrialId per_block = config.trials_per_block;
+
+  Stopwatch job_watch;
+  MapReduceConfig mr_config;
+  mr_config.reducers = config.reducers;
+  mr_config.pool = config.pool;
+
+  const auto reduced = run_mapreduce<TrialId, Money>(
+      result.blocks,
+      [&](std::size_t split, const std::function<void(const TrialId&, const Money&)>& emit) {
+        // Map task: read the block from the DFS, rebuild the YELT slice,
+        // run the same engine kernel with the block's global trial base.
+        const auto bytes = dfs.read_block(config.dfs_file, split);
+        ByteReader reader(bytes);
+        const auto slice = data::decode_yelt(reader);
+
+        core::EngineConfig engine;
+        engine.backend = core::Backend::Sequential;
+        engine.seed = config.seed;
+        engine.secondary_uncertainty = config.secondary_uncertainty;
+        engine.compute_oep = false;
+        engine.keep_contract_ylts = false;
+        engine.trial_base = static_cast<TrialId>(split) * per_block;
+
+        const auto block_result = core::run_aggregate_analysis(portfolio, slice, engine);
+        const auto losses = block_result.portfolio_ylt.losses();
+        for (TrialId t = 0; t < slice.trials(); ++t) {
+          emit(engine.trial_base + t, losses[t]);
+        }
+      },
+      [](const Money& a, const Money& b) { return a + b; }, mr_config, &result.mr_stats);
+  result.job_seconds = job_watch.seconds();
+
+  data::YearLossTable ylt(total_trials, "portfolio-mapreduce");
+  for (const auto& [trial, loss] : reduced) {
+    RISKAN_REQUIRE(trial < total_trials, "reduced trial id out of range");
+    ylt[trial] = loss;
+  }
+  result.portfolio_ylt = std::move(ylt);
+  return result;
+}
+
+}  // namespace riskan::mapreduce

@@ -1,0 +1,54 @@
+// Aggregate analysis as a MapReduce job over the distributed file space —
+// the paper's alternative stage-2 architecture (experiment E6).
+//
+// The YELT is split into trial-range blocks stored in the DFS; each map
+// task deserialises its block, runs the same aggregate-analysis kernel the
+// in-memory engine uses (sequential backend, trial_base = the block's first
+// global trial, so secondary-uncertainty streams line up), and emits
+// (trial, portfolio loss). The reduce is a per-trial sum — trivially
+// combiner-friendly, which is why this workload MapReduces well. The
+// output YLT is bit-identical to the in-memory engine's (integration tests
+// enforce this).
+#pragma once
+
+#include <cstdint>
+
+#include "core/aggregate_engine.hpp"
+#include "data/yelt.hpp"
+#include "data/ylt.hpp"
+#include "finance/contract.hpp"
+#include "mapreduce/dfs.hpp"
+#include "mapreduce/framework.hpp"
+
+namespace riskan::mapreduce {
+
+struct AggregateJobConfig {
+  /// Trials per DFS block / map split.
+  TrialId trials_per_block = 1'000;
+  std::size_t reducers = 4;
+  std::uint64_t seed = 2012;
+  bool secondary_uncertainty = true;
+  ThreadPool* pool = nullptr;
+  std::string dfs_file = "yelt";
+};
+
+struct AggregateJobResult {
+  data::YearLossTable portfolio_ylt;
+  MapReduceStats mr_stats;
+  std::uint64_t dfs_bytes = 0;
+  std::size_t blocks = 0;
+  double stage_in_seconds = 0.0;  ///< splitting + DFS write
+  double job_seconds = 0.0;       ///< map + shuffle + reduce
+};
+
+/// Stages `yelt` into `dfs` as trial-range blocks.
+/// Returns the number of blocks written.
+std::size_t stage_yelt(Dfs& dfs, const data::YearEventLossTable& yelt,
+                       const AggregateJobConfig& config);
+
+/// Runs the full job: stage-in (if not already staged) + MapReduce.
+AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfolio,
+                                     const data::YearEventLossTable& yelt,
+                                     const AggregateJobConfig& config = {});
+
+}  // namespace riskan::mapreduce

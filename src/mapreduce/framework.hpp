@@ -1,0 +1,128 @@
+// In-process MapReduce runtime — "relying on MapReduce or Hadoop style
+// computations on the cloud" (paper, stage 2), scaled to one node.
+//
+// The full Hadoop dataflow in miniature: map tasks run in parallel over
+// input splits and partition their (key, value) emissions by hash(key) %
+// reducers; the shuffle groups each partition by key; reduce tasks run in
+// parallel over partitions. Byte counters expose the shuffle volume — the
+// quantity that dominates a real cluster run and the reason the paper's
+// stage-2 query (sum per trial) MapReduces so well (combiner-friendly,
+// tiny shuffle).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/require.hpp"
+
+namespace riskan::mapreduce {
+
+struct MapReduceConfig {
+  std::size_t reducers = 4;
+  ThreadPool* pool = nullptr;
+  /// Apply a user combiner inside each map task (pre-shuffle reduction).
+  bool enable_combiner = true;
+};
+
+struct MapReduceStats {
+  std::uint64_t map_emissions = 0;
+  std::uint64_t shuffle_pairs = 0;     ///< pairs crossing the map->reduce edge
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t reduce_groups = 0;
+  double seconds = 0.0;
+};
+
+/// Runs MapReduce over `splits`.
+///
+/// * `map_fn(split_index, emit)` — calls emit(key, value) any number of
+///   times.
+/// * `combine_fn(a, b)` — associative merge of two values for one key
+///   (used per map task when enabled, and as the reducer when values are
+///   scalar-mergeable). For the stage-2 job this is +.
+///
+/// Returns the fully reduced key -> value map. Deterministic: combiner
+/// application order follows emission order within a map task, and map
+/// tasks touch disjoint keys in the aggregate job (keys = trial ids).
+template <typename K, typename V>
+std::map<K, V> run_mapreduce(
+    std::size_t splits,
+    const std::function<void(std::size_t, const std::function<void(const K&, const V&)>&)>&
+        map_fn,
+    const std::function<V(const V&, const V&)>& combine_fn,
+    const MapReduceConfig& config = {}, MapReduceStats* stats = nullptr) {
+  RISKAN_REQUIRE(splits > 0, "MapReduce needs input splits");
+  RISKAN_REQUIRE(config.reducers > 0, "MapReduce needs reducers");
+
+  const std::size_t reducers = config.reducers;
+
+  // Partition buffers: [reducer][...] of (key, value), guarded per reducer.
+  std::vector<std::map<K, V>> partitions(reducers);
+  std::vector<std::mutex> partition_locks(reducers);
+  std::uint64_t emissions = 0;
+  std::uint64_t shuffle_pairs = 0;
+  std::mutex stats_lock;
+
+  parallel_for(
+      0, splits,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t split = lo; split < hi; ++split) {
+          // Per-task local buffers (the map-side combine).
+          std::map<K, V> local;
+          std::uint64_t local_emissions = 0;
+          std::uint64_t local_shuffle = 0;
+          auto route = [&](const K& key, const V& value) {
+            const std::size_t r = std::hash<K>{}(key) % reducers;
+            ++local_shuffle;
+            std::lock_guard lock(partition_locks[r]);
+            auto [it, inserted] = partitions[r].try_emplace(key, value);
+            if (!inserted) {
+              it->second = combine_fn(it->second, value);
+            }
+          };
+          auto emit = [&](const K& key, const V& value) {
+            ++local_emissions;
+            if (config.enable_combiner) {
+              // Map-side combine: merge locally, shuffle once per key.
+              auto [it, inserted] = local.try_emplace(key, value);
+              if (!inserted) {
+                it->second = combine_fn(it->second, value);
+              }
+            } else {
+              // Every emission crosses the shuffle edge.
+              route(key, value);
+            }
+          };
+          map_fn(split, emit);
+          for (const auto& [key, value] : local) {
+            route(key, value);
+          }
+          std::lock_guard lock(stats_lock);
+          emissions += local_emissions;
+          shuffle_pairs += local_shuffle;
+        }
+      },
+      ParallelConfig{config.pool, /*grain=*/1});
+
+  // Reduce: partitions are already key-grouped; merge into the result.
+  std::map<K, V> result;
+  std::uint64_t groups = 0;
+  for (auto& partition : partitions) {
+    groups += partition.size();
+    result.merge(partition);
+  }
+
+  if (stats != nullptr) {
+    stats->map_emissions = emissions;
+    stats->shuffle_pairs = shuffle_pairs;
+    stats->shuffle_bytes = shuffle_pairs * (sizeof(K) + sizeof(V));
+    stats->reduce_groups = groups;
+  }
+  return result;
+}
+
+}  // namespace riskan::mapreduce

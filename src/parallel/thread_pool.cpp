@@ -1,0 +1,70 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace riskan {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace riskan

@@ -1,0 +1,59 @@
+#include "util/alias_table.hpp"
+
+#include <deque>
+
+namespace riskan {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  RISKAN_REQUIRE(!weights.empty(), "alias table needs weights");
+  const std::size_t n = weights.size();
+
+  double total = 0.0;
+  for (const double w : weights) {
+    RISKAN_REQUIRE(w >= 0.0, "alias weights must be non-negative");
+    total += w;
+  }
+  RISKAN_REQUIRE(total > 0.0, "alias weights must not all be zero");
+
+  normalised_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalised_[i] = weights[i] / total;
+    scaled[i] = normalised_[i] * static_cast<double>(n);
+  }
+
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+
+  std::deque<std::size_t> small;
+  std::deque<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.front();
+    small.pop_front();
+    const std::size_t l = large.front();
+    large.pop_front();
+
+    prob_[s] = scaled[s];
+    alias_[s] = static_cast<std::uint32_t>(l);
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1.0 within rounding.
+  for (const std::size_t i : small) {
+    prob_[i] = 1.0;
+  }
+  for (const std::size_t i : large) {
+    prob_[i] = 1.0;
+  }
+}
+
+double AliasTable::probability(std::size_t i) const {
+  RISKAN_REQUIRE(i < normalised_.size(), "alias index out of range");
+  return normalised_[i];
+}
+
+}  // namespace riskan

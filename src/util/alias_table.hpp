@@ -1,0 +1,46 @@
+// Walker alias method — O(1) sampling from an arbitrary discrete
+// distribution.
+//
+// Stage-2 YELT generation draws millions of event occurrences proportional
+// to per-event annual rates over catalogues of 10^5 events; inverse-CDF
+// binary search costs O(log n) per draw, the alias table costs O(1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace riskan {
+
+class AliasTable {
+ public:
+  /// Builds from non-negative weights (at least one positive).
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Samples an index proportional to its weight.
+  template <typename Rng>
+  std::size_t sample(Rng& rng) const {
+    __extension__ using Uint128 = unsigned __int128;
+    const std::uint64_t word = rng();
+    // Top bits pick the column, remaining bits the coin.
+    const std::size_t column =
+        static_cast<std::size_t>((static_cast<Uint128>(word) * prob_.size()) >> 64);
+    const double coin = to_unit_double(rng());
+    return coin < prob_[column] ? column : alias_[column];
+  }
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalised probability of index i (for tests).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> normalised_;
+};
+
+}  // namespace riskan

@@ -1,0 +1,47 @@
+#include "util/bytes.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/require.hpp"
+
+namespace riskan {
+
+std::span<const std::byte> ByteReader::take(std::size_t n) {
+  RISKAN_REQUIRE(pos_ + n <= data_.size(), "byte reader ran past end of buffer");
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  RISKAN_REQUIRE(os.good(), "cannot open file for writing: " + path);
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size()));
+  RISKAN_ENSURE(os.good(), "write failed: " + path);
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  RISKAN_REQUIRE(is.good(), "cannot open file for reading: " + path);
+  const auto size = static_cast<std::size_t>(is.tellg());
+  is.seekg(0);
+  std::vector<std::byte> data(size);
+  is.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
+  RISKAN_ENSURE(is.good() || size == 0, "read failed: " + path);
+  return data;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+void remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace riskan

@@ -1,0 +1,83 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace riskan {
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_count(double count) {
+  if (std::abs(count) >= 1e15) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2e", count);
+    return buf;
+  }
+  // Thousands separators on the integer part.
+  char digits[64];
+  std::snprintf(digits, sizeof(digits), "%.0f", count);
+  std::string raw = digits;
+  std::string out;
+  const bool negative = !raw.empty() && raw[0] == '-';
+  const std::size_t start = negative ? 1 : 0;
+  const std::size_t len = raw.size() - start;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(raw[start + i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"};
+  int unit = 0;
+  double value = bytes;
+  while (std::abs(value) >= 1024.0 && unit < 6) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (seconds < 2.0 * 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f days", seconds / 86400.0);
+  }
+  return buf;
+}
+
+std::string format_rate(double per_second) {
+  static const char* kUnits[] = {"", "K", "M", "G", "T", "P"};
+  int unit = 0;
+  double value = per_second;
+  while (std::abs(value) >= 1000.0 && unit < 5) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s/s", value, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace riskan

@@ -1,0 +1,25 @@
+// Human-readable formatting for benchmark reports: big counts, bytes,
+// durations, rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace riskan {
+
+/// 5.0e16 -> "5.00e16", 12345 -> "12,345" (thousands separators below 1e15).
+std::string format_count(double count);
+
+/// 1536 -> "1.50 KiB", 2.5e12 -> "2.27 TiB".
+std::string format_bytes(double bytes);
+
+/// 0.0123 -> "12.3 ms"; 90 -> "1.5 min".
+std::string format_seconds(double seconds);
+
+/// 1.23e9 -> "1.23 G/s".
+std::string format_rate(double per_second);
+
+/// Fixed-precision helper ("%.*f" without iostream manipulator noise).
+std::string format_fixed(double value, int digits);
+
+}  // namespace riskan

@@ -1,0 +1,101 @@
+#include "util/prng.hpp"
+
+namespace riskan {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm();
+  }
+}
+
+Xoshiro256ss::result_type Xoshiro256ss::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+
+  return result;
+}
+
+void Xoshiro256ss::long_jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                                            0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0;
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  std::uint64_t s3 = 0;
+  for (const std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+namespace {
+
+// Philox multipliers and Weyl constants from Salmon et al. (SC'11).
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;
+
+inline std::uint32_t mulhi32(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::uint32_t>((static_cast<std::uint64_t>(a) * b) >> 32);
+}
+
+inline std::uint32_t mullo32(std::uint32_t a, std::uint32_t b) noexcept {
+  return a * b;
+}
+
+}  // namespace
+
+Philox4x32::Counter Philox4x32::operator()(Counter ctr) const noexcept {
+  Key key = key_;
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t hi0 = mulhi32(kPhiloxM0, ctr[0]);
+    const std::uint32_t lo0 = mullo32(kPhiloxM0, ctr[0]);
+    const std::uint32_t hi1 = mulhi32(kPhiloxM1, ctr[2]);
+    const std::uint32_t lo1 = mullo32(kPhiloxM1, ctr[2]);
+    ctr = Counter{hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    key[0] += kPhiloxW0;
+    key[1] += kPhiloxW1;
+  }
+  return ctr;
+}
+
+std::array<std::uint64_t, 2> Philox4x32::block(std::uint64_t hi, std::uint64_t lo) const noexcept {
+  const Counter out = (*this)(Counter{
+      static_cast<std::uint32_t>(lo),
+      static_cast<std::uint32_t>(lo >> 32),
+      static_cast<std::uint32_t>(hi),
+      static_cast<std::uint32_t>(hi >> 32),
+  });
+  return {static_cast<std::uint64_t>(out[0]) | (static_cast<std::uint64_t>(out[1]) << 32),
+          static_cast<std::uint64_t>(out[2]) | (static_cast<std::uint64_t>(out[3]) << 32)};
+}
+
+}  // namespace riskan

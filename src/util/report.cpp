@@ -1,0 +1,98 @@
+#include "util/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/require.hpp"
+
+namespace riskan {
+
+ReportTable::ReportTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RISKAN_REQUIRE(!headers_.empty(), "report table needs at least one column");
+}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  RISKAN_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        os << cells[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[c];
+      }
+      if (c + 1 < cells.size()) {
+        os << "  ";
+      }
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(ch);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void ReportTable::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  RISKAN_REQUIRE(os.good(), "cannot open CSV output: " + path);
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        os << ',';
+      }
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace riskan

@@ -1,0 +1,40 @@
+// Console table reporting for the experiment harness.
+//
+// Every bench binary in bench/ prints the rows a paper table/figure would
+// carry using ReportTable, and optionally mirrors them to CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace riskan {
+
+/// Column-aligned ASCII table. Left-aligns the first column, right-aligns
+/// the rest (numeric convention).
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== E2: engine speedup ==") used by benches.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace riskan

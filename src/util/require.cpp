@@ -1,0 +1,17 @@
+#include "util/require.hpp"
+
+#include <sstream>
+
+namespace riskan::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: `" << expr << "` at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace riskan::detail

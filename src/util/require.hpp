@@ -1,0 +1,53 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// RISKAN_REQUIRE  - precondition; always checked (cheap, at API boundaries).
+// RISKAN_ENSURE   - postcondition; always checked.
+// RISKAN_ASSERT   - internal invariant; compiled out in NDEBUG hot paths.
+//
+// Violations throw riskan::ContractViolation so tests can assert on them and
+// long-running simulations fail loudly rather than corrupt results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace riskan {
+
+/// Thrown when a RISKAN_REQUIRE / RISKAN_ENSURE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace riskan
+
+#define RISKAN_REQUIRE(cond, msg)                                                       \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      ::riskan::detail::contract_fail("precondition", #cond, __FILE__, __LINE__, msg); \
+    }                                                                                   \
+  } while (false)
+
+#define RISKAN_ENSURE(cond, msg)                                                         \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      ::riskan::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__, msg); \
+    }                                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define RISKAN_ASSERT(cond, msg) ((void)0)
+#else
+#define RISKAN_ASSERT(cond, msg)                                                      \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      ::riskan::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, msg);  \
+    }                                                                                 \
+  } while (false)
+#endif

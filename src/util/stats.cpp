@@ -1,0 +1,220 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace riskan {
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::sample_variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stdev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double quantile(std::span<const double> values, double p) {
+  RISKAN_REQUIRE(!values.empty(), "quantile of empty sample");
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, p);
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  RISKAN_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  RISKAN_REQUIRE(p >= 0.0 && p <= 1.0, "quantile level must lie in [0,1]");
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(h);
+  if (idx + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  const double frac = h - static_cast<double>(idx);
+  return sorted[idx] + frac * (sorted[idx + 1] - sorted[idx]);
+}
+
+double tail_mean_above(std::span<const double> sorted, double p) {
+  RISKAN_REQUIRE(!sorted.empty(), "tail_mean_above of empty sample");
+  const double var = quantile_sorted(sorted, p);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = sorted.rbegin(); it != sorted.rend() && *it > var; ++it) {
+    sum += *it;
+    ++n;
+  }
+  return n == 0 ? var : sum / static_cast<double>(n);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), counts_(bins, 0) {
+  RISKAN_REQUIRE(bins > 0, "histogram needs at least one bin");
+  RISKAN_REQUIRE(hi > lo, "histogram range must be non-empty");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  RISKAN_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  RISKAN_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return bin_lo(i) + width_;
+}
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  RISKAN_REQUIRE(p > 0.0 && p < 1.0, "P2 quantile level must lie in (0,1)");
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * p;
+  desired_[2] = 1.0 + 4.0 * p;
+  desired_[3] = 3.0 + 2.0 * p;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = p / 2.0;
+  increments_[2] = p;
+  increments_[3] = (1.0 + p) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+      }
+    }
+    return;
+  }
+  ++count_;
+
+  int cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) {
+      ++cell;
+    }
+  }
+
+  for (int i = cell + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double np = positions_[i] + sign;
+      const double q =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) * (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - sign) * (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < q && q < heights_[i + 1]) {
+        heights_[i] = q;
+      } else {
+        // Fall back to linear prediction toward the neighbour.
+        const int j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ < 5) {
+    // Exact quantile over the few samples seen so far.
+    double copy[5];
+    std::copy(heights_, heights_ + count_, copy);
+    std::sort(copy, copy + count_);
+    const double h = p_ * static_cast<double>(count_ - 1);
+    const auto idx = static_cast<std::size_t>(h);
+    if (idx + 1 >= count_) {
+      return copy[count_ - 1];
+    }
+    return copy[idx] + (h - static_cast<double>(idx)) * (copy[idx + 1] - copy[idx]);
+  }
+  return heights_[2];
+}
+
+}  // namespace riskan

@@ -1,0 +1,94 @@
+// Online and batch statistics used by metrics, benchmarks, and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace riskan {
+
+/// Welford online accumulator: numerically stable running mean/variance,
+/// mergeable (parallel reductions combine partials with `merge`).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Combines two accumulators (Chan et al. parallel variance update).
+  void merge(const OnlineStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  /// Sample (n-1) variance; 0 for fewer than 2 samples.
+  double sample_variance() const noexcept;
+  double stdev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact empirical quantile with linear interpolation (type-7, the
+/// R/NumPy default). Sorts a copy; O(n log n).
+double quantile(std::span<const double> values, double p);
+
+/// Quantile over data the caller has already sorted ascending; O(1).
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Mean of values strictly above the given threshold quantile — the building
+/// block of TVaR. Returns the quantile itself when no value exceeds it.
+double tail_mean_above(std::span<const double> sorted, double p);
+
+/// Fixed-width histogram for diagnostics and distribution shape tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::uint64_t bin_count(std::size_t i) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// P² (Jain & Chlamtac) streaming quantile estimator: constant memory,
+/// used where YLT-scale streams cannot be buffered (DFA terabyte claim).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void add(double x) noexcept;
+  /// Current estimate; exact until 5 samples have been seen.
+  double value() const noexcept;
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double p_;
+  std::uint64_t count_ = 0;
+  double heights_[5] = {};
+  double positions_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+};
+
+}  // namespace riskan

@@ -1,0 +1,37 @@
+#include "util/types.hpp"
+
+namespace riskan {
+
+const char* to_string(Peril p) noexcept {
+  switch (p) {
+    case Peril::Earthquake: return "earthquake";
+    case Peril::Hurricane: return "hurricane";
+    case Peril::Flood: return "flood";
+    case Peril::Tornado: return "tornado";
+    case Peril::Wildfire: return "wildfire";
+  }
+  return "unknown";
+}
+
+const char* to_string(Region r) noexcept {
+  switch (r) {
+    case Region::NorthAmerica: return "north-america";
+    case Region::Europe: return "europe";
+    case Region::Asia: return "asia";
+    case Region::SouthAmerica: return "south-america";
+    case Region::Oceania: return "oceania";
+  }
+  return "unknown";
+}
+
+const char* to_string(LineOfBusiness lob) noexcept {
+  switch (lob) {
+    case LineOfBusiness::Property: return "property";
+    case LineOfBusiness::Marine: return "marine";
+    case LineOfBusiness::Energy: return "energy";
+    case LineOfBusiness::Casualty: return "casualty";
+  }
+  return "unknown";
+}
+
+}  // namespace riskan

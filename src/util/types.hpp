@@ -1,0 +1,83 @@
+// Core identifier and value types shared across the riskan pipeline.
+//
+// The pipeline (see DESIGN.md) moves data between three stages:
+//   catastrophe modelling  -> Event-Loss Tables (ELT)
+//   aggregate analysis     -> Year-Loss Tables (YLT) from Year-Event-Loss
+//                             Tables (YELT)
+//   dynamic financial analysis -> enterprise views
+// These aliases keep table schemas self-describing and make unit mistakes
+// (trial id vs event id) harder to write.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace riskan {
+
+/// Identifier of a stochastic catastrophe event in an event catalogue.
+using EventId = std::uint32_t;
+
+/// Identifier of a simulation trial (one alternative realisation of a
+/// contractual year in aggregate analysis).
+using TrialId = std::uint32_t;
+
+/// Identifier of an exposure location (site) in an exposure database.
+using LocationId = std::uint32_t;
+
+/// Identifier of a reinsurance contract within a portfolio.
+using ContractId = std::uint32_t;
+
+/// Identifier of a layer within a contract.
+using LayerId = std::uint32_t;
+
+/// Monetary amount. Catastrophe-model losses are conventionally carried as
+/// doubles (values span cents to tens of billions; relative error matters,
+/// absolute cents do not).
+using Money = double;
+
+/// Sentinel for "no event" / "invalid id".
+inline constexpr EventId kInvalidEvent = std::numeric_limits<EventId>::max();
+inline constexpr TrialId kInvalidTrial = std::numeric_limits<TrialId>::max();
+inline constexpr LocationId kInvalidLocation = std::numeric_limits<LocationId>::max();
+
+/// Perils modelled by the synthetic catalogue generator (see src/catmod).
+enum class Peril : std::uint8_t {
+  Earthquake = 0,
+  Hurricane = 1,
+  Flood = 2,
+  Tornado = 3,
+  Wildfire = 4,
+};
+
+inline constexpr int kPerilCount = 5;
+
+/// Human-readable peril name (stable, used in reports and the warehouse).
+const char* to_string(Peril p) noexcept;
+
+/// Geographic region used by the exposure generator and the warehouse
+/// roll-up dimension.
+enum class Region : std::uint8_t {
+  NorthAmerica = 0,
+  Europe = 1,
+  Asia = 2,
+  SouthAmerica = 3,
+  Oceania = 4,
+};
+
+inline constexpr int kRegionCount = 5;
+
+const char* to_string(Region r) noexcept;
+
+/// Line of business for contracts (warehouse dimension).
+enum class LineOfBusiness : std::uint8_t {
+  Property = 0,
+  Marine = 1,
+  Energy = 2,
+  Casualty = 3,
+};
+
+inline constexpr int kLobCount = 4;
+
+const char* to_string(LineOfBusiness lob) noexcept;
+
+}  // namespace riskan

@@ -1,0 +1,143 @@
+#include "warehouse/cube.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "parallel/parallel_for.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::warehouse {
+
+namespace {
+
+int key_of(const std::optional<Peril>& p) {
+  return p ? static_cast<int>(*p) : -1;
+}
+int key_of(const std::optional<Region>& r) {
+  return r ? static_cast<int>(*r) : -1;
+}
+int key_of(const std::optional<LineOfBusiness>& l) {
+  return l ? static_cast<int>(*l) : -1;
+}
+
+}  // namespace
+
+bool CubeQuery::operator<(const CubeQuery& other) const {
+  return std::make_tuple(key_of(peril), key_of(region), key_of(lob)) <
+         std::make_tuple(key_of(other.peril), key_of(other.region), key_of(other.lob));
+}
+
+RiskCube::RiskCube(const finance::Portfolio& portfolio, const core::EngineResult& result,
+                   ThreadPool* pool) {
+  RISKAN_REQUIRE(result.contract_ylts.size() == portfolio.size(),
+                 "cube needs per-contract YLTs (run the engine with keep_contract_ylts)");
+  RISKAN_REQUIRE(!portfolio.empty(), "cube of an empty portfolio");
+  Stopwatch watch;
+
+  const TrialId trials = result.portfolio_ylt.trials();
+  trials_ = trials;
+
+  // Base cells: group contract YLTs by full coordinates.
+  std::map<CubeQuery, CubeCell> base;
+  for (std::size_t c = 0; c < portfolio.size(); ++c) {
+    const auto& contract = portfolio.contract(c);
+    CubeQuery key{contract.peril(), contract.region(), contract.lob()};
+    auto [it, inserted] = base.try_emplace(key);
+    if (inserted) {
+      it->second.ylt = data::YearLossTable(trials, "cell");
+    }
+    it->second.ylt += result.contract_ylts[c];
+    it->second.contracts += 1;
+  }
+  stats_.base_cells = base.size();
+
+  // Every roll-up view: each of the 3 dimensions kept or collapsed.
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool keep_peril = (mask & 1) != 0;
+    const bool keep_region = (mask & 2) != 0;
+    const bool keep_lob = (mask & 4) != 0;
+    ++stats_.rollup_views;
+    for (const auto& [key, cell] : base) {
+      CubeQuery rolled;
+      rolled.peril = keep_peril ? key.peril : std::nullopt;
+      rolled.region = keep_region ? key.region : std::nullopt;
+      rolled.lob = keep_lob ? key.lob : std::nullopt;
+      auto [it, inserted] = cells_.try_emplace(rolled);
+      if (inserted) {
+        it->second.ylt = data::YearLossTable(trials, "rollup");
+      }
+      it->second.ylt += cell.ylt;
+      it->second.contracts += cell.contracts;
+    }
+  }
+  stats_.rollup_cells = cells_.size();
+
+  // Summaries in parallel (each cell sorts its YLT — the expensive part).
+  std::vector<CubeCell*> flat;
+  flat.reserve(cells_.size());
+  for (auto& [key, cell] : cells_) {
+    flat.push_back(&cell);
+  }
+  parallel_for(
+      0, flat.size(),
+      [&flat](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          flat[i]->summary = core::summarise(flat[i]->ylt);
+        }
+      },
+      ParallelConfig{pool, /*grain=*/1});
+
+  stats_.precompute_seconds = watch.seconds();
+}
+
+const CubeCell* RiskCube::query(const CubeQuery& q) const {
+  const auto it = cells_.find(q);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+const CubeCell& RiskCube::total() const {
+  const auto* cell = query(CubeQuery{});
+  RISKAN_REQUIRE(cell != nullptr, "cube has no grand-total cell");
+  return *cell;
+}
+
+std::vector<RiskCube::RankedCell> RiskCube::top_concentrations(std::size_t n) const {
+  RISKAN_REQUIRE(n > 0, "concentration report needs n > 0");
+  std::vector<RankedCell> ranked;
+  for (const auto& [key, cell] : cells_) {
+    if (key.peril && key.region && key.lob) {
+      ranked.push_back(RankedCell{key, &cell});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const RankedCell& a, const RankedCell& b) {
+    return a.cell->summary.tvar_99 > b.cell->summary.tvar_99;
+  });
+  if (ranked.size() > n) {
+    ranked.resize(n);
+  }
+  return ranked;
+}
+
+void RiskCube::add_contract(const finance::Contract& contract,
+                            const data::YearLossTable& ylt) {
+  RISKAN_REQUIRE(ylt.trials() == trials_,
+                 "new contract's YLT trial count differs from the cube's");
+  const CubeQuery base{contract.peril(), contract.region(), contract.lob()};
+  for (int mask = 0; mask < 8; ++mask) {
+    CubeQuery rolled;
+    rolled.peril = (mask & 1) != 0 ? base.peril : std::nullopt;
+    rolled.region = (mask & 2) != 0 ? base.region : std::nullopt;
+    rolled.lob = (mask & 4) != 0 ? base.lob : std::nullopt;
+    auto [it, inserted] = cells_.try_emplace(rolled);
+    if (inserted) {
+      it->second.ylt = data::YearLossTable(trials_, "rollup");
+    }
+    it->second.ylt += ylt;
+    it->second.contracts += 1;
+    it->second.summary = core::summarise(it->second.ylt);
+  }
+  stats_.rollup_cells = cells_.size();
+}
+
+}  // namespace riskan::warehouse

@@ -1,0 +1,160 @@
+// Analytic occurrence-EP curve, and its agreement with the simulated OEP —
+// the end-to-end validation of generator + engine against closed form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catmod/analytic_ep.hpp"
+#include "catmod/event_catalog.hpp"
+#include "catmod/yelt_bridge.hpp"
+#include "core/aggregate_engine.hpp"
+#include "core/metrics.hpp"
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace riskan::catmod {
+namespace {
+
+/// A tiny catalogue with hand-set rates for oracle checks.
+EventCatalog toy_catalog() {
+  CatalogConfig config;
+  config.events = 3;
+  auto catalog = EventCatalog::generate(config);
+  // Overwrite the generated rates deterministically via const_cast-free
+  // regeneration is not exposed; instead build expectations from whatever
+  // rates were generated. For the oracle we only need *known* rates, so we
+  // use the generated ones read back through the accessor.
+  return catalog;
+}
+
+TEST(AnalyticEp, ClosedFormOracle) {
+  const auto catalog = toy_catalog();
+  // ELT: event 0 loses 100, event 1 loses 300, event 2 loses 200.
+  const auto elt = data::EventLossTable::from_rows({
+      {0, 100.0, 0.0, 100.0},
+      {1, 300.0, 0.0, 300.0},
+      {2, 200.0, 0.0, 200.0},
+  });
+  const double r0 = catalog.event(0).annual_rate;
+  const double r1 = catalog.event(1).annual_rate;
+  const double r2 = catalog.event(2).annual_rate;
+
+  const std::vector<Money> thresholds{50.0, 150.0, 250.0, 400.0};
+  const auto curve = analytic_oep(catalog, elt, thresholds);
+  ASSERT_EQ(curve.size(), 4u);
+
+  // Above 50: all three events. Above 150: events 1,2. Above 250: event 1.
+  // Above 400: none.
+  EXPECT_NEAR(curve[0].annual_rate_above, r0 + r1 + r2, 1e-12);
+  EXPECT_NEAR(curve[1].annual_rate_above, r1 + r2, 1e-12);
+  EXPECT_NEAR(curve[2].annual_rate_above, r1, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[3].annual_rate_above, 0.0);
+
+  for (const auto& point : curve) {
+    EXPECT_NEAR(point.exceedance_probability, 1.0 - std::exp(-point.annual_rate_above),
+                1e-15);
+  }
+  EXPECT_TRUE(std::isinf(curve[3].return_period_years));
+}
+
+TEST(AnalyticEp, CurveIsMonotone) {
+  CatalogConfig config;
+  config.events = 2'000;
+  const auto catalog = EventCatalog::generate(config);
+  std::vector<data::EltRow> rows;
+  for (EventId e = 0; e < 2'000; e += 2) {
+    rows.push_back({e, 1'000.0 * (e + 1), 0.0, 2'000.0 * (e + 1)});
+  }
+  const auto elt = data::EventLossTable::from_rows(std::move(rows));
+
+  std::vector<Money> thresholds;
+  for (double x = 1e3; x < 2e6; x *= 1.5) {
+    thresholds.push_back(x);
+  }
+  const auto curve = analytic_oep(catalog, elt, thresholds);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].annual_rate_above, curve[i - 1].annual_rate_above);
+    EXPECT_LE(curve[i].exceedance_probability, curve[i - 1].exceedance_probability);
+    EXPECT_GE(curve[i].return_period_years, curve[i - 1].return_period_years);
+  }
+}
+
+TEST(AnalyticEp, InverseLookupConsistent) {
+  CatalogConfig config;
+  config.events = 1'000;
+  const auto catalog = EventCatalog::generate(config);
+  std::vector<data::EltRow> rows;
+  for (EventId e = 0; e < 1'000; ++e) {
+    rows.push_back({e, 500.0 * (e + 1), 0.0, 1'000.0 * (e + 1)});
+  }
+  const auto elt = data::EventLossTable::from_rows(std::move(rows));
+
+  for (const double years : {5.0, 25.0, 100.0}) {
+    const Money loss = analytic_oep_loss_at(catalog, elt, years);
+    // The curve evaluated just below that loss must have RP <= years, and
+    // just above it RP >= years (within the discreteness of the ELT).
+    const std::vector<Money> probe{loss * 0.99, loss * 1.01};
+    const auto curve = analytic_oep(catalog, elt, probe);
+    EXPECT_LE(curve[0].return_period_years, years * 1.1) << years;
+    EXPECT_GE(curve[1].return_period_years, years * 0.9) << years;
+  }
+}
+
+TEST(AnalyticEp, SimulatedOepMatchesClosedForm) {
+  // The end-to-end chain: catalogue rates -> simulate_yelt -> engine OEP
+  // must agree with the closed form at moderate return periods.
+  CatalogConfig cc;
+  cc.events = 800;
+  cc.seed = 77;
+  const auto catalog = EventCatalog::generate(cc);
+
+  std::vector<data::EltRow> rows;
+  Xoshiro256ss rng(5);
+  for (EventId e = 0; e < 800; ++e) {
+    const Money mean = sample_truncated_pareto(rng, 1.2, 1e4, 1e8);
+    rows.push_back({e, mean, 0.0, mean * 2.0});
+  }
+  const auto elt = data::EventLossTable::from_rows(std::move(rows));
+
+  // Unlimited ground-up layer so the engine's OEP is the raw occurrence max.
+  finance::Layer layer;
+  layer.id = 0;
+  layer.terms.occ_retention = 0.0;
+  layer.terms.occ_limit = 1e18;
+  layer.terms.agg_limit = 1e18;
+  finance::Portfolio portfolio;
+  portfolio.add(finance::Contract(0, elt, {layer}));
+
+  CatalogYeltConfig yc;
+  yc.trials = 40'000;
+  yc.seed = 11;
+  const auto yelt = simulate_yelt(catalog, yc);
+
+  core::EngineConfig config;
+  config.secondary_uncertainty = false;
+  config.backend = core::Backend::Threaded;
+  const auto result = core::run_aggregate_analysis(portfolio, yelt, config);
+
+  for (const double years : {5.0, 10.0, 25.0}) {
+    const Money analytic = analytic_oep_loss_at(catalog, elt, years);
+    const Money simulated =
+        core::probable_maximum_loss(result.portfolio_occurrence_ylt, years);
+    EXPECT_NEAR(simulated / analytic, 1.0, 0.15)
+        << "return period " << years << ": analytic " << analytic << " vs simulated "
+        << simulated;
+  }
+}
+
+TEST(AnalyticEp, ContractsEnforced) {
+  CatalogConfig config;
+  config.events = 10;
+  const auto catalog = EventCatalog::generate(config);
+  const data::EventLossTable empty;
+  const std::vector<Money> thresholds{1.0};
+  EXPECT_THROW((void)analytic_oep(catalog, empty, thresholds), ContractViolation);
+  const auto elt = data::EventLossTable::from_rows({{99, 1.0, 0.0, 2.0}});
+  EXPECT_THROW((void)analytic_oep(catalog, elt, thresholds), ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan::catmod

@@ -1,0 +1,277 @@
+// Access paths: serialization, chunked files, hash index, the Volcano
+// row-store baseline, and scan-vs-index result equivalence (E5's
+// correctness precondition).
+#include <gtest/gtest.h>
+
+#include "data/chunked_file.hpp"
+#include "data/hash_index.hpp"
+#include "data/scan.hpp"
+#include "data/serialize.hpp"
+#include "data/volcano.hpp"
+#include "util/bytes.hpp"
+#include "util/require.hpp"
+
+namespace riskan::data {
+namespace {
+
+EventLossTable sample_elt() {
+  std::vector<EltRow> rows;
+  for (EventId e = 0; e < 50; e += 2) {  // even ids only
+    rows.push_back({e, 10.0 * (e + 1), 2.0 * (e + 1), 100.0 * (e + 1)});
+  }
+  return EventLossTable::from_rows(std::move(rows));
+}
+
+TEST(Serialize, EltRoundTrip) {
+  const auto elt = sample_elt();
+  ByteWriter writer;
+  encode(elt, writer);
+  ByteReader reader(writer.buffer());
+  const auto back = decode_elt(reader);
+  ASSERT_EQ(back.size(), elt.size());
+  for (std::size_t i = 0; i < elt.size(); ++i) {
+    EXPECT_EQ(back.event_ids()[i], elt.event_ids()[i]);
+    EXPECT_DOUBLE_EQ(back.mean_loss()[i], elt.mean_loss()[i]);
+    EXPECT_DOUBLE_EQ(back.sigma_loss()[i], elt.sigma_loss()[i]);
+    EXPECT_DOUBLE_EQ(back.exposure()[i], elt.exposure()[i]);
+  }
+}
+
+TEST(Serialize, YeltRoundTrip) {
+  YeltGenConfig config;
+  config.trials = 300;
+  const auto yelt = generate_yelt(100, config);
+  ByteWriter writer;
+  encode(yelt, writer);
+  ByteReader reader(writer.buffer());
+  const auto back = decode_yelt(reader);
+  ASSERT_EQ(back.trials(), yelt.trials());
+  ASSERT_EQ(back.entries(), yelt.entries());
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    const auto ea = yelt.trial_events(t);
+    const auto eb = back.trial_events(t);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      ASSERT_EQ(ea[i], eb[i]);
+      ASSERT_EQ(yelt.trial_days(t)[i], back.trial_days(t)[i]);
+    }
+  }
+}
+
+TEST(Serialize, YltRoundTripWithLabel) {
+  YearLossTable ylt(5, "portfolio-x");
+  for (TrialId t = 0; t < 5; ++t) {
+    ylt[t] = 1.5 * t;
+  }
+  ByteWriter writer;
+  encode(ylt, writer);
+  ByteReader reader(writer.buffer());
+  const auto back = decode_ylt(reader);
+  EXPECT_EQ(back.label(), "portfolio-x");
+  ASSERT_EQ(back.trials(), 5u);
+  for (TrialId t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(back[t], ylt[t]);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto elt = sample_elt();
+  const std::string path = "/tmp/riskan_test_elt.bin";
+  save_elt(elt, path);
+  const auto back = load_elt(path);
+  EXPECT_EQ(back.size(), elt.size());
+  remove_file(path);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  ByteWriter writer;
+  writer.u32(0xBADBAD);
+  writer.u32(1);
+  ByteReader reader(writer.buffer());
+  EXPECT_THROW((void)decode_elt(reader), ContractViolation);
+}
+
+TEST(Serialize, CrossTypeDecodeRejected) {
+  YearLossTable ylt(2);
+  ByteWriter writer;
+  encode(ylt, writer);
+  ByteReader reader(writer.buffer());
+  EXPECT_THROW((void)decode_elt(reader), ContractViolation);
+}
+
+TEST(ChunkedFile, RoundTripsChunks) {
+  const std::string path = "/tmp/riskan_test_chunks.bin";
+  {
+    ChunkedFileWriter writer(path);
+    ByteWriter a;
+    a.str("first chunk");
+    ByteWriter b;
+    b.u64(0xFEEDull);
+    writer.append(a.buffer());
+    writer.append(b.buffer());
+    writer.append({});  // empty chunk is legal
+    writer.finish();
+    EXPECT_EQ(writer.chunks_written(), 3u);
+  }
+  ChunkedFileReader reader(path);
+  ASSERT_EQ(reader.chunk_count(), 3u);
+  ByteReader first(reader.chunk(0));
+  EXPECT_EQ(first.str(), "first chunk");
+  ByteReader second(reader.chunk(1));
+  EXPECT_EQ(second.u64(), 0xFEEDull);
+  EXPECT_EQ(reader.chunk(2).size(), 0u);
+  EXPECT_THROW((void)reader.chunk(3), ContractViolation);
+  remove_file(path);
+}
+
+TEST(ChunkedFile, DestructorFinishesImplicitly) {
+  const std::string path = "/tmp/riskan_test_chunks2.bin";
+  {
+    ChunkedFileWriter writer(path);
+    ByteWriter a;
+    a.u32(7);
+    writer.append(a.buffer());
+    // no explicit finish
+  }
+  ChunkedFileReader reader(path);
+  EXPECT_EQ(reader.chunk_count(), 1u);
+  remove_file(path);
+}
+
+TEST(ChunkedFile, CorruptFileRejected) {
+  const std::string path = "/tmp/riskan_test_chunks3.bin";
+  ByteWriter garbage;
+  garbage.u64(123);
+  garbage.u64(456);
+  write_file(path, garbage.buffer());
+  EXPECT_THROW(ChunkedFileReader{path}, ContractViolation);
+  remove_file(path);
+}
+
+TEST(HashIndex, InsertFindMiss) {
+  HashIndex index;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    index.insert(k * 3, k);
+  }
+  EXPECT_EQ(index.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const auto hit = index.find(k * 3);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, k);
+  }
+  EXPECT_FALSE(index.find(1).has_value());
+  EXPECT_FALSE(index.find(999'999).has_value());
+  EXPECT_GT(index.probe_count(), 0u);
+}
+
+TEST(HashIndex, GrowsPastInitialCapacity) {
+  HashIndex index(4);
+  const auto initial = index.capacity();
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    index.insert(k, k + 1);
+  }
+  EXPECT_GT(index.capacity(), initial);
+  EXPECT_EQ(*index.find(9'999), 10'000u);
+}
+
+TEST(HashIndex, DuplicateKeyRejected) {
+  HashIndex index;
+  index.insert(5, 1);
+  EXPECT_THROW(index.insert(5, 2), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Volcano engine + scan equivalence
+// ---------------------------------------------------------------------------
+
+class AccessPathFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    YeltGenConfig config;
+    config.trials = 500;
+    config.mean_events_per_year = 6.0;
+    config.seed = 21;
+    yelt_ = generate_yelt(200, config);
+
+    std::vector<EltRow> rows;
+    for (EventId e = 0; e < 200; e += 3) {
+      rows.push_back({e, 5.0 + e, 1.0, 1000.0 + e});
+    }
+    elt_ = EventLossTable::from_rows(std::move(rows));
+  }
+
+  YearEventLossTable yelt_;
+  EventLossTable elt_;
+};
+
+TEST_F(AccessPathFixture, VolcanoQueryMatchesColumnarScan) {
+  // Row-store plan: scan -> index join -> hash aggregate.
+  const RowYelt row_yelt(yelt_);
+  const RowElt row_elt(elt_);
+  auto scan = std::make_unique<YeltScanOp>(row_yelt);
+  auto join = std::make_unique<IndexJoinOp>(std::move(scan), row_elt);
+  HashAggOp agg(std::move(join), /*key_col=*/0, /*value_col=*/1);
+  const auto rdb_result = run_group_query(agg);
+
+  // Columnar paths.
+  const auto lut = build_dense_loss_lut(elt_, 200);
+  const auto dense = scan_aggregate_dense(yelt_, lut);
+  const auto sorted = scan_aggregate_sorted(yelt_, elt_);
+
+  ASSERT_EQ(dense.size(), yelt_.trials());
+  for (TrialId t = 0; t < yelt_.trials(); ++t) {
+    ASSERT_DOUBLE_EQ(dense[t], sorted[t]) << "trial " << t;
+    const auto it = rdb_result.find(t);
+    const double rdb = it == rdb_result.end() ? 0.0 : it->second;
+    ASSERT_NEAR(rdb, dense[t], 1e-9) << "trial " << t;
+  }
+}
+
+TEST_F(AccessPathFixture, RowTablesPreserveCardinality) {
+  const RowYelt row_yelt(yelt_);
+  EXPECT_EQ(row_yelt.rows().size(), yelt_.entries());
+  const RowElt row_elt(elt_);
+  EXPECT_EQ(row_elt.rows().size(), elt_.size());
+  EXPECT_EQ(row_elt.index().size(), elt_.size());
+}
+
+TEST_F(AccessPathFixture, FilterOpDropsRows) {
+  const RowYelt row_yelt(yelt_);
+  auto scan = std::make_unique<YeltScanOp>(row_yelt);
+  FilterOp filter(std::move(scan), [](const Tuple& t) { return t[1] < 50.0; });
+  filter.open();
+  Tuple row;
+  std::size_t count = 0;
+  while (filter.next(row)) {
+    EXPECT_LT(row[1], 50.0);
+    ++count;
+  }
+  filter.close();
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, yelt_.entries());
+}
+
+TEST_F(AccessPathFixture, HashAggRequiresOpen) {
+  const RowYelt row_yelt(yelt_);
+  auto scan = std::make_unique<YeltScanOp>(row_yelt);
+  HashAggOp agg(std::move(scan), 0, 1);
+  Tuple row;
+  EXPECT_THROW((void)agg.next(row), ContractViolation);
+}
+
+TEST(DenseLut, MissingEventsMapToZero) {
+  const auto elt = EventLossTable::from_rows({{3, 10.0, 1.0, 50.0}});
+  const auto lut = build_dense_loss_lut(elt, 10);
+  ASSERT_EQ(lut.size(), 10u);
+  EXPECT_DOUBLE_EQ(lut[3], 10.0);
+  EXPECT_DOUBLE_EQ(lut[0], 0.0);
+  EXPECT_DOUBLE_EQ(lut[9], 0.0);
+}
+
+TEST(DenseLut, CatalogueTooSmallRejected) {
+  const auto elt = EventLossTable::from_rows({{9, 10.0, 1.0, 50.0}});
+  EXPECT_THROW((void)build_dense_loss_lut(elt, 5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan::data

@@ -1,0 +1,314 @@
+// Pipeline tables: ELT, YELT, YLT, YELLT stream, and the E1 volume model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/elt.hpp"
+#include "data/table_stats.hpp"
+#include "data/yellt.hpp"
+#include "data/yelt.hpp"
+#include "data/ylt.hpp"
+#include "util/require.hpp"
+
+namespace riskan::data {
+namespace {
+
+EventLossTable make_elt() {
+  return EventLossTable::from_rows({
+      {5, 100.0, 30.0, 500.0},
+      {2, 50.0, 10.0, 200.0},
+      {9, 75.0, 20.0, 400.0},
+  });
+}
+
+TEST(Elt, SortsByEventId) {
+  const auto elt = make_elt();
+  ASSERT_EQ(elt.size(), 3u);
+  EXPECT_EQ(elt.event_ids()[0], 2u);
+  EXPECT_EQ(elt.event_ids()[1], 5u);
+  EXPECT_EQ(elt.event_ids()[2], 9u);
+  EXPECT_DOUBLE_EQ(elt.mean_loss()[0], 50.0);
+}
+
+TEST(Elt, FindHitsAndMisses) {
+  const auto elt = make_elt();
+  EXPECT_EQ(elt.find(2), 0u);
+  EXPECT_EQ(elt.find(5), 1u);
+  EXPECT_EQ(elt.find(9), 2u);
+  EXPECT_EQ(elt.find(0), EventLossTable::npos);
+  EXPECT_EQ(elt.find(6), EventLossTable::npos);
+  EXPECT_EQ(elt.find(100), EventLossTable::npos);
+}
+
+TEST(Elt, RowAccessor) {
+  const auto elt = make_elt();
+  const auto row = elt.row(1);
+  EXPECT_EQ(row.event_id, 5u);
+  EXPECT_DOUBLE_EQ(row.mean_loss, 100.0);
+  EXPECT_DOUBLE_EQ(row.sigma_loss, 30.0);
+  EXPECT_DOUBLE_EQ(row.exposure, 500.0);
+  EXPECT_THROW((void)elt.row(3), ContractViolation);
+}
+
+TEST(Elt, RejectsDuplicatesAndBadRows) {
+  EXPECT_THROW(EventLossTable::from_rows({{1, 10.0, 1.0, 20.0}, {1, 5.0, 1.0, 20.0}}),
+               ContractViolation);
+  EXPECT_THROW(EventLossTable::from_rows({{1, -1.0, 1.0, 20.0}}), ContractViolation);
+  EXPECT_THROW(EventLossTable::from_rows({{1, 10.0, 1.0, 5.0}}), ContractViolation);
+}
+
+TEST(Elt, TotalsAndBytes) {
+  const auto elt = make_elt();
+  EXPECT_DOUBLE_EQ(elt.total_mean_loss(), 225.0);
+  EXPECT_EQ(elt.byte_size(), 3 * (sizeof(EventId) + 3 * sizeof(Money)));
+  const EventLossTable empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.total_mean_loss(), 0.0);
+}
+
+TEST(Yelt, BuilderProducesCsrLayout) {
+  YearEventLossTable::Builder builder;
+  builder.begin_trial();
+  builder.add(3, 10);
+  builder.add(7, 200);
+  builder.begin_trial();  // empty trial
+  builder.begin_trial();
+  builder.add(1, 364);
+  const auto yelt = builder.finish();
+
+  ASSERT_EQ(yelt.trials(), 3u);
+  EXPECT_EQ(yelt.entries(), 3u);
+  EXPECT_EQ(yelt.trial_size(0), 2u);
+  EXPECT_EQ(yelt.trial_size(1), 0u);
+  EXPECT_EQ(yelt.trial_size(2), 1u);
+  EXPECT_EQ(yelt.trial_events(0)[1], 7u);
+  EXPECT_EQ(yelt.trial_days(2)[0], 364);
+  EXPECT_THROW((void)yelt.trial_events(3), ContractViolation);
+}
+
+TEST(Yelt, BuilderRejectsMisuse) {
+  YearEventLossTable::Builder builder;
+  EXPECT_THROW(builder.add(1, 0), ContractViolation);  // add before begin
+  builder.begin_trial();
+  EXPECT_THROW(builder.add(1, 365), ContractViolation);  // day out of range
+}
+
+TEST(Yelt, GeneratorRespectsConfig) {
+  YeltGenConfig config;
+  config.trials = 2'000;
+  config.mean_events_per_year = 8.0;
+  config.seed = 11;
+  const auto yelt = generate_yelt(500, config);
+
+  EXPECT_EQ(yelt.trials(), 2'000u);
+  EXPECT_NEAR(yelt.mean_events_per_trial(), 8.0, 0.3);
+  for (const auto event : yelt.events()) {
+    EXPECT_LT(event, 500u);
+  }
+  for (const auto day : yelt.days()) {
+    EXPECT_LT(day, 365);
+  }
+}
+
+TEST(Yelt, GeneratorDeterministicInSeed) {
+  YeltGenConfig config;
+  config.trials = 100;
+  config.seed = 5;
+  const auto a = generate_yelt(100, config);
+  const auto b = generate_yelt(100, config);
+  ASSERT_EQ(a.entries(), b.entries());
+  for (std::size_t i = 0; i < a.entries(); ++i) {
+    ASSERT_EQ(a.events()[i], b.events()[i]);
+  }
+  config.seed = 6;
+  const auto c = generate_yelt(100, config);
+  EXPECT_NE(a.entries(), c.entries());  // overwhelmingly likely
+}
+
+TEST(Yelt, PowerLawRatesSkewTowardLowIds) {
+  YeltGenConfig config;
+  config.trials = 5'000;
+  config.mean_events_per_year = 10.0;
+  const auto yelt = generate_yelt(1'000, config);
+  std::uint64_t low = 0;
+  std::uint64_t high = 0;
+  for (const auto event : yelt.events()) {
+    (event < 100 ? low : high) += 1;
+  }
+  EXPECT_GT(low, high / 4);  // the first decile carries outsized mass
+}
+
+TEST(Yelt, ByteSizeAccounting) {
+  YeltGenConfig config;
+  config.trials = 10;
+  const auto yelt = generate_yelt(50, config);
+  const auto expected = (yelt.trials() + 1) * sizeof(std::uint64_t) +
+                        yelt.entries() * (sizeof(EventId) + sizeof(std::uint16_t));
+  EXPECT_EQ(yelt.byte_size(), expected);
+}
+
+TEST(Ylt, ArithmeticAndInvariants) {
+  YearLossTable a(4, "a");
+  a[0] = 1.0;
+  a[1] = 2.0;
+  a[2] = 3.0;
+  a[3] = 4.0;
+  YearLossTable b(4, "b");
+  b[0] = 10.0;
+
+  a += b;
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  EXPECT_DOUBLE_EQ(a.total(), 20.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 11.0);
+
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a[3], 2.0);
+  EXPECT_EQ(a.byte_size(), 4 * sizeof(Money));
+}
+
+TEST(Ylt, MismatchedTrialCountsRejected) {
+  YearLossTable a(4);
+  YearLossTable b(5);
+  EXPECT_THROW(a += b, ContractViolation);
+}
+
+TEST(Ylt, EmptyTableBehaviour) {
+  const YearLossTable empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// YELLT stream
+// ---------------------------------------------------------------------------
+
+class YelltFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    YearEventLossTable::Builder builder;
+    builder.begin_trial();
+    builder.add(0, 1);
+    builder.add(1, 2);
+    builder.begin_trial();
+    builder.add(1, 3);
+    yelt_ = builder.finish();
+
+    elts_.push_back(EventLossTable::from_rows({{0, 100.0, 10.0, 300.0}}));
+    elts_.push_back(
+        EventLossTable::from_rows({{0, 40.0, 4.0, 100.0}, {1, 60.0, 6.0, 200.0}}));
+  }
+
+  YearEventLossTable yelt_;
+  std::vector<EventLossTable> elts_;
+};
+
+TEST_F(YelltFixture, CountMatchesEnumeration) {
+  const YelltStream stream(yelt_, elts_, /*locations=*/4);
+  // Trial 0: event 0 hits contracts {0,1} -> 2; event 1 hits {1} -> 1.
+  // Trial 1: event 1 hits {1} -> 1. Total contract-hits = 4; x4 locations.
+  EXPECT_EQ(stream.count_entries(), 16u);
+  std::uint64_t seen = 0;
+  const auto emitted = stream.for_each([&seen](const YelltRecord&) { ++seen; });
+  EXPECT_EQ(emitted, 16u);
+  EXPECT_EQ(seen, 16u);
+}
+
+TEST_F(YelltFixture, LocationMarginalsSumToEventLoss) {
+  const YelltStream stream(yelt_, elts_, 8);
+  // Sum location shares for (trial 0, event 0, contract 1): must equal the
+  // ELT mean of contract 1 for event 0.
+  Money sum = 0.0;
+  stream.for_each([&sum](const YelltRecord& rec) {
+    if (rec.trial == 0 && rec.event == 0 && rec.contract == 1) {
+      sum += rec.loss;
+    }
+  });
+  EXPECT_NEAR(sum, 40.0, 1e-9);
+}
+
+TEST_F(YelltFixture, MaterialiseRespectsCap) {
+  const YelltStream stream(yelt_, elts_, 4);
+  const auto records = stream.materialise(100);
+  EXPECT_EQ(records.size(), 16u);
+  EXPECT_THROW((void)stream.materialise(4), ContractViolation);
+}
+
+TEST_F(YelltFixture, StreamIsDeterministic) {
+  const YelltStream stream(yelt_, elts_, 4, /*seed=*/123);
+  const auto a = stream.materialise();
+  const auto b = stream.materialise();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i].loss, b[i].loss);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// E1 volume model — the paper's arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(VolumeModel, ReproducesPaperHeadline) {
+  const VolumeModel model(PipelineSizing::paper_example());
+  // "the Year-Event-Location-Loss Table has over 5x10^16 entries"
+  EXPECT_DOUBLE_EQ(model.yellt_entries(), 5e16);
+  EXPECT_GE(model.yellt_entries(), 5e16);
+}
+
+TEST(VolumeModel, YelltToYeltRatioIsLocationAxis) {
+  const VolumeModel model(PipelineSizing::paper_example());
+  // "The YELT is generally 1000 times smaller than the YELLT"
+  EXPECT_DOUBLE_EQ(model.yellt_over_yelt(), 1'000.0);
+}
+
+TEST(VolumeModel, YeltToYltFootprintRatioNearThousand) {
+  const VolumeModel model(PipelineSizing::paper_example());
+  // "...and 1000 times bigger than the YLT" — via the ~1k-event contract
+  // footprint (1% of a 100k catalogue).
+  EXPECT_DOUBLE_EQ(model.yelt_over_ylt_footprint(), 1'000.0);
+  // The raw event axis is the dense upper bound.
+  EXPECT_DOUBLE_EQ(model.yelt_over_ylt_dense(), 100'000.0);
+}
+
+TEST(VolumeModel, ScalingLawsComposeMultiplicatively) {
+  PipelineSizing s = PipelineSizing::scaled_down();
+  const VolumeModel small(s);
+  PipelineSizing doubled = s;
+  doubled.trials *= 2;
+  const VolumeModel big(doubled);
+  EXPECT_DOUBLE_EQ(big.yellt_entries(), 2.0 * small.yellt_entries());
+  EXPECT_DOUBLE_EQ(big.yelt_entries(), 2.0 * small.yelt_entries());
+  EXPECT_DOUBLE_EQ(big.ylt_entries(), 2.0 * small.ylt_entries());
+}
+
+TEST(VolumeModel, BytesScaleWithEntries) {
+  const VolumeModel model(PipelineSizing::paper_example());
+  EXPECT_DOUBLE_EQ(model.yellt_bytes(),
+                   model.yellt_entries() * static_cast<double>(kYelltRecordBytes));
+  EXPECT_GT(model.yellt_bytes(), 1e15);  // petabyte-class, the paper's point
+  EXPECT_LT(model.ylt_bytes(), 1e10);    // while the YLT is gigabyte-class
+}
+
+TEST(VolumeModel, RowsTableIsComplete) {
+  const VolumeModel model(PipelineSizing::paper_example());
+  const auto rows = model.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.entries, 0.0);
+    EXPECT_GT(row.bytes, 0.0);
+    EXPECT_FALSE(row.table.empty());
+  }
+}
+
+TEST(VolumeModel, RejectsBadSizing) {
+  PipelineSizing s;
+  s.elt_hit_ratio = 0.0;
+  EXPECT_THROW(VolumeModel{s}, ContractViolation);
+  PipelineSizing z;
+  z.contracts = 0;
+  EXPECT_THROW(VolumeModel{z}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan::data

@@ -1,0 +1,129 @@
+// Device-engine telemetry: the counters and the performance model that
+// E2/E4 report. These tests pin the metering semantics so the modeled
+// numbers in EXPERIMENTS.md stay auditable.
+#include <gtest/gtest.h>
+
+#include "core/aggregate_engine.hpp"
+#include "core/device_engine.hpp"
+#include "data/yelt.hpp"
+#include "finance/contract.hpp"
+
+namespace riskan::core {
+namespace {
+
+struct World {
+  finance::Portfolio portfolio;
+  data::YearEventLossTable yelt;
+};
+
+World make_world(TrialId trials = 400, std::size_t elt_rows = 200) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 2;
+  pg.catalog_events = 500;
+  pg.elt_rows = elt_rows;
+  data::YeltGenConfig yg;
+  yg.trials = trials;
+  return World{finance::generate_portfolio(pg), data::generate_yelt(500, yg)};
+}
+
+DeviceRunInfo run_device(const World& world, EngineConfig config, DeviceSpec spec = {}) {
+  config.backend = Backend::DeviceSim;
+  DeviceRunInfo info;
+  (void)run_aggregate_device(world.portfolio, world.yelt, config, spec, &info);
+  return info;
+}
+
+TEST(DeviceMetering, CountersArePopulated) {
+  const auto world = make_world();
+  EngineConfig config;
+  const auto info = run_device(world, config);
+  EXPECT_GT(info.launches, 0);
+  EXPECT_GT(info.elt_chunks, 0u);
+  EXPECT_GT(info.modeled_seconds, 0.0);
+  EXPECT_GT(info.host_seconds, 0.0);
+  EXPECT_GT(info.counters.const_read_bytes, 0u);   // ELT probes
+  EXPECT_GT(info.counters.global_read_bytes, 0u);  // YELT staging + scratch
+  EXPECT_GT(info.counters.flops, 0u);              // beta sampling
+}
+
+TEST(DeviceMetering, SecondaryOffDropsFlops) {
+  const auto world = make_world();
+  EngineConfig on;
+  on.secondary_uncertainty = true;
+  EngineConfig off;
+  off.secondary_uncertainty = false;
+  const auto info_on = run_device(world, on);
+  const auto info_off = run_device(world, off);
+  EXPECT_GT(info_on.counters.flops, 2 * info_off.counters.flops);
+}
+
+TEST(DeviceMetering, SmallerEltChunksMeanMoreLaunchesAndConstTraffic) {
+  const auto world = make_world(300, 400);
+  EngineConfig coarse;
+  coarse.device_elt_chunk_rows = 0;  // fit
+  EngineConfig fine;
+  fine.device_elt_chunk_rows = 32;
+  const auto a = run_device(world, coarse);
+  const auto b = run_device(world, fine);
+  EXPECT_GT(b.launches, a.launches);
+  EXPECT_GT(b.elt_chunks, a.elt_chunks);
+  EXPECT_GT(b.counters.const_read_bytes, a.counters.const_read_bytes);
+  EXPECT_GT(b.modeled_seconds, a.modeled_seconds);
+}
+
+TEST(DeviceMetering, TinyBlocksStageButHugeBlocksSpill) {
+  // 5k trials x ~10 occurrences: a 4096-trial block carries ~160 KiB of
+  // event ids — over the 48 KiB shared arena — while 8-trial blocks fit.
+  const auto world = make_world(5'000);
+  EngineConfig small;
+  small.device_block_dim = 8;
+  EngineConfig large;
+  large.device_block_dim = 4'096;
+  const auto a = run_device(world, small);
+  const auto b = run_device(world, large);
+  EXPECT_EQ(a.shared_spill_blocks, 0u);
+  EXPECT_GT(a.shared_staged_blocks, 0u);
+  EXPECT_GT(b.shared_spill_blocks, 0u);
+}
+
+TEST(DeviceMetering, ModeledTimeScalesWithTrials) {
+  const auto small_world = make_world(200);
+  const auto big_world = make_world(2'000);
+  EngineConfig config;
+  const auto a = run_device(small_world, config);
+  const auto b = run_device(big_world, config);
+  EXPECT_GT(b.modeled_seconds, a.modeled_seconds);
+  EXPECT_GT(b.counters.flops, b.counters.flops / 2 + a.counters.flops);
+}
+
+TEST(DeviceMetering, EfficiencyFactorScalesModel) {
+  const auto world = make_world();
+  EngineConfig config;
+  DeviceSpec honest;  // default achieved_efficiency
+  DeviceSpec ideal = honest;
+  ideal.achieved_efficiency = 1.0;
+  const auto a = run_device(world, config, honest);
+  const auto b = run_device(world, config, ideal);
+  // The roofline-ideal device is modeled far faster; launch overhead keeps
+  // the ratio below the raw 1/efficiency.
+  EXPECT_LT(b.modeled_seconds, a.modeled_seconds);
+}
+
+TEST(DeviceMetering, FasterSpecModelsFaster) {
+  const auto world = make_world();
+  EngineConfig config;
+  DeviceSpec slow;
+  slow.global_bw_gbs = 20.0;
+  slow.const_bw_gbs = 100.0;
+  slow.sm_count = 2;
+  DeviceSpec fast;
+  fast.global_bw_gbs = 900.0;
+  fast.const_bw_gbs = 4'000.0;
+  fast.sm_count = 80;
+  const auto a = run_device(world, config, slow);
+  const auto b = run_device(world, config, fast);
+  EXPECT_GT(a.modeled_seconds, b.modeled_seconds);
+}
+
+}  // namespace
+}  // namespace riskan::core

@@ -1,0 +1,204 @@
+// Boundary conditions across modules: degenerate sizes, extreme
+// parameters, and the single-element paths that general-case tests skip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregate_engine.hpp"
+#include "core/metrics.hpp"
+#include "data/yellt.hpp"
+#include "dfa/copula.hpp"
+#include "finance/premium.hpp"
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace riskan {
+namespace {
+
+TEST(EdgeCases, EngineWithEmptyEltContractYieldsZeros) {
+  // A contract whose ELT shares nothing with the catalogue: legal, all
+  // zero losses.
+  auto elt = data::EventLossTable::from_rows({{9'999, 10.0, 1.0, 50.0}});
+  finance::Layer layer;
+  layer.id = 0;
+  layer.terms.occ_limit = 100.0;
+  layer.terms.agg_limit = 100.0;
+  finance::Portfolio portfolio;
+  portfolio.add(finance::Contract(0, std::move(elt), {layer}));
+
+  data::YeltGenConfig yg;
+  yg.trials = 100;
+  const auto yelt = data::generate_yelt(100, yg);  // events 0..99 only
+
+  const auto result = core::run_aggregate_analysis(portfolio, yelt, {});
+  EXPECT_DOUBLE_EQ(result.portfolio_ylt.total(), 0.0);
+  EXPECT_DOUBLE_EQ(result.portfolio_occurrence_ylt.total(), 0.0);
+  EXPECT_EQ(result.elt_lookups, 0u);
+}
+
+TEST(EdgeCases, EngineWithAllEmptyTrials) {
+  auto elt = data::EventLossTable::from_rows({{1, 10.0, 1.0, 50.0}});
+  finance::Layer layer;
+  layer.id = 0;
+  layer.terms.occ_limit = 100.0;
+  layer.terms.agg_limit = 100.0;
+  finance::Portfolio portfolio;
+  portfolio.add(finance::Contract(0, std::move(elt), {layer}));
+
+  data::YearEventLossTable::Builder builder;
+  for (int t = 0; t < 10; ++t) {
+    builder.begin_trial();  // no occurrences anywhere
+  }
+  const auto yelt = builder.finish();
+  EXPECT_EQ(yelt.entries(), 0u);
+
+  for (const auto backend :
+       {core::Backend::Sequential, core::Backend::Threaded, core::Backend::DeviceSim}) {
+    core::EngineConfig config;
+    config.backend = backend;
+    const auto result = core::run_aggregate_analysis(portfolio, yelt, config);
+    EXPECT_DOUBLE_EQ(result.portfolio_ylt.total(), 0.0) << to_string(backend);
+  }
+}
+
+TEST(EdgeCases, SingleTrialSingleEventEngineRun) {
+  auto elt = data::EventLossTable::from_rows({{0, 100.0, 0.0, 100.0}});
+  finance::Layer layer;
+  layer.id = 0;
+  layer.terms.occ_retention = 30.0;
+  layer.terms.occ_limit = 100.0;
+  layer.terms.agg_limit = 100.0;
+  finance::Portfolio portfolio;
+  portfolio.add(finance::Contract(0, std::move(elt), {layer}));
+
+  data::YearEventLossTable::Builder builder;
+  builder.begin_trial();
+  builder.add(0, 0);
+  const auto yelt = builder.finish();
+
+  core::EngineConfig config;
+  config.secondary_uncertainty = false;
+  const auto result = core::run_aggregate_analysis(portfolio, yelt, config);
+  ASSERT_EQ(result.portfolio_ylt.trials(), 1u);
+  EXPECT_DOUBLE_EQ(result.portfolio_ylt[0], 70.0);
+  EXPECT_DOUBLE_EQ(result.portfolio_occurrence_ylt[0], 70.0);
+
+  // Metrics on a single-trial YLT degenerate gracefully.
+  const auto summary = core::summarise(result.portfolio_ylt);
+  EXPECT_DOUBLE_EQ(summary.var_99, 70.0);
+  EXPECT_DOUBLE_EQ(summary.tvar_99, 70.0);
+  EXPECT_DOUBLE_EQ(summary.max_loss, 70.0);
+}
+
+TEST(EdgeCases, ZeroShareIsRejectedButTinyShareWorks) {
+  finance::LayerTerms terms;
+  terms.occ_limit = 10.0;
+  terms.agg_limit = 10.0;
+  terms.share = 0.0;
+  EXPECT_THROW(terms.validate(), ContractViolation);
+  terms.share = 1e-9;
+  EXPECT_NO_THROW(terms.validate());
+}
+
+TEST(EdgeCases, YelltStreamWithOneLocationIsLossless) {
+  data::YearEventLossTable::Builder builder;
+  builder.begin_trial();
+  builder.add(0, 1);
+  const auto yelt = builder.finish();
+  std::vector<data::EventLossTable> elts;
+  elts.push_back(data::EventLossTable::from_rows({{0, 123.0, 0.0, 200.0}}));
+
+  const data::YelltStream stream(yelt, elts, /*locations=*/1);
+  const auto records = stream.materialise();
+  ASSERT_EQ(records.size(), 1u);
+  // One location: the full event loss, no disaggregation error at all.
+  EXPECT_DOUBLE_EQ(records[0].loss, 123.0);
+}
+
+TEST(EdgeCases, CopulaWithOneDimensionIsPlainUniform) {
+  const dfa::GaussianCopula copula(dfa::CorrelationMatrix(1), 5);
+  std::vector<double> u(1);
+  OnlineStats stats;
+  for (TrialId t = 0; t < 20'000; ++t) {
+    copula.sample(t, u);
+    stats.add(u[0]);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(EdgeCases, NearPerfectCorrelationStillFactorises) {
+  const auto matrix = dfa::CorrelationMatrix::exchangeable(3, 0.999);
+  EXPECT_NO_THROW(dfa::GaussianCopula(matrix, 1));
+}
+
+TEST(EdgeCases, PoissonBoundaryAtAlgorithmSwitch) {
+  // The sampler switches algorithms at mean 16; both sides must honour the
+  // mean tightly.
+  for (const double mean : {15.99, 16.01}) {
+    Xoshiro256ss rng(31);
+    OnlineStats stats;
+    for (int i = 0; i < 100'000; ++i) {
+      stats.add(static_cast<double>(sample_poisson(rng, mean)));
+    }
+    EXPECT_NEAR(stats.mean(), mean, 0.1) << mean;
+  }
+}
+
+TEST(EdgeCases, QuantileAtExtremeLevels) {
+  std::vector<double> values{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 3.0);
+  EXPECT_NEAR(quantile(values, 1e-12), 1.0, 1e-9);  // interpolation epsilon
+  EXPECT_NEAR(quantile(values, 1.0 - 1e-12), 3.0, 1e-9);
+}
+
+TEST(EdgeCases, PremiumWithZeroLoadsEqualsGrossedExpectedLoss) {
+  finance::LossStatistics stats;
+  stats.expected_loss = 100.0;
+  stats.loss_stdev = 40.0;
+  stats.tvar_99 = 300.0;
+  finance::PricingTerms terms;
+  terms.volatility_load = 0.0;
+  terms.capital_load = 0.0;
+  terms.expense_ratio = 0.0;
+  terms.target_margin = 0.0;
+  EXPECT_DOUBLE_EQ(finance::technical_premium(stats, terms), 100.0);
+}
+
+TEST(EdgeCases, ExtremeSeverityParetoBoundsHold) {
+  Xoshiro256ss rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = sample_truncated_pareto(rng, 0.1, 1.0, 1e12);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 1e12);
+  }
+}
+
+TEST(EdgeCases, HugeRetentionLayersPayNothingEverywhere) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 2;
+  pg.catalog_events = 100;
+  pg.elt_rows = 30;
+  auto base = finance::generate_portfolio(pg);
+
+  finance::Portfolio portfolio;
+  for (const auto& contract : base.contracts()) {
+    auto layers = contract.layers();
+    for (auto& layer : layers) {
+      layer.terms.occ_retention = 1e18;
+    }
+    portfolio.add(
+        finance::Contract(contract.id(), contract.elt(), std::move(layers)));
+  }
+  data::YeltGenConfig yg;
+  yg.trials = 200;
+  const auto yelt = data::generate_yelt(100, yg);
+  const auto result = core::run_aggregate_analysis(portfolio, yelt, {});
+  EXPECT_DOUBLE_EQ(result.portfolio_ylt.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace riskan

@@ -1,0 +1,241 @@
+// The distributed-file-space substrate: DFS block store, MapReduce runtime,
+// and the aggregate-analysis job's bit-exact equivalence with the
+// in-memory engine.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/aggregate_engine.hpp"
+#include "mapreduce/aggregate_job.hpp"
+#include "mapreduce/dfs.hpp"
+#include "mapreduce/framework.hpp"
+#include "util/require.hpp"
+
+namespace riskan::mapreduce {
+namespace {
+
+DfsConfig test_dfs_config(const char* name) {
+  DfsConfig config;
+  config.root_dir = std::string("/tmp/riskan-dfs-test-") + name;
+  config.block_size = 256;
+  return config;
+}
+
+std::vector<std::byte> make_bytes(std::size_t n, int fill) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+TEST(Dfs, SplitsFilesIntoBlocks) {
+  Dfs dfs(test_dfs_config("split"));
+  const auto data = make_bytes(1000, 7);
+  dfs.write("file", data);
+  EXPECT_TRUE(dfs.exists("file"));
+  EXPECT_EQ(dfs.block_count("file"), 4u);  // 256*3 + 232
+  EXPECT_EQ(dfs.read_block("file", 0).size(), 256u);
+  EXPECT_EQ(dfs.read_block("file", 3).size(), 232u);
+  const auto back = dfs.read_all("file");
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(dfs.logical_bytes(), 1000u);
+}
+
+TEST(Dfs, EmptyFileHasOneBlock) {
+  Dfs dfs(test_dfs_config("empty"));
+  dfs.write("empty", {});
+  EXPECT_EQ(dfs.block_count("empty"), 1u);
+  EXPECT_EQ(dfs.read_all("empty").size(), 0u);
+}
+
+TEST(Dfs, ReplicationMultipliesPhysicalBytes) {
+  auto config = test_dfs_config("repl");
+  config.replication = 3;
+  Dfs dfs(config);
+  dfs.write("file", make_bytes(100, 1));
+  EXPECT_EQ(dfs.logical_bytes(), 100u);
+  EXPECT_EQ(dfs.physical_bytes(), 300u);
+}
+
+TEST(Dfs, OverwriteAndRemove) {
+  Dfs dfs(test_dfs_config("rm"));
+  dfs.write("f", make_bytes(100, 1));
+  dfs.write("f", make_bytes(50, 2));  // overwrite
+  EXPECT_EQ(dfs.logical_bytes(), 50u);
+  EXPECT_EQ(static_cast<int>(dfs.read_all("f")[0]), 2);
+  dfs.remove("f");
+  EXPECT_FALSE(dfs.exists("f"));
+  EXPECT_EQ(dfs.logical_bytes(), 0u);
+  EXPECT_THROW((void)dfs.block_count("f"), ContractViolation);
+  dfs.remove("never-existed");  // idempotent
+}
+
+TEST(Dfs, ChunkedWritePreservesChunkBoundaries) {
+  Dfs dfs(test_dfs_config("chunked"));
+  dfs.write_chunked("f", {make_bytes(10, 1), make_bytes(2000, 2), make_bytes(1, 3)});
+  EXPECT_EQ(dfs.block_count("f"), 3u);
+  EXPECT_EQ(dfs.read_block("f", 0).size(), 10u);
+  EXPECT_EQ(dfs.read_block("f", 1).size(), 2000u);  // a chunk may exceed block_size
+  EXPECT_EQ(dfs.read_block("f", 2).size(), 1u);
+}
+
+TEST(Dfs, ConfigContracts) {
+  DfsConfig bad = test_dfs_config("bad");
+  bad.block_size = 0;
+  EXPECT_THROW(Dfs{bad}, ContractViolation);
+  bad = test_dfs_config("bad2");
+  bad.replication = 0;
+  EXPECT_THROW(Dfs{bad}, ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce runtime
+// ---------------------------------------------------------------------------
+
+TEST(MapReduce, SumsPerKeyAcrossSplits) {
+  // 10 splits each emitting (split % 3, split): classic keyed sum.
+  MapReduceStats stats;
+  const auto result = run_mapreduce<int, double>(
+      10,
+      [](std::size_t split, const std::function<void(const int&, const double&)>& emit) {
+        emit(static_cast<int>(split % 3), static_cast<double>(split));
+      },
+      [](const double& a, const double& b) { return a + b; }, {}, &stats);
+
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.at(0), 0.0 + 3 + 6 + 9);
+  EXPECT_DOUBLE_EQ(result.at(1), 1.0 + 4 + 7);
+  EXPECT_DOUBLE_EQ(result.at(2), 2.0 + 5 + 8);
+  EXPECT_EQ(stats.map_emissions, 10u);
+  EXPECT_EQ(stats.reduce_groups, 3u);
+}
+
+TEST(MapReduce, CombinerReducesShuffleVolume) {
+  auto mapper = [](std::size_t /*split*/,
+                   const std::function<void(const int&, const double&)>& emit) {
+    for (int i = 0; i < 100; ++i) {
+      emit(i % 5, 1.0);  // heavy key repetition inside one task
+    }
+  };
+  auto add = [](const double& a, const double& b) { return a + b; };
+
+  MapReduceConfig with;
+  with.enable_combiner = true;
+  MapReduceStats stats_with;
+  const auto a = run_mapreduce<int, double>(4, mapper, add, with, &stats_with);
+
+  MapReduceConfig without;
+  without.enable_combiner = false;
+  MapReduceStats stats_without;
+  const auto b = run_mapreduce<int, double>(4, mapper, add, without, &stats_without);
+
+  // Same answer either way...
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, value] : a) {
+    EXPECT_DOUBLE_EQ(value, b.at(key));
+    EXPECT_DOUBLE_EQ(value, 80.0);  // 4 splits x 20 per key
+  }
+  // ...but the combiner collapses 400 emissions into 20 shuffle pairs.
+  EXPECT_EQ(stats_with.shuffle_pairs, 20u);
+  EXPECT_EQ(stats_without.shuffle_pairs, 400u);
+  EXPECT_LT(stats_with.shuffle_bytes, stats_without.shuffle_bytes);
+}
+
+TEST(MapReduce, ManyReducersSameAnswer) {
+  auto mapper = [](std::size_t split,
+                   const std::function<void(const int&, const double&)>& emit) {
+    emit(static_cast<int>(split), 2.0);
+  };
+  auto add = [](const double& a, const double& b) { return a + b; };
+  MapReduceConfig one;
+  one.reducers = 1;
+  MapReduceConfig many;
+  many.reducers = 16;
+  const auto a = run_mapreduce<int, double>(50, mapper, add, one);
+  const auto b = run_mapreduce<int, double>(50, mapper, add, many);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MapReduce, ContractsEnforced) {
+  auto mapper = [](std::size_t, const std::function<void(const int&, const double&)>&) {};
+  auto add = [](const double& a, const double& b) { return a + b; };
+  EXPECT_THROW((run_mapreduce<int, double>(0, mapper, add)), ContractViolation);
+  MapReduceConfig bad;
+  bad.reducers = 0;
+  EXPECT_THROW((run_mapreduce<int, double>(1, mapper, add, bad)), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate-analysis job
+// ---------------------------------------------------------------------------
+
+class AggregateJobFixture : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    finance::PortfolioGenConfig pg;
+    pg.contracts = 5;
+    pg.catalog_events = 200;
+    pg.elt_rows = 60;
+    portfolio_ = finance::generate_portfolio(pg);
+    data::YeltGenConfig yg;
+    yg.trials = 900;
+    yelt_ = data::generate_yelt(200, yg);
+  }
+
+  finance::Portfolio portfolio_;
+  data::YearEventLossTable yelt_;
+};
+
+TEST_P(AggregateJobFixture, MatchesInMemoryEngineBitExactly) {
+  const bool secondary = GetParam();
+
+  core::EngineConfig engine;
+  engine.backend = core::Backend::Sequential;
+  engine.secondary_uncertainty = secondary;
+  engine.compute_oep = false;
+  engine.keep_contract_ylts = false;
+  const auto reference = core::run_aggregate_analysis(portfolio_, yelt_, engine);
+
+  Dfs dfs(test_dfs_config(secondary ? "job-sec" : "job-mean"));
+  AggregateJobConfig job;
+  job.trials_per_block = 128;  // uneven final block
+  job.secondary_uncertainty = secondary;
+  const auto result = run_aggregate_job(dfs, portfolio_, yelt_, job);
+
+  ASSERT_EQ(result.portfolio_ylt.trials(), yelt_.trials());
+  for (TrialId t = 0; t < yelt_.trials(); ++t) {
+    ASSERT_EQ(result.portfolio_ylt[t], reference.portfolio_ylt[t]) << "trial " << t;
+  }
+  EXPECT_EQ(result.blocks, (yelt_.trials() + 127) / 128);
+  EXPECT_GT(result.dfs_bytes, 0u);
+  EXPECT_EQ(result.mr_stats.reduce_groups, yelt_.trials());
+}
+
+INSTANTIATE_TEST_SUITE_P(SecondaryOnOff, AggregateJobFixture, ::testing::Bool());
+
+TEST_F(AggregateJobFixture, BlockSizeDoesNotChangeResults) {
+  Dfs dfs_small(test_dfs_config("blk-small"));
+  Dfs dfs_large(test_dfs_config("blk-large"));
+  AggregateJobConfig small;
+  small.trials_per_block = 64;
+  AggregateJobConfig large;
+  large.trials_per_block = 500;
+  const auto a = run_aggregate_job(dfs_small, portfolio_, yelt_, small);
+  const auto b = run_aggregate_job(dfs_large, portfolio_, yelt_, large);
+  for (TrialId t = 0; t < yelt_.trials(); ++t) {
+    ASSERT_EQ(a.portfolio_ylt[t], b.portfolio_ylt[t]);
+  }
+}
+
+TEST_F(AggregateJobFixture, StageInIsIdempotent) {
+  Dfs dfs(test_dfs_config("stage"));
+  AggregateJobConfig job;
+  job.trials_per_block = 100;
+  const auto blocks = stage_yelt(dfs, yelt_, job);
+  EXPECT_EQ(blocks, dfs.block_count(job.dfs_file));
+  // Second run reuses the staged file (no duplicate bytes).
+  const auto before = dfs.logical_bytes();
+  const auto result = run_aggregate_job(dfs, portfolio_, yelt_, job);
+  EXPECT_EQ(dfs.logical_bytes(), before);
+  EXPECT_EQ(result.blocks, blocks);
+}
+
+}  // namespace
+}  // namespace riskan::mapreduce

@@ -1,0 +1,279 @@
+// Randomised property tests over the financial algebra and the engine.
+//
+// Each property is checked over a sweep of randomly generated
+// configurations (seeded, so failures reproduce). These are the invariants
+// DESIGN.md commits to:
+//   * layer terms: monotone, 1-Lipschitz, bounded, share-linear;
+//   * engine: portfolio additivity, trial-permutation invariance of the
+//     loss distribution, share linearity, seed stability;
+//   * metrics: coherence (monotone VaR, TVaR dominance, positive
+//     homogeneity, translation equivariance) on random YLTs;
+//   * serialization: random-table round-trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/aggregate_engine.hpp"
+#include "core/metrics.hpp"
+#include "data/serialize.hpp"
+#include "finance/terms.hpp"
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace riskan {
+namespace {
+
+finance::LayerTerms random_terms(Xoshiro256ss& rng, bool allow_franchise = true) {
+  finance::LayerTerms terms;
+  terms.occ_retention = sample_uniform(rng, 0.0, 500.0);
+  terms.occ_limit = sample_uniform(rng, 50.0, 2'000.0);
+  terms.agg_retention = sample_uniform(rng, 0.0, 300.0);
+  terms.agg_limit = sample_uniform(rng, 100.0, 5'000.0);
+  terms.share = sample_uniform(rng, 0.05, 1.0);
+  if (allow_franchise && to_unit_double(rng()) < 0.3) {
+    terms.retention_kind = finance::RetentionKind::Franchise;
+  }
+  return terms;
+}
+
+class TermsProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TermsProperties, OccurrenceInvariants) {
+  Xoshiro256ss rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const auto terms = random_terms(rng);
+    double prev_out = 0.0;
+    double prev_in = 0.0;
+    for (int step = 0; step < 60; ++step) {
+      const double gu = prev_in + sample_uniform(rng, 0.0, 100.0);
+      const double out = finance::apply_occurrence(terms, gu);
+      // Bounded by the limit, non-negative.
+      ASSERT_GE(out, 0.0);
+      ASSERT_LE(out, terms.occ_limit);
+      // Monotone in the ground-up loss.
+      ASSERT_GE(out, prev_out);
+      if (terms.retention_kind == finance::RetentionKind::Deductible) {
+        // 1-Lipschitz (franchise layers jump at the trigger, deductible
+        // layers never amplify an increment).
+        ASSERT_LE(out - prev_out, (gu - prev_in) + 1e-9);
+        // Never pays more than the loss.
+        ASSERT_LE(out, gu + 1e-9);
+      }
+      prev_out = out;
+      prev_in = gu;
+    }
+  }
+}
+
+TEST_P(TermsProperties, AggregateInvariants) {
+  Xoshiro256ss rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const auto terms = random_terms(rng);
+    double prev_out = 0.0;
+    double prev_in = 0.0;
+    for (int step = 0; step < 60; ++step) {
+      const double annual = prev_in + sample_uniform(rng, 0.0, 200.0);
+      const double out = finance::apply_aggregate(terms, annual);
+      ASSERT_GE(out, 0.0);
+      ASSERT_LE(out, terms.agg_limit);
+      ASSERT_GE(out, prev_out);
+      ASSERT_LE(out - prev_out, (annual - prev_in) + 1e-9);
+      prev_out = out;
+      prev_in = annual;
+    }
+  }
+}
+
+TEST_P(TermsProperties, YearNetIsShareLinear) {
+  Xoshiro256ss rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    auto terms = random_terms(rng);
+    std::vector<Money> losses;
+    for (int i = 0; i < 8; ++i) {
+      losses.push_back(sample_uniform(rng, 0.0, 1'000.0));
+    }
+    terms.share = 1.0;
+    const double full = finance::apply_year(terms, losses);
+    terms.share = 0.37;
+    const double partial = finance::apply_year(terms, losses);
+    ASSERT_NEAR(partial, 0.37 * full, 1e-9);
+  }
+}
+
+TEST_P(TermsProperties, FranchisePaysAtLeastDeductible) {
+  Xoshiro256ss rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    auto terms = random_terms(rng, /*allow_franchise=*/false);
+    auto franchise = terms;
+    franchise.retention_kind = finance::RetentionKind::Franchise;
+    for (int step = 0; step < 40; ++step) {
+      const double gu = sample_uniform(rng, 0.0, 3'000.0);
+      // Ground-up payout from a franchise trigger dominates the deductible
+      // form at equal retention/limit.
+      ASSERT_GE(finance::apply_occurrence(franchise, gu),
+                finance::apply_occurrence(terms, gu) - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermsProperties,
+                         ::testing::Values(1u, 7u, 23u, 99u, 1234u));
+
+// ---------------------------------------------------------------------------
+// Engine properties
+// ---------------------------------------------------------------------------
+
+struct EngineWorld {
+  finance::Portfolio portfolio;
+  data::YearEventLossTable yelt;
+};
+
+EngineWorld random_world(std::uint64_t seed, std::size_t contracts = 4) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = contracts;
+  pg.catalog_events = 250;
+  pg.elt_rows = 60;
+  pg.seed = seed;
+  data::YeltGenConfig yg;
+  yg.trials = 400;
+  yg.seed = seed * 31 + 7;
+  return EngineWorld{finance::generate_portfolio(pg), data::generate_yelt(250, yg)};
+}
+
+class EngineProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperties, PortfolioIsTrialwiseAdditive) {
+  const auto world = random_world(GetParam(), 6);
+  core::EngineConfig config;
+  config.backend = core::Backend::Sequential;
+  config.compute_oep = false;
+
+  const auto whole = core::run_aggregate_analysis(world.portfolio, world.yelt, config);
+
+  // Split 6 contracts into two sub-portfolios and re-run.
+  finance::Portfolio first;
+  finance::Portfolio second;
+  for (std::size_t c = 0; c < world.portfolio.size(); ++c) {
+    (c < 3 ? first : second).add(world.portfolio.contract(c));
+  }
+  const auto a = core::run_aggregate_analysis(first, world.yelt, config);
+  const auto b = core::run_aggregate_analysis(second, world.yelt, config);
+
+  for (TrialId t = 0; t < world.yelt.trials(); ++t) {
+    ASSERT_NEAR(a.portfolio_ylt[t] + b.portfolio_ylt[t], whole.portfolio_ylt[t], 1e-6);
+  }
+}
+
+TEST_P(EngineProperties, LossDistributionInvariantUnderTrialPermutation) {
+  const auto world = random_world(GetParam());
+  core::EngineConfig config;
+  config.backend = core::Backend::Sequential;
+  config.secondary_uncertainty = false;  // permutation re-keys secondary draws
+  config.compute_oep = false;
+
+  const auto base = core::run_aggregate_analysis(world.portfolio, world.yelt, config);
+
+  // Rebuild the YELT with trials reversed.
+  data::YearEventLossTable::Builder builder(world.yelt.trials());
+  for (TrialId t = world.yelt.trials(); t-- > 0;) {
+    builder.begin_trial();
+    const auto events = world.yelt.trial_events(t);
+    const auto days = world.yelt.trial_days(t);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      builder.add(events[i], days[i]);
+    }
+  }
+  const auto reversed_yelt = builder.finish();
+  const auto reversed =
+      core::run_aggregate_analysis(world.portfolio, reversed_yelt, config);
+
+  // Trial t of the reversed run equals trial (n-1-t) of the base run...
+  const TrialId n = world.yelt.trials();
+  for (TrialId t = 0; t < n; ++t) {
+    ASSERT_EQ(reversed.portfolio_ylt[t], base.portfolio_ylt[n - 1 - t]);
+  }
+  // ...so every distributional metric agrees exactly.
+  auto s1 = core::summarise(base.portfolio_ylt);
+  auto s2 = core::summarise(reversed.portfolio_ylt);
+  ASSERT_DOUBLE_EQ(s1.var_99, s2.var_99);
+  ASSERT_DOUBLE_EQ(s1.tvar_99, s2.tvar_99);
+}
+
+TEST_P(EngineProperties, DroppingACatalogueEventNeverRaisesLoss) {
+  const auto world = random_world(GetParam(), 1);
+  core::EngineConfig config;
+  config.backend = core::Backend::Sequential;
+  config.secondary_uncertainty = false;
+  config.compute_oep = false;
+
+  const auto base = core::run_aggregate_analysis(world.portfolio, world.yelt, config);
+
+  // Remove one event from the contract's ELT (its losses vanish).
+  const auto& original = world.portfolio.contract(0);
+  std::vector<data::EltRow> rows;
+  for (std::size_t i = 1; i < original.elt().size(); ++i) {
+    rows.push_back(original.elt().row(i));
+  }
+  finance::Portfolio reduced;
+  reduced.add(finance::Contract(0, data::EventLossTable::from_rows(std::move(rows)),
+                                original.layers()));
+  const auto thinner = core::run_aggregate_analysis(reduced, world.yelt, config);
+
+  for (TrialId t = 0; t < world.yelt.trials(); ++t) {
+    ASSERT_LE(thinner.portfolio_ylt[t], base.portfolio_ylt[t] + 1e-9);
+  }
+}
+
+TEST_P(EngineProperties, MetricCoherenceOnEngineOutput) {
+  const auto world = random_world(GetParam());
+  const auto result = core::run_aggregate_analysis(world.portfolio, world.yelt, {});
+  const auto& ylt = result.portfolio_ylt;
+
+  double prev_var = -1.0;
+  for (const double p : {0.5, 0.7, 0.9, 0.95, 0.99}) {
+    const double var = core::value_at_risk(ylt, p);
+    ASSERT_GE(var, prev_var);
+    ASSERT_GE(core::tail_value_at_risk(ylt, p), var);
+    prev_var = var;
+  }
+
+  // Positive homogeneity + translation equivariance on the engine output.
+  auto scaled = ylt;
+  scaled *= 2.5;
+  ASSERT_NEAR(core::value_at_risk(scaled, 0.95), 2.5 * core::value_at_risk(ylt, 0.95),
+              1e-9);
+}
+
+TEST_P(EngineProperties, SerializationRoundTripsEngineInputsAndOutputs) {
+  const auto world = random_world(GetParam(), 2);
+
+  // ELT round trip.
+  ByteWriter ew;
+  data::encode(world.portfolio.contract(0).elt(), ew);
+  ByteReader er(ew.buffer());
+  const auto elt2 = data::decode_elt(er);
+  ASSERT_EQ(elt2.size(), world.portfolio.contract(0).elt().size());
+
+  // YELT round trip.
+  ByteWriter yw;
+  data::encode(world.yelt, yw);
+  ByteReader yr(yw.buffer());
+  const auto yelt2 = data::decode_yelt(yr);
+
+  // Same inputs -> same outputs through the round trip.
+  core::EngineConfig config;
+  config.backend = core::Backend::Sequential;
+  const auto a = core::run_aggregate_analysis(world.portfolio, world.yelt, config);
+  const auto b = core::run_aggregate_analysis(world.portfolio, yelt2, config);
+  for (TrialId t = 0; t < world.yelt.trials(); ++t) {
+    ASSERT_EQ(a.portfolio_ylt[t], b.portfolio_ylt[t]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperties,
+                         ::testing::Values(11u, 29u, 57u, 83u, 1001u));
+
+}  // namespace
+}  // namespace riskan

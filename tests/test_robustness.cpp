@@ -1,0 +1,148 @@
+// Failure-injection and robustness: truncated/corrupted files must throw
+// ContractViolation (never crash or return garbage), and the clustered
+// frequency model must honour its moments.
+#include <gtest/gtest.h>
+
+#include "data/chunked_file.hpp"
+#include "data/serialize.hpp"
+#include "util/bytes.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace riskan::data {
+namespace {
+
+template <typename Table>
+std::vector<std::byte> encoded(const Table& table) {
+  ByteWriter writer;
+  encode(table, writer);
+  return writer.buffer();
+}
+
+TEST(Robustness, TruncatedEltThrowsAtEveryLength) {
+  const auto elt = EventLossTable::from_rows({
+      {1, 10.0, 1.0, 50.0},
+      {2, 20.0, 2.0, 80.0},
+      {7, 30.0, 3.0, 90.0},
+  });
+  const auto bytes = encoded(elt);
+  // Every strict prefix must fail loudly.
+  for (std::size_t len = 0; len < bytes.size(); len += 3) {
+    ByteReader reader(std::span<const std::byte>(bytes).subspan(0, len));
+    EXPECT_THROW((void)decode_elt(reader), ContractViolation) << "length " << len;
+  }
+  // The full buffer still decodes.
+  ByteReader reader(bytes);
+  EXPECT_EQ(decode_elt(reader).size(), 3u);
+}
+
+TEST(Robustness, TruncatedYeltThrows) {
+  YeltGenConfig config;
+  config.trials = 40;
+  const auto yelt = generate_yelt(50, config);
+  const auto bytes = encoded(yelt);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{4}, std::size_t{17},
+                                bytes.size() / 2, bytes.size() - 1}) {
+    ByteReader reader(std::span<const std::byte>(bytes).subspan(0, len));
+    EXPECT_THROW((void)decode_yelt(reader), ContractViolation) << "length " << len;
+  }
+}
+
+TEST(Robustness, BitFlippedMagicRejected) {
+  YearLossTable ylt(5, "x");
+  auto bytes = encoded(ylt);
+  bytes[0] ^= std::byte{0x01};
+  ByteReader reader(bytes);
+  EXPECT_THROW((void)decode_ylt(reader), ContractViolation);
+}
+
+TEST(Robustness, ChunkedFileTruncationDetected) {
+  const std::string path = "/tmp/riskan_robust_chunks.bin";
+  {
+    ChunkedFileWriter writer(path);
+    ByteWriter chunk;
+    chunk.str("payload payload payload");
+    writer.append(chunk.buffer());
+    writer.finish();
+  }
+  auto bytes = read_file(path);
+  // Drop the tail so the directory offset points past the end.
+  std::vector<std::byte> truncated(bytes.begin(), bytes.end() - 6);
+  write_file(path, truncated);
+  EXPECT_THROW(ChunkedFileReader{path}, ContractViolation);
+  remove_file(path);
+}
+
+TEST(Robustness, ChunkedFileBodyCorruptionDetected) {
+  const std::string path = "/tmp/riskan_robust_chunks2.bin";
+  {
+    ChunkedFileWriter writer(path);
+    ByteWriter chunk;
+    chunk.u64(42);
+    writer.append(chunk.buffer());
+    writer.finish();
+  }
+  auto bytes = read_file(path);
+  // Grow the directory's size entry beyond the body.
+  // Directory layout: [body][u64 count][u64 size][magic u32][u64 offset].
+  const std::size_t size_pos = bytes.size() - 12 - 8;
+  bytes[size_pos] = std::byte{0xFF};
+  write_file(path, bytes);
+  EXPECT_THROW(ChunkedFileReader{path}, ContractViolation);
+  remove_file(path);
+}
+
+// ---------------------------------------------------------------------------
+// Clustered (negative binomial) frequency
+// ---------------------------------------------------------------------------
+
+TEST(ClusteredFrequency, OverdispersionRaisesVariance) {
+  YeltGenConfig poisson;
+  poisson.trials = 20'000;
+  poisson.mean_events_per_year = 8.0;
+  poisson.seed = 21;
+  YeltGenConfig clustered = poisson;
+  clustered.dispersion = 0.5;
+
+  auto count_stats = [](const YearEventLossTable& yelt) {
+    OnlineStats stats;
+    for (TrialId t = 0; t < yelt.trials(); ++t) {
+      stats.add(static_cast<double>(yelt.trial_size(t)));
+    }
+    return stats;
+  };
+
+  const auto a = count_stats(generate_yelt(100, poisson));
+  const auto b = count_stats(generate_yelt(100, clustered));
+
+  // Both preserve the mean...
+  EXPECT_NEAR(a.mean(), 8.0, 0.2);
+  EXPECT_NEAR(b.mean(), 8.0, 0.3);
+  // ...Poisson has variance ~= mean; NB has variance = mean(1 + d*mean).
+  EXPECT_NEAR(a.variance() / a.mean(), 1.0, 0.1);
+  const double expected_ratio = 1.0 + 0.5 * 8.0;
+  EXPECT_NEAR(b.variance() / b.mean(), expected_ratio, 0.2 * expected_ratio);
+}
+
+TEST(ClusteredFrequency, ZeroDispersionIsPoissonPathIdentical) {
+  YeltGenConfig a;
+  a.trials = 200;
+  a.seed = 3;
+  YeltGenConfig b = a;
+  b.dispersion = 0.0;
+  const auto ya = generate_yelt(50, a);
+  const auto yb = generate_yelt(50, b);
+  ASSERT_EQ(ya.entries(), yb.entries());
+  for (std::size_t i = 0; i < ya.entries(); ++i) {
+    ASSERT_EQ(ya.events()[i], yb.events()[i]);
+  }
+}
+
+TEST(ClusteredFrequency, NegativeDispersionRejected) {
+  YeltGenConfig config;
+  config.dispersion = -0.1;
+  EXPECT_THROW((void)generate_yelt(10, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan::data

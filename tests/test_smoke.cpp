@@ -1,0 +1,34 @@
+// Build smoke test: the whole stack links and a minimal pipeline runs.
+#include <gtest/gtest.h>
+
+#include "core/aggregate_engine.hpp"
+#include "core/metrics.hpp"
+#include "data/yelt.hpp"
+#include "finance/contract.hpp"
+
+namespace riskan {
+namespace {
+
+TEST(Smoke, TinyPipelineRuns) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 3;
+  pg.catalog_events = 100;
+  pg.elt_rows = 30;
+  const auto portfolio = finance::generate_portfolio(pg);
+
+  data::YeltGenConfig yg;
+  yg.trials = 200;
+  const auto yelt = data::generate_yelt(100, yg);
+
+  core::EngineConfig config;
+  config.backend = core::Backend::Sequential;
+  const auto result = core::run_aggregate_analysis(portfolio, yelt, config);
+
+  EXPECT_EQ(result.portfolio_ylt.trials(), 200u);
+  EXPECT_GE(result.portfolio_ylt.total(), 0.0);
+  const auto summary = core::summarise(result.portfolio_ylt);
+  EXPECT_GE(summary.tvar_99, summary.var_99);
+}
+
+}  // namespace
+}  // namespace riskan

@@ -1,0 +1,159 @@
+// Statistical validation of the full chain against closed-form
+// expectations: for an unlimited ground-up layer the engine's mean annual
+// loss must equal the catalogue's pure premium  sum_e rate_e * mean_e,
+// and secondary uncertainty must preserve that mean (beta sampling is
+// mean-preserving; occurrence terms are the only nonlinearity and are
+// disabled here).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catmod/event_catalog.hpp"
+#include "catmod/yelt_bridge.hpp"
+#include "core/aggregate_engine.hpp"
+#include "data/elt.hpp"
+#include "finance/contract.hpp"
+#include "util/distributions.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace riskan {
+namespace {
+
+struct Chain {
+  catmod::EventCatalog catalog;
+  data::EventLossTable elt;
+  finance::Portfolio portfolio;
+  double pure_premium = 0.0;  // sum rate_e * mean_e
+};
+
+Chain build_chain(std::uint64_t seed) {
+  catmod::CatalogConfig cc;
+  cc.events = 600;
+  cc.seed = seed;
+  Chain chain{catmod::EventCatalog::generate(cc), {}, {}, 0.0};
+
+  std::vector<data::EltRow> rows;
+  Xoshiro256ss rng(seed + 1);
+  for (EventId e = 0; e < 600; ++e) {
+    const Money mean = sample_truncated_pareto(rng, 1.3, 1e4, 1e7);
+    rows.push_back({e, mean, mean * 0.5, mean * 4.0});
+    chain.pure_premium += chain.catalog.event(e).annual_rate * mean;
+  }
+  chain.elt = data::EventLossTable::from_rows(std::move(rows));
+
+  finance::Layer ground_up;
+  ground_up.id = 0;
+  ground_up.terms.occ_retention = 0.0;
+  ground_up.terms.occ_limit = 1e18;
+  ground_up.terms.agg_limit = 1e18;
+  chain.portfolio.add(finance::Contract(0, chain.elt, {ground_up}));
+  return chain;
+}
+
+class ChainValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainValidation, EngineMeanMatchesPurePremium) {
+  const auto chain = build_chain(GetParam());
+
+  catmod::CatalogYeltConfig yc;
+  yc.trials = 30'000;
+  yc.seed = GetParam() * 13 + 1;
+  const auto yelt = catmod::simulate_yelt(chain.catalog, yc);
+
+  core::EngineConfig config;
+  config.secondary_uncertainty = false;
+  config.compute_oep = false;
+  config.keep_contract_ylts = false;
+  const auto result = core::run_aggregate_analysis(chain.portfolio, yelt, config);
+
+  // Monte Carlo error: the annual loss is a compound Poisson sum of
+  // heavy-ish severities; 30k trials pin the mean to a few percent.
+  EXPECT_NEAR(result.portfolio_ylt.mean() / chain.pure_premium, 1.0, 0.06)
+      << "pure premium " << chain.pure_premium;
+}
+
+TEST_P(ChainValidation, SecondarySamplingPreservesTheMean) {
+  const auto chain = build_chain(GetParam());
+  catmod::CatalogYeltConfig yc;
+  yc.trials = 30'000;
+  yc.seed = GetParam() * 17 + 3;
+  const auto yelt = catmod::simulate_yelt(chain.catalog, yc);
+
+  core::EngineConfig off;
+  off.secondary_uncertainty = false;
+  off.compute_oep = false;
+  off.keep_contract_ylts = false;
+  core::EngineConfig on = off;
+  on.secondary_uncertainty = true;
+
+  const auto base = core::run_aggregate_analysis(chain.portfolio, yelt, off);
+  const auto sampled = core::run_aggregate_analysis(chain.portfolio, yelt, on);
+
+  // Without occurrence terms the beta draw is unbiased, so the means agree
+  // up to sampling error (the sampled run has extra variance).
+  EXPECT_NEAR(sampled.portfolio_ylt.mean() / base.portfolio_ylt.mean(), 1.0, 0.05);
+}
+
+TEST_P(ChainValidation, OccurrenceTermsOnlyEverReduce) {
+  const auto chain = build_chain(GetParam());
+  catmod::CatalogYeltConfig yc;
+  yc.trials = 5'000;
+  const auto yelt = catmod::simulate_yelt(chain.catalog, yc);
+
+  // Same book with a retention: every trial's loss must weakly decrease.
+  finance::Layer with_retention;
+  with_retention.id = 0;
+  with_retention.terms.occ_retention = 1e5;
+  with_retention.terms.occ_limit = 1e18;
+  with_retention.terms.agg_limit = 1e18;
+  finance::Portfolio retained;
+  retained.add(finance::Contract(0, chain.elt, {with_retention}));
+
+  core::EngineConfig config;
+  config.secondary_uncertainty = false;
+  config.compute_oep = false;
+  config.keep_contract_ylts = false;
+  const auto gross = core::run_aggregate_analysis(chain.portfolio, yelt, config);
+  const auto net = core::run_aggregate_analysis(retained, yelt, config);
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    ASSERT_LE(net.portfolio_ylt[t], gross.portfolio_ylt[t] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainValidation, ::testing::Values(101u, 202u, 303u));
+
+TEST(ChainValidation, AnnualLossVarianceMatchesCompoundPoisson) {
+  // Var of a compound Poisson sum = Lambda * E[X^2] under rate-weighted
+  // severity X. Check the simulated variance against it (no terms, no
+  // secondary).
+  const auto chain = build_chain(404);
+
+  double lambda = 0.0;
+  double second_moment_rate = 0.0;  // sum rate_e * mean_e^2
+  for (EventId e = 0; e < chain.catalog.size(); ++e) {
+    lambda += chain.catalog.event(e).annual_rate;
+    const auto row = chain.elt.row(chain.elt.find(e));
+    second_moment_rate += chain.catalog.event(e).annual_rate * row.mean_loss * row.mean_loss;
+  }
+
+  catmod::CatalogYeltConfig yc;
+  yc.trials = 60'000;
+  yc.seed = 9;
+  const auto yelt = catmod::simulate_yelt(chain.catalog, yc);
+  core::EngineConfig config;
+  config.secondary_uncertainty = false;
+  config.compute_oep = false;
+  config.keep_contract_ylts = false;
+  const auto result = core::run_aggregate_analysis(chain.portfolio, yelt, config);
+
+  OnlineStats stats;
+  for (const double loss : result.portfolio_ylt.losses()) {
+    stats.add(loss);
+  }
+  // Var = Lambda * E[X^2] = sum rate_e * mean_e^2 for the compound sum.
+  EXPECT_NEAR(stats.variance() / second_moment_rate, 1.0, 0.20);
+}
+
+}  // namespace
+}  // namespace riskan

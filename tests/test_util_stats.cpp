@@ -1,0 +1,220 @@
+// Statistics utilities: Welford accumulator (incl. parallel merge law),
+// quantiles against oracles, tail means, histogram, P2 streaming quantiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace riskan {
+namespace {
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(stats.stdev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, SampleVarianceUsesBessel) {
+  OnlineStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.0);
+}
+
+TEST(OnlineStats, FewSamplesHaveZeroVariance) {
+  OnlineStats stats;
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Xoshiro256ss rng(1);
+  std::vector<double> values(10'000);
+  for (auto& v : values) {
+    v = to_unit_double(rng()) * 100.0 - 50.0;
+  }
+
+  OnlineStats whole;
+  for (const double v : values) {
+    whole.add(v);
+  }
+
+  // Split into 7 uneven parts, merge.
+  OnlineStats merged;
+  std::size_t pos = 0;
+  const std::size_t cuts[] = {13, 400, 1000, 2500, 4000, 9000, 10'000};
+  for (const std::size_t cut : cuts) {
+    OnlineStats part;
+    for (; pos < cut; ++pos) {
+      part.add(values[pos]);
+    }
+    merged.merge(part);
+  }
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Quantile, MatchesType7Oracle) {
+  const std::vector<double> values{15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 35.0);
+  // NumPy: np.quantile([15,20,35,40,50], 0.4) = 29.0
+  EXPECT_DOUBLE_EQ(quantile(values, 0.4), 29.0);
+  // np.quantile(..., 0.75) = 40.0 (h = 0.75*4 = 3.0 exactly)
+  EXPECT_DOUBLE_EQ(quantile(values, 0.75), 40.0);
+  // np.quantile(..., 0.9) = 46.0
+  EXPECT_DOUBLE_EQ(quantile(values, 0.9), 46.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> values{50.0, 15.0, 40.0, 20.0, 35.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 35.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> values{42.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.37), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 42.0);
+}
+
+TEST(Quantile, ContractsEnforced) {
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), ContractViolation);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(quantile(one, -0.1), ContractViolation);
+  EXPECT_THROW(quantile(one, 1.1), ContractViolation);
+}
+
+TEST(TailMean, MatchesHandComputed) {
+  std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
+  // 0.8-quantile (type 7) = 8.2; values above: 9, 10 -> mean 9.5.
+  EXPECT_DOUBLE_EQ(tail_mean_above(sorted, 0.8), 9.5);
+}
+
+TEST(TailMean, EmptyTailReturnsQuantile) {
+  std::vector<double> sorted{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(tail_mean_above(sorted, 0.9), 5.0);
+}
+
+TEST(TailMean, DominatesQuantile) {
+  Xoshiro256ss rng(3);
+  std::vector<double> values(5000);
+  for (auto& v : values) {
+    v = to_unit_double(rng());
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {0.5, 0.9, 0.99}) {
+    EXPECT_GE(tail_mean_above(values, p), quantile_sorted(values, p));
+  }
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(1.99);   // bin 0
+  h.add(2.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // overflow (right-open)
+  h.add(100.0);  // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, ContractsEnforced) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.bin_count(2), ContractViolation);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksExactQuantileOnUniform) {
+  const double p = GetParam();
+  P2Quantile estimator(p);
+  Xoshiro256ss rng(4);
+  std::vector<double> all;
+  const int n = 50'000;
+  all.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = to_unit_double(rng());
+    estimator.add(x);
+    all.push_back(x);
+  }
+  const double exact = quantile(all, p);
+  EXPECT_NEAR(estimator.value(), exact, 0.01) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, P2Accuracy, ::testing::Values(0.1, 0.5, 0.9, 0.95, 0.99));
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile est(0.5);
+  est.add(3.0);
+  EXPECT_DOUBLE_EQ(est.value(), 3.0);
+  est.add(1.0);
+  EXPECT_DOUBLE_EQ(est.value(), 2.0);  // median of {1,3}
+  est.add(2.0);
+  EXPECT_DOUBLE_EQ(est.value(), 2.0);
+}
+
+TEST(P2Quantile, HeavyTailStillReasonable) {
+  P2Quantile est(0.99);
+  Xoshiro256ss rng(5);
+  std::vector<double> all;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = std::pow(to_unit_double_open(rng()), -1.0 / 2.0);  // Pareto a=2
+    est.add(x);
+    all.push_back(x);
+  }
+  const double exact = quantile(all, 0.99);
+  EXPECT_NEAR(est.value() / exact, 1.0, 0.15);
+}
+
+TEST(P2Quantile, RejectsDegenerateLevels) {
+  EXPECT_THROW(P2Quantile(0.0), ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan

@@ -1,0 +1,158 @@
+// Warehouse roll-up cube: consistency of pre-computed views with the
+// underlying YLTs.
+#include <gtest/gtest.h>
+
+#include "core/aggregate_engine.hpp"
+#include "util/require.hpp"
+#include "warehouse/cube.hpp"
+
+namespace riskan::warehouse {
+namespace {
+
+class CubeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    finance::PortfolioGenConfig pg;
+    pg.contracts = 24;  // spans all perils/regions/lobs via round-robin
+    pg.catalog_events = 300;
+    pg.elt_rows = 50;
+    portfolio_ = finance::generate_portfolio(pg);
+    data::YeltGenConfig yg;
+    yg.trials = 400;
+    yelt_ = data::generate_yelt(300, yg);
+
+    core::EngineConfig config;
+    config.backend = core::Backend::Sequential;
+    config.keep_contract_ylts = true;
+    result_ = core::run_aggregate_analysis(portfolio_, yelt_, config);
+  }
+
+  finance::Portfolio portfolio_;
+  data::YearEventLossTable yelt_;
+  core::EngineResult result_;
+};
+
+TEST_F(CubeFixture, GrandTotalMatchesPortfolioYlt) {
+  const RiskCube cube(portfolio_, result_);
+  const auto& total = cube.total();
+  EXPECT_EQ(total.contracts, portfolio_.size());
+  for (TrialId t = 0; t < yelt_.trials(); ++t) {
+    ASSERT_NEAR(total.ylt[t], result_.portfolio_ylt[t], 1e-6);
+  }
+  EXPECT_GE(total.summary.tvar_99, total.summary.var_99);
+}
+
+TEST_F(CubeFixture, SingleDimensionSlicesPartitionTheTotal) {
+  const RiskCube cube(portfolio_, result_);
+  // Summing the peril slices trial-wise must reproduce the grand total.
+  data::YearLossTable sum(yelt_.trials());
+  std::size_t contracts = 0;
+  for (int p = 0; p < kPerilCount; ++p) {
+    CubeQuery q;
+    q.peril = static_cast<Peril>(p);
+    const auto* cell = cube.query(q);
+    if (cell == nullptr) {
+      continue;
+    }
+    sum += cell->ylt;
+    contracts += cell->contracts;
+  }
+  EXPECT_EQ(contracts, portfolio_.size());
+  for (TrialId t = 0; t < yelt_.trials(); ++t) {
+    ASSERT_NEAR(sum[t], cube.total().ylt[t], 1e-6);
+  }
+}
+
+TEST_F(CubeFixture, FullCoordinateCellMatchesManualAggregation) {
+  const RiskCube cube(portfolio_, result_);
+  const auto& contract = portfolio_.contract(0);
+  CubeQuery q{contract.peril(), contract.region(), contract.lob()};
+  const auto* cell = cube.query(q);
+  ASSERT_NE(cell, nullptr);
+
+  data::YearLossTable manual(yelt_.trials());
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < portfolio_.size(); ++c) {
+    const auto& k = portfolio_.contract(c);
+    if (k.peril() == contract.peril() && k.region() == contract.region() &&
+        k.lob() == contract.lob()) {
+      manual += result_.contract_ylts[c];
+      ++count;
+    }
+  }
+  EXPECT_EQ(cell->contracts, count);
+  for (TrialId t = 0; t < yelt_.trials(); ++t) {
+    ASSERT_NEAR(cell->ylt[t], manual[t], 1e-9);
+  }
+}
+
+TEST_F(CubeFixture, QueriesMissingCombinationsReturnNull) {
+  const RiskCube cube(portfolio_, result_);
+  // The generator assigns peril c%5, region c%5, lob c%4 — peril 0 always
+  // pairs with region 0, so (peril 0, region 1) never exists.
+  CubeQuery q;
+  q.peril = Peril::Earthquake;
+  q.region = Region::Europe;
+  EXPECT_EQ(cube.query(q), nullptr);
+}
+
+TEST_F(CubeFixture, StatsAreFilled) {
+  const RiskCube cube(portfolio_, result_);
+  const auto& stats = cube.stats();
+  EXPECT_GT(stats.base_cells, 0u);
+  EXPECT_EQ(stats.rollup_views, 8u);
+  EXPECT_GE(stats.rollup_cells, stats.base_cells);
+  EXPECT_GE(stats.precompute_seconds, 0.0);
+}
+
+TEST_F(CubeFixture, SubtotalsNeverExceedTotalTail) {
+  const RiskCube cube(portfolio_, result_);
+  // Mean is additive: slice means sum to the total mean. (Tail metrics are
+  // not additive — that is the diversification point — but each slice's
+  // mean must be <= total mean.)
+  const auto total_mean = cube.total().summary.mean_annual_loss;
+  for (int p = 0; p < kPerilCount; ++p) {
+    CubeQuery q;
+    q.peril = static_cast<Peril>(p);
+    if (const auto* cell = cube.query(q)) {
+      EXPECT_LE(cell->summary.mean_annual_loss, total_mean + 1e-9);
+    }
+  }
+}
+
+TEST_F(CubeFixture, TopConcentrationsAreSortedFullCells) {
+  const RiskCube cube(portfolio_, result_);
+  const auto top = cube.top_concentrations(5);
+  ASSERT_FALSE(top.empty());
+  ASSERT_LE(top.size(), 5u);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    ASSERT_NE(top[i].cell, nullptr);
+    EXPECT_TRUE(top[i].coordinates.peril.has_value());
+    EXPECT_TRUE(top[i].coordinates.region.has_value());
+    EXPECT_TRUE(top[i].coordinates.lob.has_value());
+    if (i > 0) {
+      EXPECT_GE(top[i - 1].cell->summary.tvar_99, top[i].cell->summary.tvar_99);
+    }
+    // No slice's tail exceeds the whole book's worst case.
+    EXPECT_LE(top[i].cell->summary.max_loss, cube.total().summary.max_loss + 1e-9);
+  }
+  EXPECT_THROW((void)cube.top_concentrations(0), ContractViolation);
+}
+
+TEST(Cube, RequiresContractYlts) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 2;
+  pg.catalog_events = 50;
+  pg.elt_rows = 10;
+  const auto portfolio = finance::generate_portfolio(pg);
+  data::YeltGenConfig yg;
+  yg.trials = 50;
+  const auto yelt = data::generate_yelt(50, yg);
+  core::EngineConfig config;
+  config.keep_contract_ylts = false;
+  const auto result = core::run_aggregate_analysis(portfolio, yelt, config);
+  EXPECT_THROW(RiskCube(portfolio, result), ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan::warehouse
