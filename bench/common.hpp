@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/yelt.hpp"
 #include "finance/contract.hpp"
@@ -25,7 +28,8 @@ struct Workload {
 
 inline Workload make_workload(std::size_t contracts, std::size_t elt_rows, TrialId trials,
                               double events_per_year = 10.0,
-                              EventId catalog_events = 10'000) {
+                              EventId catalog_events = 10'000,
+                              int layers_per_contract = 1) {
   Workload w;
   w.catalog_events = catalog_events;
 
@@ -33,7 +37,7 @@ inline Workload make_workload(std::size_t contracts, std::size_t elt_rows, Trial
   pg.contracts = contracts;
   pg.catalog_events = catalog_events;
   pg.elt_rows = elt_rows;
-  pg.layers_per_contract = 1;
+  pg.layers_per_contract = layers_per_contract;
   pg.seed = 4242;
   w.portfolio = finance::generate_portfolio(pg);
 
@@ -56,12 +60,53 @@ inline TrialId scaled_trials(TrialId full) {
   return quick_mode() ? std::max<TrialId>(1'000, full / 10) : full;
 }
 
+/// Resolves the directory bench artifacts land in: $RISKAN_BENCH_CSV_DIR
+/// when set, else the working directory.
+inline std::string artifact_path(const std::string& filename) {
+  if (const char* dir = std::getenv("RISKAN_BENCH_CSV_DIR")) {
+    return std::string(dir) + "/" + filename;
+  }
+  return filename;
+}
+
 /// Prints the table and optionally mirrors it to $RISKAN_BENCH_CSV_DIR/<id>.csv.
 inline void emit(const std::string& experiment_id, const ReportTable& table) {
   table.print(std::cout);
-  if (const char* dir = std::getenv("RISKAN_BENCH_CSV_DIR")) {
-    table.write_csv(std::string(dir) + "/" + experiment_id + ".csv");
+  if (std::getenv("RISKAN_BENCH_CSV_DIR") != nullptr) {
+    table.write_csv(artifact_path(experiment_id + ".csv"));
   }
 }
+
+/// Flat machine-readable bench record: ordered key→value pairs serialised
+/// as one JSON object, so future PRs can track a perf trajectory without
+/// parsing the ASCII tables. Numbers are emitted as numbers, everything
+/// else as strings.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value) {
+    entries_.emplace_back(key, format_fixed(value, 6));
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Writes `{ "k": v, ... }`. Keys are expected to be plain identifiers
+  /// (no escaping is performed).
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << "  \"" << entries_[i].first << "\": " << entries_[i].second;
+      out << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace riskan::bench

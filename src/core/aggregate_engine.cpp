@@ -1,7 +1,7 @@
 #include "core/aggregate_engine.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <limits>
 
 #include "core/device_engine.hpp"
 #include "core/secondary.hpp"
@@ -42,17 +42,18 @@ struct TrialOutputs {
   std::span<Money> reinstatement_prem;   // per-trial
 };
 
-/// Processes trials [lo, hi) of one layer. The only state shared between
-/// concurrent calls is indexed by trial (or by the trial's occurrence
-/// range), so disjoint trial ranges never race.
+/// Processes trials [lo, hi) of one layer; `row_of(i)` maps global
+/// occurrence index i to the contract's ELT row (or npos). The only state
+/// shared between concurrent calls is indexed by trial (or by the trial's
+/// occurrence range), so disjoint trial ranges never race.
+template <typename RowOf>
 std::uint64_t process_layer_trials(const LayerContext& ctx,
                                    const data::YearEventLossTable& yelt,
                                    const Philox4x32& philox, bool secondary, TrialId lo,
-                                   TrialId hi, const TrialOutputs& out) {
+                                   TrialId hi, const TrialOutputs& out,
+                                   const RowOf& row_of) {
   const auto offsets = yelt.offsets();
-  const auto events = yelt.events();
-  const auto& elt = *ctx.elt;
-  const auto means = elt.mean_loss();
+  const auto means = ctx.elt->mean_loss();
   std::uint64_t lookups_found = 0;
 
   for (TrialId t = lo; t < hi; ++t) {
@@ -60,7 +61,7 @@ std::uint64_t process_layer_trials(const LayerContext& ctx,
     const std::uint64_t begin = offsets[t];
     const std::uint64_t end = offsets[t + 1];
     for (std::uint64_t i = begin; i < end; ++i) {
-      const auto row = elt.find(events[i]);
+      const auto row = row_of(i);
       if (row == data::EventLossTable::npos) {
         continue;
       }
@@ -92,6 +93,29 @@ std::uint64_t process_layer_trials(const LayerContext& ctx,
     }
   }
   return lookups_found;
+}
+
+/// Runs one layer over [0, trials) on the configured backend, accumulating
+/// the found-lookup count per chunk (parallel_reduce) instead of bouncing a
+/// contended atomic between cores.
+template <typename RowOf>
+std::uint64_t run_layer_trials(const LayerContext& ctx, const data::YearEventLossTable& yelt,
+                               const Philox4x32& philox, const EngineConfig& config,
+                               TrialId trials, const TrialOutputs& out,
+                               const RowOf& row_of) {
+  const bool secondary = config.secondary_uncertainty;
+  if (config.backend == Backend::Sequential) {
+    return process_layer_trials(ctx, yelt, philox, secondary, 0, trials, out, row_of);
+  }
+  return parallel_reduce<std::uint64_t>(
+      0, trials, 0,
+      [&](std::size_t lo, std::size_t hi) {
+        return process_layer_trials(ctx, yelt, philox, secondary,
+                                    static_cast<TrialId>(lo), static_cast<TrialId>(hi),
+                                    out, row_of);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      ParallelConfig{config.pool, config.trial_grain});
 }
 
 }  // namespace
@@ -126,7 +150,9 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
   }
 
   const Philox4x32 philox(config.seed);
-  std::atomic<std::uint64_t> lookups{0};
+  std::uint64_t lookups = 0;
+  data::ResolverCache& cache =
+      config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
 
   for (std::size_t c = 0; c < portfolio.size(); ++c) {
     const auto& contract = portfolio.contract(c);
@@ -134,6 +160,23 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
     if (config.secondary_uncertainty) {
       sampler.emplace(contract.elt());
     }
+
+    // One pre-join per contract, shared by all of its layers (and, via the
+    // cache, by subsequent runs over the same tables). The Sequential
+    // backend builds inline — it must stay off the pool, both for its
+    // single-thread contract and because MapReduce map tasks run it from
+    // pool workers (submitting and blocking there can deadlock).
+    std::shared_ptr<const data::ResolvedYelt> resolved;
+    if (config.use_resolver) {
+      Stopwatch resolve_watch;
+      const ParallelConfig resolve_cfg =
+          config.backend == Backend::Sequential
+              ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
+              : ParallelConfig{config.pool, 0};
+      resolved = cache.get_or_build(contract.elt(), yelt, resolve_cfg);
+      result.resolve_seconds += resolve_watch.seconds();
+    }
+
     for (const auto& layer : contract.layers()) {
       LayerContext ctx;
       ctx.elt = &contract.elt();
@@ -153,18 +196,21 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
       out.occurrence_accum = occurrence_accum;
       out.reinstatement_prem = result.reinstatement_premium.mutable_losses();
 
-      const bool secondary = config.secondary_uncertainty;
-      if (config.backend == Backend::Sequential) {
-        lookups += process_layer_trials(ctx, yelt, philox, secondary, 0, trials, out);
+      if (resolved) {
+        const std::uint32_t* rows = resolved->rows().data();
+        lookups += run_layer_trials(
+            ctx, yelt, philox, config, trials, out, [rows](std::uint64_t i) {
+              const std::uint32_t row = rows[i];
+              return row == data::ResolvedYelt::kNoLoss
+                         ? data::EventLossTable::npos
+                         : static_cast<std::size_t>(row);
+            });
       } else {
-        parallel_for(
-            0, trials,
-            [&](std::size_t lo, std::size_t hi) {
-              lookups += process_layer_trials(ctx, yelt, philox, secondary,
-                                              static_cast<TrialId>(lo),
-                                              static_cast<TrialId>(hi), out);
-            },
-            ParallelConfig{config.pool, config.trial_grain});
+        const auto events = yelt.events();
+        const auto& elt = contract.elt();
+        lookups += run_layer_trials(
+            ctx, yelt, philox, config, trials, out,
+            [&elt, events](std::uint64_t i) { return elt.find(events[i]); });
       }
     }
   }
@@ -185,7 +231,7 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
   result.seconds = watch.seconds();
   result.occurrences_processed =
       yelt.entries() * static_cast<std::uint64_t>(portfolio.layer_count());
-  result.elt_lookups = lookups.load();
+  result.elt_lookups = lookups;
   return result;
 }
 
@@ -198,6 +244,10 @@ std::vector<Money> run_layer(const finance::Contract& contract, const finance::L
   EngineConfig cfg = config;
   cfg.keep_contract_ylts = false;
   cfg.compute_oep = false;
+  // The single-contract portfolio copies the ELT, so its resolution is
+  // keyed to a temporary — keep it out of the shared cache.
+  data::ResolverCache local_cache;
+  cfg.resolver_cache = &local_cache;
   auto result = run_aggregate_analysis(single, yelt, cfg);
   auto losses = result.portfolio_ylt.losses();
   return std::vector<Money>(losses.begin(), losses.end());

@@ -8,11 +8,17 @@
 // aggregate analysis is a Year-Loss Table."
 //
 // For every (contract, layer, trial): walk the trial's YELT occurrences,
-// look up each event in the contract ELT, optionally sample secondary
+// gather each occurrence's ELT row, optionally sample secondary
 // uncertainty, apply per-occurrence terms, sum, apply annual aggregate
 // terms and share, and accumulate into the contract's and the portfolio's
 // YLT. The loop nest is layer-major so a layer's ELT stays hot while its
 // trials stream — the in-memory analogue of the paper's chunking.
+//
+// The event→row mapping is identical for every layer of a contract and on
+// every run, so by default it is pre-joined once per (contract, YELT) into
+// a flat row column (data::ResolvedYelt, cached by data::ResolverCache)
+// and the kernel gathers by direct index; EngineConfig::use_resolver = off
+// selects the legacy per-occurrence binary search.
 //
 // Three backends, bit-identical outputs (tests enforce):
 //   Sequential — single thread; the baseline of the paper's "15x" claim.
@@ -24,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "data/resolved_yelt.hpp"
 #include "data/yelt.hpp"
 #include "data/ylt.hpp"
 #include "finance/contract.hpp"
@@ -66,6 +73,14 @@ struct EngineConfig {
   int device_block_dim = 128;
   /// Max ELT rows staged per device chunk; 0 = fit to constant memory.
   std::size_t device_elt_chunk_rows = 0;
+  /// Pre-join each contract's ELT to the YELT once (data::ResolvedYelt) and
+  /// gather rows by direct index in the trial kernel. Off = the legacy
+  /// per-occurrence binary search, retained as the reference path for the
+  /// equivalence tests and the resolver-on/off bench comparison.
+  bool use_resolver = true;
+  /// Cache of resolutions shared across layers and runs; nullptr = the
+  /// process-wide data::ResolverCache::shared().
+  data::ResolverCache* resolver_cache = nullptr;
 };
 
 /// Result of one aggregate-analysis run.
@@ -83,6 +98,9 @@ struct EngineResult {
   double seconds = 0.0;
   std::uint64_t occurrences_processed = 0;
   std::uint64_t elt_lookups = 0;
+  /// Wall-clock spent building event→row resolutions (0 on cache hits or
+  /// when use_resolver is off); included in `seconds`.
+  double resolve_seconds = 0.0;
 };
 
 /// Runs aggregate analysis for `portfolio` over `yelt` with `config`.

@@ -83,6 +83,8 @@ EngineResult run_aggregate_device(const finance::Portfolio& portfolio,
   DeviceRunInfo run_info;
   const Philox4x32 philox(config.seed);
   std::uint64_t lookups = 0;
+  data::ResolverCache& cache =
+      config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
 
   const auto offsets = yelt.offsets();
   const auto events = yelt.events();
@@ -93,6 +95,19 @@ EngineResult run_aggregate_device(const finance::Portfolio& portfolio,
     std::optional<SecondarySampler> sampler;
     if (config.secondary_uncertainty) {
       sampler.emplace(elt);
+    }
+
+    // Host-side pre-join, shared across the contract's layers and cached
+    // across runs. On the modelled device the row column is one more
+    // streamed global-memory input replacing the per-occurrence
+    // constant-memory binary search.
+    std::shared_ptr<const data::ResolvedYelt> resolved;
+    const std::uint32_t* resolved_rows = nullptr;
+    if (config.use_resolver) {
+      Stopwatch resolve_watch;
+      resolved = cache.get_or_build(elt, yelt, ParallelConfig{config.pool, 0});
+      result.resolve_seconds += resolve_watch.seconds();
+      resolved_rows = resolved->rows().data();
     }
 
     // Pack ELT rows for constant-memory upload.
@@ -144,17 +159,23 @@ EngineResult run_aggregate_device(const finance::Portfolio& portfolio,
           const std::uint64_t slice_hi = offsets[last_trial];
           const std::size_t slice_len = static_cast<std::size_t>(slice_hi - slice_lo);
 
-          // Stage the block's YELT occurrence slice into shared memory when
-          // it fits; otherwise fall back to global reads.
-          const EventId* slice_events = nullptr;
-          const bool staged = slice_len * sizeof(EventId) <= ctx.shared_capacity();
+          // Stage the block's per-occurrence column into shared memory when
+          // it fits; otherwise fall back to global reads. With the resolver
+          // on, the column is the pre-joined row indices (the kernel never
+          // touches event ids); off, it is the event-id column the chunk
+          // binary search consumes. Both are 4 bytes per occurrence, so the
+          // staging economics are identical.
+          const std::uint32_t* global_column =
+              resolved_rows != nullptr ? resolved_rows : events.data();
+          const std::uint32_t* slice_column = nullptr;
+          const bool staged = slice_len * sizeof(std::uint32_t) <= ctx.shared_capacity();
           if (staged && slice_len > 0) {
-            EventId* shared_events = ctx.shared_alloc<EventId>(slice_len);
-            std::memcpy(shared_events, events.data() + slice_lo,
-                        slice_len * sizeof(EventId));
-            ctx.meter_global_read(slice_len * sizeof(EventId));
-            ctx.meter_shared_write(slice_len * sizeof(EventId));
-            slice_events = shared_events;
+            std::uint32_t* shared_column = ctx.shared_alloc<std::uint32_t>(slice_len);
+            std::memcpy(shared_column, global_column + slice_lo,
+                        slice_len * sizeof(std::uint32_t));
+            ctx.meter_global_read(slice_len * sizeof(std::uint32_t));
+            ctx.meter_shared_write(slice_len * sizeof(std::uint32_t));
+            slice_column = shared_column;
           }
 
           std::uint64_t local_lookups = 0;
@@ -162,16 +183,29 @@ EngineResult run_aggregate_device(const finance::Portfolio& portfolio,
             const std::uint64_t begin = offsets[t];
             const std::uint64_t end = offsets[t + 1];
             for (std::uint64_t i = begin; i < end; ++i) {
-              EventId event;
-              if (slice_events != nullptr) {
-                event = slice_events[i - slice_lo];
-                ctx.meter_shared_read(sizeof(EventId));
+              std::uint32_t cell;
+              if (slice_column != nullptr) {
+                cell = slice_column[i - slice_lo];
+                ctx.meter_shared_read(sizeof(std::uint32_t));
               } else {
-                event = events[i];
-                ctx.meter_global_read(sizeof(EventId));
+                cell = global_column[i];
+                ctx.meter_global_read(sizeof(std::uint32_t));
               }
-              ctx.meter_const_read(probe_bytes);
-              const auto row = chunk_find(chunk, rows, event);
+              std::size_t row;
+              if (resolved_rows != nullptr) {
+                // Direct membership test against this constant-memory
+                // chunk's global row range — no search.
+                row = (cell != data::ResolvedYelt::kNoLoss && cell >= chunk_lo &&
+                       cell < chunk_lo + rows)
+                          ? static_cast<std::size_t>(cell) - chunk_lo
+                          : static_cast<std::size_t>(-1);
+                if (row != static_cast<std::size_t>(-1)) {
+                  ctx.meter_const_read(sizeof(DeviceEltRow));
+                }
+              } else {
+                ctx.meter_const_read(probe_bytes);
+                row = chunk_find(chunk, rows, cell);
+              }
               if (row == static_cast<std::size_t>(-1)) {
                 continue;
               }

@@ -6,11 +6,14 @@
 // uncertainty: (event_id, mean_loss, sigma_loss, exposure_limit).
 //
 // Layout is struct-of-arrays sorted by event id: the aggregate engines
-// binary-search it, the device engine uploads the arrays to simulated
-// constant memory, and the scan kernels stream it — all three want columnar
-// contiguity, which is exactly the "small number of very large tables ...
-// streamed by independent processes" organisation the paper prescribes for
-// stage 1 outputs.
+// pre-join it to the YELT once per contract (data::ResolvedYelt — the
+// sorted order makes the pre-join a cheap streamed binary-search pass, and
+// the trial kernels then gather rows by direct index), the device engine
+// uploads the arrays to simulated constant memory, and the scan kernels
+// stream it — all want columnar contiguity, which is exactly the "small
+// number of very large tables ... streamed by independent processes"
+// organisation the paper prescribes for stage 1 outputs. find() remains
+// the reference per-occurrence lookup for the resolver-off path.
 #pragma once
 
 #include <cstddef>

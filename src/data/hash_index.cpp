@@ -37,16 +37,21 @@ void HashIndex::insert(std::uint64_t key, std::uint64_t value) {
 
 std::optional<std::uint64_t> HashIndex::find(std::uint64_t key) const noexcept {
   std::size_t slot = slot_for(key);
+  std::uint64_t distance = 0;
+  std::optional<std::uint64_t> found;
   for (;;) {
-    ++probes_;
+    ++distance;
     if (slots_[slot].key == key) {
-      return slots_[slot].value;
+      found = slots_[slot].value;
+      break;
     }
     if (slots_[slot].key == kEmpty) {
-      return std::nullopt;
+      break;
     }
     slot = (slot + 1) & (slots_.size() - 1);
   }
+  probes_.fetch_add(distance, std::memory_order_relaxed);
+  return found;
 }
 
 void HashIndex::grow() {

@@ -9,6 +9,7 @@
 // probes are dependent random accesses while the scan streams.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -34,7 +35,11 @@ class HashIndex {
   std::size_t capacity() const noexcept { return slots_.size(); }
 
   /// Total probe distance accumulated by finds (diagnostics for E5).
-  std::uint64_t probe_count() const noexcept { return probes_; }
+  /// Relaxed atomic: concurrent finds only need an eventually-consistent
+  /// tally, not an ordering edge.
+  std::uint64_t probe_count() const noexcept {
+    return probes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Slot {
@@ -51,7 +56,10 @@ class HashIndex {
 
   std::vector<Slot> slots_;
   std::size_t size_ = 0;
-  mutable std::uint64_t probes_ = 0;
+  /// find() is const and called concurrently from scan kernels; a plain
+  /// mutable counter there is a data race (UB). One relaxed fetch_add per
+  /// find keeps the diagnostic exact without perturbing the probe loop.
+  mutable std::atomic<std::uint64_t> probes_{0};
 };
 
 }  // namespace riskan::data

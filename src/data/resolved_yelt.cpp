@@ -1,0 +1,139 @@
+#include "data/resolved_yelt.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace riskan::data {
+
+ResolvedYelt ResolvedYelt::build(const EventLossTable& elt, const YearEventLossTable& yelt,
+                                 ParallelConfig cfg) {
+  RISKAN_REQUIRE(elt.size() < static_cast<std::size_t>(kNoLoss),
+                 "ELT too large for uint32 row indices");
+
+  ResolvedYelt resolved;
+  resolved.rows_.resize(yelt.entries());
+
+  const auto events = yelt.events();
+  const auto ids = elt.event_ids();
+  auto* out = resolved.rows_.data();
+
+  // Each chunk streams a contiguous slab of the events column and writes
+  // the matching slab of the row column; chunk order never shows in the
+  // output, so the build is deterministic under any scheduling.
+  resolved.hits_ = parallel_reduce<std::uint64_t>(
+      0, resolved.rows_.size(), 0,
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t found = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto it = std::lower_bound(ids.begin(), ids.end(), events[i]);
+          if (it != ids.end() && *it == events[i]) {
+            out[i] = static_cast<std::uint32_t>(it - ids.begin());
+            ++found;
+          } else {
+            out[i] = kNoLoss;
+          }
+        }
+        return found;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, cfg);
+  return resolved;
+}
+
+ResolverCache::Key ResolverCache::make_key(const EventLossTable& elt,
+                                           const YearEventLossTable& yelt) noexcept {
+  Key key;
+  key.elt_ids = elt.event_ids().data();
+  key.yelt_events = yelt.events().data();
+  key.elt_size = elt.size();
+  key.yelt_entries = yelt.entries();
+  key.yelt_trials = yelt.trials();
+
+  // Strided content fingerprint: 16 samples from each table's id column,
+  // mixed FNV-1a style. Guards the pointer identity above against
+  // allocator address reuse (a freed table replaced by a different one at
+  // the same address and shape).
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto ids = elt.event_ids();
+  const auto events = yelt.events();
+  constexpr std::size_t kSamples = 16;
+  if (!ids.empty()) {
+    const std::size_t stride = std::max<std::size_t>(1, ids.size() / kSamples);
+    for (std::size_t i = 0; i < ids.size(); i += stride) {
+      mix(ids[i]);
+    }
+    mix(ids.back());
+  }
+  if (!events.empty()) {
+    const std::size_t stride = std::max<std::size_t>(1, events.size() / kSamples);
+    for (std::size_t i = 0; i < events.size(); i += stride) {
+      mix(events[i]);
+    }
+    mix(events.back());
+  }
+  key.fingerprint = h;
+  return key;
+}
+
+std::shared_ptr<const ResolvedYelt> ResolverCache::get_or_build(
+    const EventLossTable& elt, const YearEventLossTable& yelt, ParallelConfig cfg) {
+  const Key key = make_key(elt, yelt);
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [k, v] : entries_) {
+      if (k == key) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Build outside the lock: a concurrent miss on the same key builds a
+  // duplicate (equivalent) resolution rather than serialising the pool.
+  auto built = std::make_shared<const ResolvedYelt>(ResolvedYelt::build(elt, yelt, cfg));
+
+  std::lock_guard lock(mutex_);
+  for (const auto& [k, v] : entries_) {
+    if (k == key) {
+      return v;  // lost the race; keep the first build
+    }
+  }
+  entries_.emplace_back(key, built);
+  bytes_ += built->byte_size();
+  // FIFO eviction under both bounds; the newest entry always survives so a
+  // single oversized resolution is still served from the cache.
+  while (entries_.size() > 1 &&
+         (entries_.size() > kMaxEntries || bytes_ > kMaxBytes)) {
+    bytes_ -= entries_.front().second->byte_size();
+    entries_.erase(entries_.begin());
+  }
+  return built;
+}
+
+std::size_t ResolverCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ResolverCache::byte_size() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+void ResolverCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+ResolverCache& ResolverCache::shared() {
+  static ResolverCache cache;
+  return cache;
+}
+
+}  // namespace riskan::data

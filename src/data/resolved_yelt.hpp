@@ -1,0 +1,124 @@
+// ResolvedYelt — the pre-joined event→row resolution of aggregate analysis.
+//
+// The stage-2 kernel walks every YELT occurrence once per (contract, layer,
+// trial) and needs the matching ELT row. Resolving that mapping inside the
+// kernel — a binary search per occurrence — re-derives the identical answer
+// for every layer of a contract and on every engine run. The paper's own
+// "scan, don't seek" argument applies: hoist the dependent random accesses
+// out of the hot loop into a one-time streamed pre-join.
+//
+// A ResolvedYelt is a flat uint32 column aligned with yelt.events():
+// rows()[i] is the ELT row index for occurrence i, or kNoLoss when the
+// event causes no loss to the contract. The trial kernel then gathers
+// mean/sampler parameters by direct index — no hashing, no branching
+// binary search — and the resolution is shared across all layers of the
+// contract and cached across runs (ResolverCache).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "data/elt.hpp"
+#include "data/yelt.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace riskan::data {
+
+class ResolvedYelt {
+ public:
+  /// Sentinel row for "event not in the ELT" (no loss to this contract).
+  static constexpr std::uint32_t kNoLoss = ~std::uint32_t{0};
+
+  ResolvedYelt() = default;
+
+  /// One-time pre-join: binary-searches each YELT occurrence in `elt`
+  /// exactly once, in parallel over contiguous occurrence slabs.
+  /// Deterministic (each slot is written independently of scheduling).
+  static ResolvedYelt build(const EventLossTable& elt, const YearEventLossTable& yelt,
+                            ParallelConfig cfg = {});
+
+  /// Row column aligned with yelt.events(): rows()[i] indexes the ELT, or
+  /// kNoLoss.
+  std::span<const std::uint32_t> rows() const noexcept { return rows_; }
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  bool empty() const noexcept { return rows_.empty(); }
+
+  /// Occurrences that resolved to an ELT row (telemetry; equals the
+  /// engine's per-layer "lookups found" count).
+  std::uint64_t hits() const noexcept { return hits_; }
+
+  std::size_t byte_size() const noexcept { return rows_.size() * sizeof(std::uint32_t); }
+
+ private:
+  std::vector<std::uint32_t> rows_;
+  std::uint64_t hits_ = 0;
+};
+
+/// Process-wide cache of resolutions keyed by (ELT, YELT) identity.
+///
+/// The key couples the tables' data pointers and shapes with a strided
+/// content fingerprint (first/last/sampled event ids of both tables), so a
+/// freed table whose address is reused by a different table does not
+/// produce a false hit. Entries are evicted FIFO past kMaxEntries entries
+/// or kMaxBytes of retained row columns — the byte bound is what matters
+/// for long-lived processes that resolve many distinct large workloads,
+/// since cached resolutions can outlive the tables they were built from.
+class ResolverCache {
+ public:
+  /// Entries retained before FIFO eviction kicks in.
+  static constexpr std::size_t kMaxEntries = 128;
+  /// Retained resolution bytes before FIFO eviction kicks in (a single
+  /// oversized resolution is still cached; older entries go first).
+  static constexpr std::size_t kMaxBytes = std::size_t{256} << 20;
+
+  ResolverCache() = default;
+  ResolverCache(const ResolverCache&) = delete;
+  ResolverCache& operator=(const ResolverCache&) = delete;
+
+  /// Returns the cached resolution for (elt, yelt), building it on miss.
+  /// Thread-safe; concurrent misses on the same key may build twice but
+  /// return equivalent resolutions.
+  std::shared_ptr<const ResolvedYelt> get_or_build(const EventLossTable& elt,
+                                                   const YearEventLossTable& yelt,
+                                                   ParallelConfig cfg = {});
+
+  std::size_t size() const;
+  /// Total bytes of retained row columns.
+  std::size_t byte_size() const;
+  void clear();
+
+  /// Telemetry for benches and the architecture doc's cache-hit claims.
+  std::uint64_t hit_count() const noexcept { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t miss_count() const noexcept { return misses_.load(std::memory_order_relaxed); }
+
+  /// The process-wide cache used by the engines when none is supplied.
+  static ResolverCache& shared();
+
+ private:
+  struct Key {
+    const void* elt_ids = nullptr;
+    const void* yelt_events = nullptr;
+    std::size_t elt_size = 0;
+    std::uint64_t yelt_entries = 0;
+    TrialId yelt_trials = 0;
+    std::uint64_t fingerprint = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  static Key make_key(const EventLossTable& elt, const YearEventLossTable& yelt) noexcept;
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<Key, std::shared_ptr<const ResolvedYelt>>> entries_;
+  std::size_t bytes_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace riskan::data

@@ -69,6 +69,12 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
         engine.compute_oep = false;
         engine.keep_contract_ylts = false;
         engine.trial_base = static_cast<TrialId>(split) * per_block;
+        engine.use_resolver = config.use_resolver;
+        // The rebuilt slice is task-local, so its resolutions are too: a
+        // task-local cache still shares the pre-join across the contracts'
+        // layers without parking dead keys in the process-wide cache.
+        data::ResolverCache task_cache;
+        engine.resolver_cache = &task_cache;
 
         const auto block_result = core::run_aggregate_analysis(portfolio, slice, engine);
         const auto losses = block_result.portfolio_ylt.losses();

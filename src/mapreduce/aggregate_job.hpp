@@ -30,6 +30,9 @@ struct AggregateJobConfig {
   bool secondary_uncertainty = true;
   ThreadPool* pool = nullptr;
   std::string dfs_file = "yelt";
+  /// Pre-join each contract's ELT to the map task's YELT slice once and
+  /// share it across the contract's layers (core::EngineConfig::use_resolver).
+  bool use_resolver = true;
 };
 
 struct AggregateJobResult {

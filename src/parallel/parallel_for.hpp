@@ -73,8 +73,14 @@ void parallel_for(std::size_t begin, std::size_t end, const Body& body,
   if (begin == end) {
     return;
   }
-  ThreadPool& pool = cfg.pool ? *cfg.pool : ThreadPool::shared();
   const std::size_t range = end - begin;
+  if (cfg.grain >= range) {
+    // One chunk covers the range: run inline without touching (or lazily
+    // constructing) any pool — sequential callers rely on this.
+    body(begin, end);
+    return;
+  }
+  ThreadPool& pool = cfg.pool ? *cfg.pool : ThreadPool::shared();
   const std::size_t grain = detail::resolve_grain(range, pool.thread_count(), cfg.grain);
 
   if (range <= grain || pool.thread_count() == 1) {
@@ -105,8 +111,12 @@ T parallel_reduce(std::size_t begin, std::size_t end, T identity, const ChunkFn&
   if (begin == end) {
     return identity;
   }
-  ThreadPool& pool = cfg.pool ? *cfg.pool : ThreadPool::shared();
   const std::size_t range = end - begin;
+  if (cfg.grain >= range) {
+    // Same pool-free inline path as parallel_for.
+    return combine(std::move(identity), chunk_fn(begin, end));
+  }
+  ThreadPool& pool = cfg.pool ? *cfg.pool : ThreadPool::shared();
   const std::size_t grain = detail::resolve_grain(range, pool.thread_count(), cfg.grain);
 
   if (range <= grain || pool.thread_count() == 1) {

@@ -58,6 +58,28 @@ TEST(DeviceMetering, SecondaryOffDropsFlops) {
 }
 
 TEST(DeviceMetering, SmallerEltChunksMeanMoreLaunchesAndConstTraffic) {
+  // Legacy lookup path: every occurrence binary-searches every chunk, so
+  // finer chunking strictly inflates constant-memory probe traffic.
+  const auto world = make_world(300, 400);
+  EngineConfig coarse;
+  coarse.use_resolver = false;
+  coarse.device_elt_chunk_rows = 0;  // fit
+  EngineConfig fine;
+  fine.use_resolver = false;
+  fine.device_elt_chunk_rows = 32;
+  const auto a = run_device(world, coarse);
+  const auto b = run_device(world, fine);
+  EXPECT_GT(b.launches, a.launches);
+  EXPECT_GT(b.elt_chunks, a.elt_chunks);
+  EXPECT_GT(b.counters.const_read_bytes, a.counters.const_read_bytes);
+  EXPECT_GT(b.modeled_seconds, a.modeled_seconds);
+}
+
+TEST(DeviceMetering, ResolverMakesConstTrafficChunkingInvariant) {
+  // Resolved path: an occurrence touches constant memory only in the one
+  // chunk that owns its row, so const traffic no longer scales with chunk
+  // count — only the per-launch re-scan of the row column (global/shared
+  // traffic) does.
   const auto world = make_world(300, 400);
   EngineConfig coarse;
   coarse.device_elt_chunk_rows = 0;  // fit
@@ -66,8 +88,11 @@ TEST(DeviceMetering, SmallerEltChunksMeanMoreLaunchesAndConstTraffic) {
   const auto a = run_device(world, coarse);
   const auto b = run_device(world, fine);
   EXPECT_GT(b.launches, a.launches);
-  EXPECT_GT(b.elt_chunks, a.elt_chunks);
-  EXPECT_GT(b.counters.const_read_bytes, a.counters.const_read_bytes);
+  EXPECT_EQ(b.counters.const_read_bytes, a.counters.const_read_bytes);
+  const auto occurrence_traffic = [](const DeviceRunInfo& info) {
+    return info.counters.shared_read_bytes + info.counters.global_read_bytes;
+  };
+  EXPECT_GT(occurrence_traffic(b), occurrence_traffic(a));
   EXPECT_GT(b.modeled_seconds, a.modeled_seconds);
 }
 
