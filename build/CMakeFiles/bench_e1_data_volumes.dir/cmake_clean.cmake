@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_data_volumes.dir/bench/bench_e1_data_volumes.cpp.o"
+  "CMakeFiles/bench_e1_data_volumes.dir/bench/bench_e1_data_volumes.cpp.o.d"
+  "bench_e1_data_volumes"
+  "bench_e1_data_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_data_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_realtime_pricing.dir/bench/bench_e3_realtime_pricing.cpp.o"
+  "CMakeFiles/bench_e3_realtime_pricing.dir/bench/bench_e3_realtime_pricing.cpp.o.d"
+  "bench_e3_realtime_pricing"
+  "bench_e3_realtime_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_realtime_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_chunking.dir/bench/bench_e4_chunking.cpp.o"
+  "CMakeFiles/bench_e4_chunking.dir/bench/bench_e4_chunking.cpp.o.d"
+  "bench_e4_chunking"
+  "bench_e4_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_scan_vs_index.dir/bench/bench_e5_scan_vs_index.cpp.o"
+  "CMakeFiles/bench_e5_scan_vs_index.dir/bench/bench_e5_scan_vs_index.cpp.o.d"
+  "bench_e5_scan_vs_index"
+  "bench_e5_scan_vs_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_scan_vs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

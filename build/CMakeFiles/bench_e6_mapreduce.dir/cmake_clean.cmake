@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_mapreduce.dir/bench/bench_e6_mapreduce.cpp.o"
+  "CMakeFiles/bench_e6_mapreduce.dir/bench/bench_e6_mapreduce.cpp.o.d"
+  "bench_e6_mapreduce"
+  "bench_e6_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_dfa.dir/bench/bench_e7_dfa.cpp.o"
+  "CMakeFiles/bench_e7_dfa.dir/bench/bench_e7_dfa.cpp.o.d"
+  "bench_e7_dfa"
+  "bench_e7_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

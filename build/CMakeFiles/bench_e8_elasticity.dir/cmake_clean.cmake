@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_elasticity.dir/bench/bench_e8_elasticity.cpp.o"
+  "CMakeFiles/bench_e8_elasticity.dir/bench/bench_e8_elasticity.cpp.o.d"
+  "bench_e8_elasticity"
+  "bench_e8_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

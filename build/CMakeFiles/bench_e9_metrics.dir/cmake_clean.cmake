@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_metrics.dir/bench/bench_e9_metrics.cpp.o"
+  "CMakeFiles/bench_e9_metrics.dir/bench/bench_e9_metrics.cpp.o.d"
+  "bench_e9_metrics"
+  "bench_e9_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_catmod_to_elt.dir/examples/catmod_to_elt.cpp.o"
+  "CMakeFiles/example_catmod_to_elt.dir/examples/catmod_to_elt.cpp.o.d"
+  "example_catmod_to_elt"
+  "example_catmod_to_elt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_catmod_to_elt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_catmod_to_elt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dfa_enterprise.dir/examples/dfa_enterprise.cpp.o"
+  "CMakeFiles/example_dfa_enterprise.dir/examples/dfa_enterprise.cpp.o.d"
+  "example_dfa_enterprise"
+  "example_dfa_enterprise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dfa_enterprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dfa_enterprise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_portfolio_analysis.dir/examples/portfolio_analysis.cpp.o"
+  "CMakeFiles/example_portfolio_analysis.dir/examples/portfolio_analysis.cpp.o.d"
+  "example_portfolio_analysis"
+  "example_portfolio_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_portfolio_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_post_event_whatif.dir/examples/post_event_whatif.cpp.o"
+  "CMakeFiles/example_post_event_whatif.dir/examples/post_event_whatif.cpp.o.d"
+  "example_post_event_whatif"
+  "example_post_event_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_post_event_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_post_event_whatif.
+# This may be replaced when dependencies are built.

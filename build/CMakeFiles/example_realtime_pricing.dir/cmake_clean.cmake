@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_realtime_pricing.dir/examples/realtime_pricing.cpp.o"
+  "CMakeFiles/example_realtime_pricing.dir/examples/realtime_pricing.cpp.o.d"
+  "example_realtime_pricing"
+  "example_realtime_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_realtime_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catmod/analytic_ep.cpp" "CMakeFiles/riskan.dir/src/catmod/analytic_ep.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/analytic_ep.cpp.o.d"
+  "/root/repo/src/catmod/event_catalog.cpp" "CMakeFiles/riskan.dir/src/catmod/event_catalog.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/event_catalog.cpp.o.d"
+  "/root/repo/src/catmod/exposure.cpp" "CMakeFiles/riskan.dir/src/catmod/exposure.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/exposure.cpp.o.d"
+  "/root/repo/src/catmod/financial.cpp" "CMakeFiles/riskan.dir/src/catmod/financial.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/financial.cpp.o.d"
+  "/root/repo/src/catmod/hazard.cpp" "CMakeFiles/riskan.dir/src/catmod/hazard.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/hazard.cpp.o.d"
+  "/root/repo/src/catmod/pipeline.cpp" "CMakeFiles/riskan.dir/src/catmod/pipeline.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/pipeline.cpp.o.d"
+  "/root/repo/src/catmod/spatial_index.cpp" "CMakeFiles/riskan.dir/src/catmod/spatial_index.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/spatial_index.cpp.o.d"
+  "/root/repo/src/catmod/vulnerability.cpp" "CMakeFiles/riskan.dir/src/catmod/vulnerability.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/vulnerability.cpp.o.d"
+  "/root/repo/src/catmod/yelt_bridge.cpp" "CMakeFiles/riskan.dir/src/catmod/yelt_bridge.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/catmod/yelt_bridge.cpp.o.d"
+  "/root/repo/src/core/aggregate_engine.cpp" "CMakeFiles/riskan.dir/src/core/aggregate_engine.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/aggregate_engine.cpp.o.d"
+  "/root/repo/src/core/allocation.cpp" "CMakeFiles/riskan.dir/src/core/allocation.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/allocation.cpp.o.d"
+  "/root/repo/src/core/bootstrap.cpp" "CMakeFiles/riskan.dir/src/core/bootstrap.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/bootstrap.cpp.o.d"
+  "/root/repo/src/core/device_engine.cpp" "CMakeFiles/riskan.dir/src/core/device_engine.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/device_engine.cpp.o.d"
+  "/root/repo/src/core/elasticity.cpp" "CMakeFiles/riskan.dir/src/core/elasticity.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/elasticity.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/riskan.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/post_event.cpp" "CMakeFiles/riskan.dir/src/core/post_event.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/post_event.cpp.o.d"
+  "/root/repo/src/core/pricer.cpp" "CMakeFiles/riskan.dir/src/core/pricer.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/pricer.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "CMakeFiles/riskan.dir/src/core/program.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/program.cpp.o.d"
+  "/root/repo/src/core/secondary.cpp" "CMakeFiles/riskan.dir/src/core/secondary.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/secondary.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "CMakeFiles/riskan.dir/src/core/streaming.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/core/streaming.cpp.o.d"
+  "/root/repo/src/data/chunked_file.cpp" "CMakeFiles/riskan.dir/src/data/chunked_file.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/chunked_file.cpp.o.d"
+  "/root/repo/src/data/elt.cpp" "CMakeFiles/riskan.dir/src/data/elt.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/elt.cpp.o.d"
+  "/root/repo/src/data/hash_index.cpp" "CMakeFiles/riskan.dir/src/data/hash_index.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/hash_index.cpp.o.d"
+  "/root/repo/src/data/resolved_yelt.cpp" "CMakeFiles/riskan.dir/src/data/resolved_yelt.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/resolved_yelt.cpp.o.d"
+  "/root/repo/src/data/scan.cpp" "CMakeFiles/riskan.dir/src/data/scan.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/scan.cpp.o.d"
+  "/root/repo/src/data/serialize.cpp" "CMakeFiles/riskan.dir/src/data/serialize.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/serialize.cpp.o.d"
+  "/root/repo/src/data/table_stats.cpp" "CMakeFiles/riskan.dir/src/data/table_stats.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/table_stats.cpp.o.d"
+  "/root/repo/src/data/volcano.cpp" "CMakeFiles/riskan.dir/src/data/volcano.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/volcano.cpp.o.d"
+  "/root/repo/src/data/yellt.cpp" "CMakeFiles/riskan.dir/src/data/yellt.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/yellt.cpp.o.d"
+  "/root/repo/src/data/yelt.cpp" "CMakeFiles/riskan.dir/src/data/yelt.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/yelt.cpp.o.d"
+  "/root/repo/src/data/ylt.cpp" "CMakeFiles/riskan.dir/src/data/ylt.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/data/ylt.cpp.o.d"
+  "/root/repo/src/dfa/copula.cpp" "CMakeFiles/riskan.dir/src/dfa/copula.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/dfa/copula.cpp.o.d"
+  "/root/repo/src/dfa/dfa_engine.cpp" "CMakeFiles/riskan.dir/src/dfa/dfa_engine.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/dfa/dfa_engine.cpp.o.d"
+  "/root/repo/src/dfa/projection.cpp" "CMakeFiles/riskan.dir/src/dfa/projection.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/dfa/projection.cpp.o.d"
+  "/root/repo/src/dfa/risk_sources.cpp" "CMakeFiles/riskan.dir/src/dfa/risk_sources.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/dfa/risk_sources.cpp.o.d"
+  "/root/repo/src/finance/contract.cpp" "CMakeFiles/riskan.dir/src/finance/contract.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/finance/contract.cpp.o.d"
+  "/root/repo/src/finance/premium.cpp" "CMakeFiles/riskan.dir/src/finance/premium.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/finance/premium.cpp.o.d"
+  "/root/repo/src/finance/terms.cpp" "CMakeFiles/riskan.dir/src/finance/terms.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/finance/terms.cpp.o.d"
+  "/root/repo/src/mapreduce/aggregate_job.cpp" "CMakeFiles/riskan.dir/src/mapreduce/aggregate_job.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/mapreduce/aggregate_job.cpp.o.d"
+  "/root/repo/src/mapreduce/dfs.cpp" "CMakeFiles/riskan.dir/src/mapreduce/dfs.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/mapreduce/dfs.cpp.o.d"
+  "/root/repo/src/parallel/device.cpp" "CMakeFiles/riskan.dir/src/parallel/device.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/parallel/device.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "CMakeFiles/riskan.dir/src/parallel/thread_pool.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/util/alias_table.cpp" "CMakeFiles/riskan.dir/src/util/alias_table.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/alias_table.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "CMakeFiles/riskan.dir/src/util/bytes.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/bytes.cpp.o.d"
+  "/root/repo/src/util/distributions.cpp" "CMakeFiles/riskan.dir/src/util/distributions.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/distributions.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "CMakeFiles/riskan.dir/src/util/format.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/format.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "CMakeFiles/riskan.dir/src/util/prng.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/prng.cpp.o.d"
+  "/root/repo/src/util/report.cpp" "CMakeFiles/riskan.dir/src/util/report.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/report.cpp.o.d"
+  "/root/repo/src/util/require.cpp" "CMakeFiles/riskan.dir/src/util/require.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/require.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/riskan.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/types.cpp" "CMakeFiles/riskan.dir/src/util/types.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/util/types.cpp.o.d"
+  "/root/repo/src/warehouse/cube.cpp" "CMakeFiles/riskan.dir/src/warehouse/cube.cpp.o" "gcc" "CMakeFiles/riskan.dir/src/warehouse/cube.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

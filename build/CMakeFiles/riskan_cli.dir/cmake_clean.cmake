@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riskan_cli.dir/tools/riskan_cli.cpp.o"
+  "CMakeFiles/riskan_cli.dir/tools/riskan_cli.cpp.o.d"
+  "riskan_cli"
+  "riskan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riskan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

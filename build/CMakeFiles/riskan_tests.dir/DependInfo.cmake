@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation.cpp" "CMakeFiles/riskan_tests.dir/tests/test_allocation.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_analytic_ep.cpp" "CMakeFiles/riskan_tests.dir/tests/test_analytic_ep.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_analytic_ep.cpp.o.d"
+  "/root/repo/tests/test_catmod.cpp" "CMakeFiles/riskan_tests.dir/tests/test_catmod.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_catmod.cpp.o.d"
+  "/root/repo/tests/test_core_engine.cpp" "CMakeFiles/riskan_tests.dir/tests/test_core_engine.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_core_engine.cpp.o.d"
+  "/root/repo/tests/test_core_metrics.cpp" "CMakeFiles/riskan_tests.dir/tests/test_core_metrics.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_core_metrics.cpp.o.d"
+  "/root/repo/tests/test_data_access.cpp" "CMakeFiles/riskan_tests.dir/tests/test_data_access.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_data_access.cpp.o.d"
+  "/root/repo/tests/test_data_tables.cpp" "CMakeFiles/riskan_tests.dir/tests/test_data_tables.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_data_tables.cpp.o.d"
+  "/root/repo/tests/test_device_metering.cpp" "CMakeFiles/riskan_tests.dir/tests/test_device_metering.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_device_metering.cpp.o.d"
+  "/root/repo/tests/test_dfa.cpp" "CMakeFiles/riskan_tests.dir/tests/test_dfa.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_dfa.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "CMakeFiles/riskan_tests.dir/tests/test_edge_cases.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "CMakeFiles/riskan_tests.dir/tests/test_extensions.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_finance.cpp" "CMakeFiles/riskan_tests.dir/tests/test_finance.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_finance.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/riskan_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mapreduce.cpp" "CMakeFiles/riskan_tests.dir/tests/test_mapreduce.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_mapreduce.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "CMakeFiles/riskan_tests.dir/tests/test_parallel.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_program.cpp" "CMakeFiles/riskan_tests.dir/tests/test_program.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_program.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "CMakeFiles/riskan_tests.dir/tests/test_properties.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_properties.cpp.o.d"
+  "/root/repo/tests/test_resolved_yelt.cpp" "CMakeFiles/riskan_tests.dir/tests/test_resolved_yelt.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_resolved_yelt.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "CMakeFiles/riskan_tests.dir/tests/test_robustness.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "CMakeFiles/riskan_tests.dir/tests/test_smoke.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_statistical_validation.cpp" "CMakeFiles/riskan_tests.dir/tests/test_statistical_validation.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_statistical_validation.cpp.o.d"
+  "/root/repo/tests/test_streaming.cpp" "CMakeFiles/riskan_tests.dir/tests/test_streaming.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_streaming.cpp.o.d"
+  "/root/repo/tests/test_util_distributions.cpp" "CMakeFiles/riskan_tests.dir/tests/test_util_distributions.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_util_distributions.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "CMakeFiles/riskan_tests.dir/tests/test_util_misc.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_util_prng.cpp" "CMakeFiles/riskan_tests.dir/tests/test_util_prng.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_util_prng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "CMakeFiles/riskan_tests.dir/tests/test_util_stats.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_util_stats.cpp.o.d"
+  "/root/repo/tests/test_warehouse.cpp" "CMakeFiles/riskan_tests.dir/tests/test_warehouse.cpp.o" "gcc" "CMakeFiles/riskan_tests.dir/tests/test_warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/riskan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
