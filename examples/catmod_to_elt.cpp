@@ -3,7 +3,7 @@
 // financial) over every event-exposure pair, and write the resulting ELT
 // to disk — the file a stage-2 system would ingest.
 //
-// Build & run:  ./build/examples/example_catmod_to_elt
+// Build & run:  ./build/example_catmod_to_elt
 #include <iostream>
 
 #include "catmod/event_catalog.hpp"

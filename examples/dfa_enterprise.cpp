@@ -3,7 +3,7 @@
 // through a Gaussian copula, and report the enterprise view a regulator or
 // rating agency receives.
 //
-// Build & run:  ./build/examples/example_dfa_enterprise
+// Build & run:  ./build/example_dfa_enterprise
 #include <iostream>
 
 #include "core/aggregate_engine.hpp"

@@ -1,12 +1,13 @@
-// Portfolio roll-up with warehouse slicing: run aggregate analysis across a
-// whole book, pre-compute the OLAP cube, and answer the questions a chief
+// Portfolio roll-up with warehouse slicing: run portfolio-batched aggregate
+// analysis across a whole book — one streamed YELT pass serving every
+// contract — pre-compute the OLAP cube, and answer the questions a chief
 // risk officer actually asks ("where is my hurricane tail?").
 //
-// Build & run:  ./build/examples/example_portfolio_analysis
+// Build & run:  ./build/example_portfolio_analysis
 #include <iostream>
 
-#include "core/aggregate_engine.hpp"
 #include "core/metrics.hpp"
+#include "core/portfolio_batch.hpp"
 #include "util/format.hpp"
 #include "util/report.hpp"
 #include "warehouse/cube.hpp"
@@ -24,12 +25,16 @@ int main() {
   lens.trials = 10'000;
   const auto yelt = data::generate_yelt(book.catalog_events, lens);
 
+  // A 200-contract book over one shared YELT is exactly the shape the
+  // batched path exists for: run_portfolio_batch streams each trial chunk
+  // once for all 200 layer stacks (bit-identical to the per-contract loop,
+  // several times faster on books this wide).
   core::EngineConfig config;
   config.backend = core::Backend::Threaded;
   config.keep_contract_ylts = true;  // the cube needs per-contract YLTs
-  const auto result = core::run_aggregate_analysis(portfolio, yelt, config);
-  std::cout << "stage 2: " << portfolio.size() << " contracts x " << yelt.trials()
-            << " trials in " << format_seconds(result.seconds) << "\n";
+  const auto result = core::run_portfolio_batch(portfolio, yelt, config);
+  std::cout << "stage 2 (portfolio-batched): " << portfolio.size() << " contracts x "
+            << yelt.trials() << " trials in " << format_seconds(result.seconds) << "\n";
 
   const warehouse::RiskCube cube(portfolio, result);
   std::cout << "warehouse: " << cube.stats().rollup_cells

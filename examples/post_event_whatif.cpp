@@ -4,7 +4,7 @@
 // quantify how settled the tail metrics are (bootstrap), and project
 // multi-year solvency (DFA extension).
 //
-// Build & run:  ./build/examples/example_post_event_whatif
+// Build & run:  ./build/example_post_event_whatif
 #include <iostream>
 
 #include "core/aggregate_engine.hpp"

@@ -4,7 +4,7 @@
 //   2. run aggregate analysis (stage 2);
 //   3. read the risk metrics off the resulting YLT.
 //
-// Build & run:  ./build/examples/example_quickstart
+// Build & run:  ./build/example_quickstart
 #include <iostream>
 
 #include "core/aggregate_engine.hpp"

@@ -2,7 +2,7 @@
 // contract against the shared 1M-trial YELT — the workflow the paper's
 // "25 seconds ... can therefore support real-time pricing" enables.
 //
-// Build & run:  ./build/examples/example_realtime_pricing [trials]
+// Build & run:  ./build/example_realtime_pricing [trials]
 #include <cstdlib>
 #include <iostream>
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/device_engine.hpp"
+#include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
 #include "finance/terms.hpp"
 #include "parallel/parallel_for.hpp"
@@ -128,6 +129,9 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
 
   if (config.backend == Backend::DeviceSim) {
     return run_aggregate_device(portfolio, yelt, config);
+  }
+  if (config.batch_contracts) {
+    return run_portfolio_batch(portfolio, yelt, config);
   }
 
   Stopwatch watch;

@@ -24,6 +24,11 @@
 //   Sequential — single thread; the baseline of the paper's "15x" claim.
 //   Threaded   — parallel_for over trial chunks on the shared-memory pool.
 //   DeviceSim  — the GPU execution model (src/core/device_engine.hpp).
+//
+// Multi-contract books should prefer the portfolio-batched path
+// (EngineConfig::batch_contracts / src/core/portfolio_batch.hpp): one
+// streamed YELT pass serves every contract's layer stack, bit-identically,
+// instead of the per-contract re-walk this file implements.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +86,13 @@ struct EngineConfig {
   /// Cache of resolutions shared across layers and runs; nullptr = the
   /// process-wide data::ResolverCache::shared().
   data::ResolverCache* resolver_cache = nullptr;
+  /// Portfolio-batched stage 2 (core::PortfolioBatchRunner): stream each
+  /// trial chunk once, serving every contract's layer stack in the same
+  /// pass, instead of re-walking the YELT per (contract, layer). Outputs
+  /// are bit-identical either way; batching is the wall-clock win on
+  /// multi-contract books. Implies the resolver (`use_resolver` is ignored
+  /// on this path); DeviceSim falls back to the per-contract device kernel.
+  bool batch_contracts = false;
 };
 
 /// Result of one aggregate-analysis run.

@@ -1,0 +1,295 @@
+#include "core/portfolio_batch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/secondary.hpp"
+#include "data/resolved_yelt.hpp"
+#include "finance/terms.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::core {
+
+namespace {
+
+/// One (contract, layer) of the flattened batch, with everything the
+/// trial-chunk kernel gathers from or accumulates into. Slots are ordered
+/// (analysis, contract, layer) — the exact accumulation order of the
+/// per-contract engine, which is what makes the outputs bit-identical.
+struct Slot {
+  const std::uint64_t* hit_offsets = nullptr;  // compact CSR index, by trial
+  const std::uint32_t* seqs = nullptr;         // in-trial occurrence sequence
+  const std::uint32_t* rows = nullptr;         // ELT rows, parallel to seqs
+  const Money* means = nullptr;
+  const SecondarySampler* sampler = nullptr;  // null = use ELT means
+  finance::LayerTerms terms;
+  finance::Reinstatements reinstatements;
+  Money upfront_premium = 0.0;
+  ContractId contract_id = 0;
+  LayerId layer_id = 0;
+  std::span<Money> contract_losses;     // empty when keep_contract_ylts off
+  std::span<Money> portfolio_losses;    // this slot's analysis
+  std::span<Money> reinstatement_prem;  // this slot's analysis
+  Money* occurrence_accum = nullptr;    // this slot's analysis; null = OEP off
+};
+
+/// Processes trials [lo, hi) for every slot: per trial, each slot walks its
+/// compacted hits in occurrence order, so per-slot annual sums, the shared
+/// per-trial accumulators and the per-occurrence OEP scratch see additions
+/// in the same order as the per-contract kernel. State is indexed by trial
+/// (or the trial's occurrence range), so disjoint chunks never race.
+void process_batch_trials(std::span<const Slot> slots,
+                          std::span<const std::uint64_t> yelt_offsets,
+                          const Philox4x32& philox, bool secondary, TrialId trial_base,
+                          TrialId lo, TrialId hi) {
+  for (TrialId t = lo; t < hi; ++t) {
+    const std::uint64_t trial_begin = yelt_offsets[t];
+    for (const Slot& slot : slots) {
+      Money annual = 0.0;
+      const std::uint64_t k_end = slot.hit_offsets[t + 1];
+      for (std::uint64_t k = slot.hit_offsets[t]; k < k_end; ++k) {
+        const std::uint32_t seq = slot.seqs[k];
+        const std::uint32_t row = slot.rows[k];
+        Money ground_up;
+        if (secondary) {
+          auto stream = occurrence_stream(philox, slot.contract_id, slot.layer_id,
+                                          trial_base + t, seq);
+          ground_up = slot.sampler->sample(row, stream);
+        } else {
+          ground_up = slot.means[row];
+        }
+        const Money occ = finance::apply_occurrence(slot.terms, ground_up);
+        annual += occ;
+        if (slot.occurrence_accum != nullptr && occ > 0.0) {
+          slot.occurrence_accum[trial_begin + seq] += occ * slot.terms.share;
+        }
+      }
+      const Money consumed = finance::apply_aggregate(slot.terms, annual);
+      const Money net = consumed * slot.terms.share;
+      if (net > 0.0) {
+        if (!slot.contract_losses.empty()) {
+          slot.contract_losses[t] += net;
+        }
+        slot.portfolio_losses[t] += net;
+        slot.reinstatement_prem[t] += slot.reinstatements.premium_due(
+            consumed, slot.terms.occ_limit, slot.upfront_premium);
+      }
+    }
+  }
+}
+
+/// Per-analysis mutable state while its group runs.
+struct AnalysisRun {
+  const finance::Portfolio* portfolio = nullptr;
+  std::size_t result_index = 0;
+  data::MultiResolution resolution;  // one entry per contract
+  std::vector<SecondarySampler> samplers;
+  std::vector<Money> occurrence_accum;  // entries-sized; empty when OEP off
+  EngineResult result;
+};
+
+/// Runs one YELT group: a single streamed pass over `yelt` serving every
+/// slot of every analysis in the group.
+void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yelt,
+               const EngineConfig& config) {
+  Stopwatch watch;
+  const TrialId trials = yelt.trials();
+  const bool sequential = config.backend == Backend::Sequential;
+  // Sequential must stay off the pool (single-thread contract; MapReduce
+  // map tasks run it from pool workers, where blocking can deadlock).
+  const ParallelConfig par_cfg =
+      sequential ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
+                 : ParallelConfig{config.pool, config.trial_grain};
+
+  data::ResolverCache& cache =
+      config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
+
+  std::vector<Slot> slots;
+  for (AnalysisRun& run : group) {
+    const finance::Portfolio& portfolio = *run.portfolio;
+
+    run.result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
+    run.result.reinstatement_premium =
+        data::YearLossTable(trials, "reinstatement-premium");
+    if (config.keep_contract_ylts) {
+      run.result.contract_ylts.reserve(portfolio.size());
+      for (const auto& contract : portfolio.contracts()) {
+        run.result.contract_ylts.emplace_back(trials,
+                                              "contract-" + std::to_string(contract.id()));
+      }
+    }
+    if (config.compute_oep) {
+      run.occurrence_accum.assign(yelt.entries(), 0.0);
+    }
+
+    // Up-front resolution of every contract's ELT, shared through the
+    // cache, then hit-compacted for the gather kernel.
+    Stopwatch resolve_watch;
+    std::vector<const data::EventLossTable*> elts;
+    elts.reserve(portfolio.size());
+    for (const auto& contract : portfolio.contracts()) {
+      elts.push_back(&contract.elt());
+    }
+    run.resolution = data::MultiResolution::build(elts, yelt, &cache, par_cfg);
+    run.result.resolve_seconds = resolve_watch.seconds();
+
+    if (config.secondary_uncertainty) {
+      run.samplers.reserve(portfolio.size());
+      for (const auto& contract : portfolio.contracts()) {
+        run.samplers.emplace_back(contract.elt());
+      }
+    }
+  }
+
+  // Flatten to slots only after every analysis's buffers are sized — spans
+  // into them must not be invalidated by later growth.
+  for (AnalysisRun& run : group) {
+    const finance::Portfolio& portfolio = *run.portfolio;
+    for (std::size_t c = 0; c < portfolio.size(); ++c) {
+      const auto& contract = portfolio.contract(c);
+      const auto& entry = run.resolution.entry(c);
+      run.result.elt_lookups +=
+          entry.compact->hits() * static_cast<std::uint64_t>(contract.layers().size());
+      for (const auto& layer : contract.layers()) {
+        Slot slot;
+        slot.hit_offsets = entry.compact->trial_offsets().data();
+        slot.seqs = entry.compact->seqs().data();
+        slot.rows = entry.compact->rows().data();
+        slot.means = contract.elt().mean_loss().data();
+        slot.sampler = config.secondary_uncertainty ? &run.samplers[c] : nullptr;
+        slot.terms = layer.terms;
+        slot.reinstatements = layer.reinstatements;
+        slot.upfront_premium = layer.upfront_premium;
+        slot.contract_id = contract.id();
+        slot.layer_id = layer.id;
+        slot.contract_losses = config.keep_contract_ylts
+                                   ? run.result.contract_ylts[c].mutable_losses()
+                                   : std::span<Money>{};
+        slot.portfolio_losses = run.result.portfolio_ylt.mutable_losses();
+        slot.reinstatement_prem = run.result.reinstatement_premium.mutable_losses();
+        slot.occurrence_accum =
+            config.compute_oep ? run.occurrence_accum.data() : nullptr;
+        slots.push_back(slot);
+      }
+    }
+  }
+
+  // The one streamed pass: every trial chunk is walked once, serving every
+  // slot of every analysis in the group.
+  const Philox4x32 philox(config.seed);
+  const auto yelt_offsets = yelt.offsets();
+  const bool secondary = config.secondary_uncertainty;
+  const std::span<const Slot> slot_view = slots;
+  parallel_for(
+      0, trials,
+      [&](std::size_t lo, std::size_t hi) {
+        process_batch_trials(slot_view, yelt_offsets, philox, secondary,
+                             config.trial_base, static_cast<TrialId>(lo),
+                             static_cast<TrialId>(hi));
+      },
+      par_cfg);
+
+  for (AnalysisRun& run : group) {
+    if (config.compute_oep) {
+      run.result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
+      auto oep = run.result.portfolio_occurrence_ylt.mutable_losses();
+      for (TrialId t = 0; t < trials; ++t) {
+        Money worst = 0.0;
+        for (std::uint64_t i = yelt_offsets[t]; i < yelt_offsets[t + 1]; ++i) {
+          worst = std::max(worst, run.occurrence_accum[i]);
+        }
+        oep[t] = worst;
+      }
+    }
+    run.result.occurrences_processed =
+        yelt.entries() * static_cast<std::uint64_t>(run.portfolio->layer_count());
+  }
+
+  // The pass is shared, so each analysis reports the group's wall-clock —
+  // the time it actually took to produce its result.
+  const double seconds = watch.seconds();
+  for (AnalysisRun& run : group) {
+    run.result.seconds = seconds;
+  }
+}
+
+}  // namespace
+
+PortfolioBatchRunner::PortfolioBatchRunner(EngineConfig config) : config_(config) {}
+
+std::size_t PortfolioBatchRunner::add(const finance::Portfolio& portfolio,
+                                      const data::YearEventLossTable& yelt) {
+  RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
+  RISKAN_REQUIRE(yelt.trials() > 0, "YELT must contain trials");
+  analyses_.push_back(Analysis{&portfolio, &yelt});
+  return analyses_.size() - 1;
+}
+
+std::size_t PortfolioBatchRunner::group_count() const noexcept {
+  std::vector<const data::YearEventLossTable*> seen;
+  for (const Analysis& a : analyses_) {
+    if (std::find(seen.begin(), seen.end(), a.yelt) == seen.end()) {
+      seen.push_back(a.yelt);
+    }
+  }
+  return seen.size();
+}
+
+std::vector<EngineResult> PortfolioBatchRunner::run() const {
+  std::vector<EngineResult> results(analyses_.size());
+
+  if (config_.backend == Backend::DeviceSim) {
+    // The device kernel stages one layer at a time by design; batching
+    // degenerates to the per-contract device path (bit-identical outputs,
+    // no batching win). See the backend matrix in docs/architecture.md.
+    EngineConfig per_contract = config_;
+    per_contract.batch_contracts = false;
+    for (std::size_t i = 0; i < analyses_.size(); ++i) {
+      results[i] = run_aggregate_analysis(*analyses_[i].portfolio, *analyses_[i].yelt,
+                                          per_contract);
+    }
+    return results;
+  }
+
+  // Group analyses by YELT identity (in-run pointer identity — referents
+  // are pinned by add()'s lifetime contract) so books sharing a table share
+  // its streamed pass.
+  std::vector<const data::YearEventLossTable*> group_yelts;
+  std::vector<std::vector<AnalysisRun>> groups;
+  for (std::size_t i = 0; i < analyses_.size(); ++i) {
+    const Analysis& a = analyses_[i];
+    std::size_t g = 0;
+    while (g < group_yelts.size() && group_yelts[g] != a.yelt) {
+      ++g;
+    }
+    if (g == group_yelts.size()) {
+      group_yelts.push_back(a.yelt);
+      groups.emplace_back();
+    }
+    AnalysisRun run;
+    run.portfolio = a.portfolio;
+    run.result_index = i;
+    groups[g].push_back(std::move(run));
+  }
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    run_group(groups[g], *group_yelts[g], config_);
+    for (AnalysisRun& run : groups[g]) {
+      results[run.result_index] = std::move(run.result);
+    }
+  }
+  return results;
+}
+
+EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
+                                 const data::YearEventLossTable& yelt,
+                                 const EngineConfig& config) {
+  PortfolioBatchRunner runner(config);
+  runner.add(portfolio, yelt);
+  auto results = runner.run();
+  return std::move(results.front());
+}
+
+}  // namespace riskan::core

@@ -1,0 +1,84 @@
+// Portfolio-batched aggregate analysis — one YELT pass serving every
+// contract.
+//
+// The per-contract engine (aggregate_engine.cpp) re-streams the YELT's
+// occurrence structure once per (contract, layer): a book of C contracts
+// walks the same trial offsets and per-trial slices C times and pays C
+// fork/join barriers. That is the remaining O(contracts) redundancy after
+// PR 1 hoisted the per-occurrence lookups — the paper's "scan, don't seek"
+// argument applied one level up: scan the shared table once, serve every
+// consumer from the scan.
+//
+// The batched path inverts the loop nest. Up front it pre-resolves every
+// contract's ELT against the YELT (data::MultiResolution, hit-compacted
+// through the ResolverCache) and flattens the book into a slot list, one
+// slot per (contract, layer). Then a single data-parallel pass over trial
+// chunks walks each trial once and, per trial, feeds every slot from the
+// contract's compacted hit columns — per-occurrence terms, annual terms,
+// OEP scratch and reinstatement premium exactly as the per-contract kernel
+// orders them, so every output is bit-identical (tests enforce).
+//
+// Backend behaviour:
+//   Sequential — the whole pass runs inline on the caller's thread (never
+//                touches a pool; MapReduce map tasks rely on this).
+//   Threaded   — parallel_for over trial chunks; `trial_grain` is the same
+//                chunking knob as the per-contract path.
+//   DeviceSim  — falls back to the per-contract device engine (the device
+//                kernel stages one layer at a time by design); outputs are
+//                still bit-identical, only the batching win is absent.
+//
+// The runner additionally groups *multiple* analyses by YELT identity:
+// books added over the same table are served by the same streamed pass,
+// each landing in its own EngineResult.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/aggregate_engine.hpp"
+#include "data/yelt.hpp"
+#include "finance/contract.hpp"
+
+namespace riskan::core {
+
+/// Batched counterpart of run_aggregate_analysis: same inputs, same
+/// bit-identical EngineResult, one streamed YELT pass for the whole
+/// portfolio instead of one per (contract, layer). The resolver is
+/// intrinsic to this path, so `config.use_resolver` is ignored.
+EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
+                                 const data::YearEventLossTable& yelt,
+                                 const EngineConfig& config = {});
+
+/// Multi-book front end: register any number of (portfolio, YELT) analyses,
+/// then run them with one streamed pass per *distinct* YELT — contracts of
+/// different books sharing a table ride the same scan.
+class PortfolioBatchRunner {
+ public:
+  explicit PortfolioBatchRunner(EngineConfig config = {});
+
+  /// Registers a book. Both referents must outlive run(). Returns the
+  /// index of this analysis in run()'s result vector.
+  std::size_t add(const finance::Portfolio& portfolio,
+                  const data::YearEventLossTable& yelt);
+
+  /// Runs every registered analysis; results are indexed as added. Each
+  /// result is bit-identical to run_aggregate_analysis on that
+  /// (portfolio, yelt) with the same config.
+  std::vector<EngineResult> run() const;
+
+  std::size_t analyses() const noexcept { return analyses_.size(); }
+  /// Distinct YELTs among the registered analyses (= streamed passes run()
+  /// will make).
+  std::size_t group_count() const noexcept;
+
+ private:
+  struct Analysis {
+    const finance::Portfolio* portfolio = nullptr;
+    const data::YearEventLossTable* yelt = nullptr;
+  };
+
+  EngineConfig config_;
+  std::vector<Analysis> analyses_;
+};
+
+}  // namespace riskan::core

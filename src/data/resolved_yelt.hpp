@@ -60,6 +60,88 @@ class ResolvedYelt {
   std::uint64_t hits_ = 0;
 };
 
+/// Hit-compacted resolution — the SoA gather input of the portfolio-batched
+/// engine (core::PortfolioBatchRunner).
+///
+/// A ResolvedYelt still carries one slot per YELT occurrence, most of which
+/// are kNoLoss for a contract whose ELT covers a fraction of the catalogue:
+/// the per-contract kernel reads 4 bytes and branches for every miss. The
+/// compact form keeps only the hits, CSR-indexed by trial, as two parallel
+/// uint32 columns:
+///   seqs()[k] — the occurrence's sequence number within its trial
+///               (i - yelt.offsets()[t]; also the secondary-uncertainty
+///               stream key, so sampling stays bit-identical);
+///   rows()[k] — the matching ELT row.
+/// trial_offsets()[t]..trial_offsets()[t+1] delimit trial t's hits. A layer
+/// pass then touches 8 bytes per *hit* instead of 4 bytes per *occurrence*,
+/// and spends no branches on misses — at a typical 10% catalogue coverage
+/// that is ~5x less streamed data per (layer, trial) walk.
+class CompactResolvedYelt {
+ public:
+  CompactResolvedYelt() = default;
+
+  /// Compacts `resolved` (built against `yelt`) into hit columns. Two
+  /// streamed passes (count, fill), parallel over trial slabs; every output
+  /// slot is written independently of scheduling, so the build is
+  /// deterministic.
+  static CompactResolvedYelt build(const ResolvedYelt& resolved,
+                                   const YearEventLossTable& yelt, ParallelConfig cfg = {});
+
+  /// CSR index: hits of trial t live in [trial_offsets()[t], trial_offsets()[t+1]).
+  std::span<const std::uint64_t> trial_offsets() const noexcept { return trial_offsets_; }
+  /// In-trial occurrence sequence numbers of the hits, trial-relative.
+  std::span<const std::uint32_t> seqs() const noexcept { return seqs_; }
+  /// ELT rows of the hits, parallel to seqs().
+  std::span<const std::uint32_t> rows() const noexcept { return rows_; }
+
+  /// Total hits (== the source resolution's hits()).
+  std::uint64_t hits() const noexcept { return seqs_.size(); }
+  TrialId trials() const noexcept {
+    return trial_offsets_.empty() ? 0 : static_cast<TrialId>(trial_offsets_.size() - 1);
+  }
+
+  std::size_t byte_size() const noexcept {
+    return trial_offsets_.size() * sizeof(std::uint64_t) +
+           (seqs_.size() + rows_.size()) * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> trial_offsets_;
+  std::vector<std::uint32_t> seqs_;
+  std::vector<std::uint32_t> rows_;
+};
+
+class ResolverCache;
+
+/// Pre-resolved view of many contracts' ELTs against one shared YELT — what
+/// the batched engine builds up front so the trial-chunk pass is pure
+/// gathers. Both the full resolutions and their hit-compacted forms come
+/// from (and stay shared through) a ResolverCache, so a warm batched run
+/// resolves and compacts nothing.
+class MultiResolution {
+ public:
+  struct Entry {
+    std::shared_ptr<const ResolvedYelt> resolved;
+    std::shared_ptr<const CompactResolvedYelt> compact;
+  };
+
+  MultiResolution() = default;
+
+  /// Resolves every ELT in `elts` against `yelt` through `cache` (nullptr =
+  /// ResolverCache::shared()) and compacts each. Order of entries follows
+  /// `elts`.
+  static MultiResolution build(std::span<const EventLossTable* const> elts,
+                               const YearEventLossTable& yelt, ResolverCache* cache,
+                               ParallelConfig cfg = {});
+
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 /// Process-wide cache of resolutions keyed by (ELT, YELT) identity.
 ///
 /// The key couples the tables' data pointers and shapes with a strided
@@ -88,6 +170,17 @@ class ResolverCache {
                                                    const YearEventLossTable& yelt,
                                                    ParallelConfig cfg = {});
 
+  /// Full + hit-compacted resolution pair for the batched engine. The
+  /// compact form is derived lazily from the cached full resolution and
+  /// retained with it, so warm batched runs gather without re-compacting.
+  struct CompactEntry {
+    std::shared_ptr<const ResolvedYelt> resolved;
+    std::shared_ptr<const CompactResolvedYelt> compact;
+  };
+  CompactEntry get_or_build_compact(const EventLossTable& elt,
+                                    const YearEventLossTable& yelt,
+                                    ParallelConfig cfg = {});
+
   std::size_t size() const;
   /// Total bytes of retained row columns.
   std::size_t byte_size() const;
@@ -114,8 +207,25 @@ class ResolverCache {
 
   static Key make_key(const EventLossTable& elt, const YearEventLossTable& yelt) noexcept;
 
+  struct Entry {
+    Key key;
+    std::shared_ptr<const ResolvedYelt> resolved;
+    std::shared_ptr<const CompactResolvedYelt> compact;  // lazily attached
+
+    std::size_t bytes() const noexcept {
+      return resolved->byte_size() + (compact ? compact->byte_size() : 0);
+    }
+  };
+
+  /// Inserts under the lock, re-checking for a racing insert; returns the
+  /// surviving entry's value and runs FIFO eviction.
+  CompactEntry insert_locked(const Key& key, std::shared_ptr<const ResolvedYelt> resolved,
+                             std::shared_ptr<const CompactResolvedYelt> compact);
+  /// FIFO-evicts past the entry/byte bounds; caller holds mutex_.
+  void evict_locked();
+
   mutable std::mutex mutex_;
-  std::vector<std::pair<Key, std::shared_ptr<const ResolvedYelt>>> entries_;
+  std::vector<Entry> entries_;
   std::size_t bytes_ = 0;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -70,6 +70,11 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
         engine.keep_contract_ylts = false;
         engine.trial_base = static_cast<TrialId>(split) * per_block;
         engine.use_resolver = config.use_resolver;
+        // Each map task carries the whole contract group: with batching on,
+        // its YELT slice is streamed once serving every contract, instead
+        // of once per (contract, layer). Batching is resolver-intrinsic,
+        // so the use_resolver=false ablation keeps the per-contract path.
+        engine.batch_contracts = config.batch_contracts && config.use_resolver;
         // The rebuilt slice is task-local, so its resolutions are too: a
         // task-local cache still shares the pre-join across the contracts'
         // layers without parking dead keys in the process-wide cache.

@@ -2,10 +2,12 @@
 // the paper's alternative stage-2 architecture (experiment E6).
 //
 // The YELT is split into trial-range blocks stored in the DFS; each map
-// task deserialises its block, runs the same aggregate-analysis kernel the
-// in-memory engine uses (sequential backend, trial_base = the block's first
-// global trial, so secondary-uncertainty streams line up), and emits
-// (trial, portfolio loss). The reduce is a per-trial sum — trivially
+// task deserialises its block and runs the same aggregate-analysis kernel
+// the in-memory engine uses over the whole contract group (sequential
+// backend, portfolio-batched by default so the slice is streamed once for
+// every contract, trial_base = the block's first global trial so
+// secondary-uncertainty streams line up), and emits (trial, portfolio
+// loss). The reduce is a per-trial sum — trivially
 // combiner-friendly, which is why this workload MapReduces well. The
 // output YLT is bit-identical to the in-memory engine's (integration tests
 // enforce this).
@@ -33,6 +35,13 @@ struct AggregateJobConfig {
   /// Pre-join each contract's ELT to the map task's YELT slice once and
   /// share it across the contract's layers (core::EngineConfig::use_resolver).
   bool use_resolver = true;
+  /// Run each map task portfolio-batched: the whole contract group is
+  /// served by one streamed pass over the task's YELT slice instead of a
+  /// per-contract re-walk (core::EngineConfig::batch_contracts). Outputs
+  /// are bit-identical either way. The batched path is resolver-intrinsic,
+  /// so `use_resolver = false` (the legacy-lookup ablation) forces the
+  /// per-contract path regardless of this flag.
+  bool batch_contracts = true;
 };
 
 struct AggregateJobResult {

@@ -1,0 +1,339 @@
+// Portfolio-batched execution — one YELT pass serving every contract.
+//
+// The batched path is a pure loop-nest inversion of the per-contract
+// engine: same per-occurrence terms, same accumulation order per output
+// slot, so every result (portfolio AEP, per-contract YLTs, OEP,
+// reinstatement premium, lookup telemetry) must be bit-identical across
+// backends, grain sizes and secondary-uncertainty settings. These tests
+// are the contract that lets callers flip `batch_contracts` on without
+// re-validating numbers.
+#include <gtest/gtest.h>
+
+#include "core/aggregate_engine.hpp"
+#include "core/portfolio_batch.hpp"
+#include "data/resolved_yelt.hpp"
+#include "finance/contract.hpp"
+
+namespace riskan::core {
+namespace {
+
+finance::Portfolio book(std::size_t contracts, int layers, std::uint64_t seed = 99,
+                        EventId catalog = 800, std::size_t elt_rows = 150) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = contracts;
+  pg.catalog_events = catalog;
+  pg.elt_rows = elt_rows;
+  pg.layers_per_contract = layers;
+  pg.seed = seed;
+  return finance::generate_portfolio(pg);
+}
+
+data::YearEventLossTable lens(TrialId trials, EventId catalog = 800,
+                              std::uint64_t seed = 7) {
+  data::YeltGenConfig yg;
+  yg.trials = trials;
+  yg.seed = seed;
+  return data::generate_yelt(catalog, yg);
+}
+
+void expect_identical(const EngineResult& a, const EngineResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.portfolio_ylt.trials(), b.portfolio_ylt.trials()) << what;
+  for (TrialId t = 0; t < a.portfolio_ylt.trials(); ++t) {
+    ASSERT_EQ(a.portfolio_ylt[t], b.portfolio_ylt[t]) << what << " AEP trial " << t;
+    ASSERT_EQ(a.reinstatement_premium[t], b.reinstatement_premium[t])
+        << what << " reinstatement trial " << t;
+  }
+  ASSERT_EQ(a.portfolio_occurrence_ylt.trials(), b.portfolio_occurrence_ylt.trials())
+      << what;
+  for (TrialId t = 0; t < a.portfolio_occurrence_ylt.trials(); ++t) {
+    ASSERT_EQ(a.portfolio_occurrence_ylt[t], b.portfolio_occurrence_ylt[t])
+        << what << " OEP trial " << t;
+  }
+  ASSERT_EQ(a.contract_ylts.size(), b.contract_ylts.size()) << what;
+  for (std::size_t c = 0; c < a.contract_ylts.size(); ++c) {
+    for (TrialId t = 0; t < a.contract_ylts[c].trials(); ++t) {
+      ASSERT_EQ(a.contract_ylts[c][t], b.contract_ylts[c][t])
+          << what << " contract " << c << " trial " << t;
+    }
+  }
+}
+
+TEST(PortfolioBatch, BitIdenticalAcrossBackendsGrainsAndSecondary) {
+  const auto portfolio = book(/*contracts=*/6, /*layers=*/3);
+  const auto yelt = lens(1'500);
+
+  for (const bool secondary : {false, true}) {
+    for (const Backend backend : {Backend::Sequential, Backend::Threaded}) {
+      for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
+        if (backend == Backend::Sequential && grain != 0) {
+          continue;  // grain only affects the threaded backend
+        }
+        EngineConfig config;
+        config.backend = backend;
+        config.secondary_uncertainty = secondary;
+        config.trial_grain = grain;
+
+        config.batch_contracts = false;
+        const auto per_contract = run_aggregate_analysis(portfolio, yelt, config);
+        config.batch_contracts = true;
+        const auto batched = run_aggregate_analysis(portfolio, yelt, config);
+
+        expect_identical(per_contract, batched,
+                         std::string(to_string(backend)) +
+                             (secondary ? "/secondary" : "/means") + "/grain=" +
+                             std::to_string(grain));
+        EXPECT_EQ(per_contract.elt_lookups, batched.elt_lookups);
+        EXPECT_EQ(per_contract.occurrences_processed, batched.occurrences_processed);
+      }
+    }
+  }
+}
+
+TEST(PortfolioBatch, DeviceSimFallbackMatchesPerContract) {
+  const auto portfolio = book(/*contracts=*/4, /*layers=*/2);
+  const auto yelt = lens(800);
+
+  EngineConfig config;
+  config.backend = Backend::DeviceSim;
+  config.batch_contracts = false;
+  const auto per_contract = run_aggregate_analysis(portfolio, yelt, config);
+
+  // Through both entry points: the engine route and the runner route.
+  config.batch_contracts = true;
+  const auto via_engine = run_aggregate_analysis(portfolio, yelt, config);
+  const auto via_runner = run_portfolio_batch(portfolio, yelt, config);
+  expect_identical(per_contract, via_engine, "device-sim via engine");
+  expect_identical(per_contract, via_runner, "device-sim via runner");
+}
+
+TEST(PortfolioBatch, DegenerateSingleContractBatch) {
+  const auto portfolio = book(/*contracts=*/1, /*layers=*/2);
+  const auto yelt = lens(1'000);
+
+  for (const Backend backend : {Backend::Sequential, Backend::Threaded}) {
+    EngineConfig config;
+    config.backend = backend;
+    config.batch_contracts = false;
+    const auto per_contract = run_aggregate_analysis(portfolio, yelt, config);
+    const auto batched = run_portfolio_batch(portfolio, yelt, config);
+    expect_identical(per_contract, batched,
+                     std::string("1-contract/") + to_string(backend));
+  }
+}
+
+TEST(PortfolioBatch, DisjointEltEventSets) {
+  // Contracts whose ELTs partition the catalogue: no event is shared, and
+  // one contract's ELT misses the YELT entirely (zero hits end to end).
+  const EventId catalog = 600;
+  std::vector<data::EltRow> lo_rows, hi_rows, outside_rows;
+  for (EventId e = 0; e < 200; ++e) {
+    lo_rows.push_back({e, 1e6 + e, 2e5, 4e6});
+  }
+  for (EventId e = 300; e < 500; ++e) {
+    hi_rows.push_back({e, 2e6 + e, 3e5, 8e6});
+  }
+  for (EventId e = catalog + 50; e < catalog + 80; ++e) {
+    outside_rows.push_back({e, 5e6, 1e6, 9e6});  // never occurs in the YELT
+  }
+
+  finance::Layer layer;
+  layer.id = 1;
+  layer.terms = finance::LayerTerms::typical();
+  finance::Portfolio portfolio;
+  portfolio.add(finance::Contract(1, data::EventLossTable::from_rows(lo_rows), {layer}));
+  portfolio.add(finance::Contract(2, data::EventLossTable::from_rows(hi_rows), {layer}));
+  portfolio.add(
+      finance::Contract(3, data::EventLossTable::from_rows(outside_rows), {layer}));
+
+  const auto yelt = lens(1'200, catalog);
+
+  for (const bool secondary : {false, true}) {
+    EngineConfig config;
+    config.backend = Backend::Threaded;
+    config.secondary_uncertainty = secondary;
+    config.batch_contracts = false;
+    const auto per_contract = run_aggregate_analysis(portfolio, yelt, config);
+    const auto batched = run_portfolio_batch(portfolio, yelt, config);
+    expect_identical(per_contract, batched,
+                     secondary ? "disjoint/secondary" : "disjoint/means");
+    // The out-of-catalogue contract contributes nothing on either path.
+    for (TrialId t = 0; t < yelt.trials(); ++t) {
+      ASSERT_EQ(batched.contract_ylts[2][t], 0.0);
+    }
+  }
+}
+
+TEST(PortfolioBatch, TrialBaseAndLeanOutputsMatch) {
+  const auto portfolio = book(/*contracts=*/3, /*layers=*/2);
+  const auto yelt = lens(700);
+
+  EngineConfig config;
+  config.backend = Backend::Threaded;
+  config.trial_base = 12'345;  // MapReduce split regime
+  config.compute_oep = false;
+  config.keep_contract_ylts = false;
+
+  config.batch_contracts = false;
+  const auto per_contract = run_aggregate_analysis(portfolio, yelt, config);
+  const auto batched = run_portfolio_batch(portfolio, yelt, config);
+
+  ASSERT_TRUE(batched.contract_ylts.empty());
+  ASSERT_EQ(batched.portfolio_occurrence_ylt.trials(), 0);
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    ASSERT_EQ(per_contract.portfolio_ylt[t], batched.portfolio_ylt[t]) << t;
+    ASSERT_EQ(per_contract.reinstatement_premium[t], batched.reinstatement_premium[t])
+        << t;
+  }
+}
+
+TEST(PortfolioBatchRunner, GroupsBooksByYeltAndMatchesIndividualRuns) {
+  const auto book_a = book(/*contracts=*/3, /*layers=*/2, /*seed=*/11);
+  const auto book_b = book(/*contracts=*/5, /*layers=*/1, /*seed=*/22);
+  const auto shared_lens = lens(900);
+  const auto other_lens = lens(900, 800, /*seed=*/31);
+
+  EngineConfig config;
+  config.backend = Backend::Threaded;
+
+  PortfolioBatchRunner runner(config);
+  EXPECT_EQ(runner.add(book_a, shared_lens), 0u);
+  EXPECT_EQ(runner.add(book_b, shared_lens), 1u);
+  EXPECT_EQ(runner.add(book_a, other_lens), 2u);
+  EXPECT_EQ(runner.analyses(), 3u);
+  EXPECT_EQ(runner.group_count(), 2u);  // two distinct YELTs, three books
+
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 3u);
+
+  config.batch_contracts = false;
+  expect_identical(run_aggregate_analysis(book_a, shared_lens, config), results[0],
+                   "book A over shared lens");
+  expect_identical(run_aggregate_analysis(book_b, shared_lens, config), results[1],
+                   "book B over shared lens");
+  expect_identical(run_aggregate_analysis(book_a, other_lens, config), results[2],
+                   "book A over other lens");
+}
+
+TEST(PortfolioBatchRunner, SharedResolverCacheIsReused) {
+  const auto portfolio = book(/*contracts=*/4, /*layers=*/2);
+  const auto yelt = lens(600);
+  data::ResolverCache cache;
+
+  EngineConfig config;
+  config.backend = Backend::Threaded;
+  config.resolver_cache = &cache;
+
+  const auto first = run_portfolio_batch(portfolio, yelt, config);
+  EXPECT_EQ(cache.miss_count(), portfolio.size());
+  EXPECT_EQ(cache.hit_count(), 0u);
+
+  const auto second = run_portfolio_batch(portfolio, yelt, config);
+  EXPECT_EQ(cache.miss_count(), portfolio.size());
+  EXPECT_EQ(cache.hit_count(), portfolio.size());
+  expect_identical(first, second, "second batched run from cache");
+}
+
+}  // namespace
+}  // namespace riskan::core
+
+namespace riskan::data {
+namespace {
+
+TEST(CompactResolvedYelt, MatchesFullResolutionHitForHit) {
+  YeltGenConfig yg;
+  yg.trials = 400;
+  const auto yelt = generate_yelt(300, yg);
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 1;
+  pg.catalog_events = 300;
+  pg.elt_rows = 80;
+  const auto portfolio = finance::generate_portfolio(pg);
+  const auto& elt = portfolio.contract(0).elt();
+
+  const auto resolved = ResolvedYelt::build(elt, yelt);
+  const auto compact = CompactResolvedYelt::build(resolved, yelt);
+
+  ASSERT_EQ(compact.trials(), yelt.trials());
+  EXPECT_EQ(compact.hits(), resolved.hits());
+
+  // Walk the full resolution trial by trial; the compact columns must list
+  // exactly the hits, in occurrence order.
+  const auto offsets = yelt.offsets();
+  const auto rows = resolved.rows();
+  std::uint64_t k = 0;
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    ASSERT_EQ(compact.trial_offsets()[t], k) << "trial " << t;
+    for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+      if (rows[i] == ResolvedYelt::kNoLoss) {
+        continue;
+      }
+      ASSERT_LT(k, compact.hits());
+      EXPECT_EQ(compact.seqs()[k], static_cast<std::uint32_t>(i - offsets[t]));
+      EXPECT_EQ(compact.rows()[k], rows[i]);
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, compact.hits());
+  EXPECT_EQ(compact.trial_offsets()[yelt.trials()], k);
+}
+
+TEST(CompactResolvedYelt, ParallelBuildMatchesInlineBuild) {
+  YeltGenConfig yg;
+  yg.trials = 2'000;
+  const auto yelt = generate_yelt(500, yg);
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 1;
+  pg.catalog_events = 500;
+  pg.elt_rows = 120;
+  const auto portfolio = finance::generate_portfolio(pg);
+  const auto resolved = ResolvedYelt::build(portfolio.contract(0).elt(), yelt);
+
+  const auto tiny_grain =
+      CompactResolvedYelt::build(resolved, yelt, ParallelConfig{nullptr, 16});
+  const auto inline_build = CompactResolvedYelt::build(
+      resolved, yelt, ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()});
+
+  ASSERT_EQ(tiny_grain.hits(), inline_build.hits());
+  for (std::uint64_t k = 0; k < tiny_grain.hits(); ++k) {
+    ASSERT_EQ(tiny_grain.seqs()[k], inline_build.seqs()[k]);
+    ASSERT_EQ(tiny_grain.rows()[k], inline_build.rows()[k]);
+  }
+  for (TrialId t = 0; t <= yelt.trials(); ++t) {
+    ASSERT_EQ(tiny_grain.trial_offsets()[t], inline_build.trial_offsets()[t]);
+  }
+}
+
+TEST(MultiResolution, OneEntryPerContractThroughTheCache) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 3;
+  pg.catalog_events = 300;
+  pg.elt_rows = 60;
+  const auto portfolio = finance::generate_portfolio(pg);
+  YeltGenConfig yg;
+  yg.trials = 500;
+  const auto yelt = generate_yelt(300, yg);
+
+  ResolverCache cache;
+  std::vector<const EventLossTable*> elts;
+  for (const auto& contract : portfolio.contracts()) {
+    elts.push_back(&contract.elt());
+  }
+  const auto set = MultiResolution::build(elts, yelt, &cache);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(cache.miss_count(), 3u);
+  for (std::size_t c = 0; c < set.size(); ++c) {
+    EXPECT_EQ(set.entry(c).compact->hits(), set.entry(c).resolved->hits());
+  }
+
+  // A second set over the same tables shares the cached full resolutions.
+  const auto again = MultiResolution::build(elts, yelt, &cache);
+  EXPECT_EQ(cache.miss_count(), 3u);
+  EXPECT_EQ(cache.hit_count(), 3u);
+  for (std::size_t c = 0; c < set.size(); ++c) {
+    EXPECT_EQ(again.entry(c).resolved.get(), set.entry(c).resolved.get());
+  }
+}
+
+}  // namespace
+}  // namespace riskan::data

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check relative links in the repo's markdown documentation.
+
+Scans README.md and every .md file under docs/ for markdown links,
+resolves relative targets against the containing file, and fails (exit 1)
+if a target file or a #fragment (GitHub-style heading anchor) does not
+exist. External links (http/https/mailto) are not fetched — this is a
+broken-*relative*-link gate, cheap enough for every CI run.
+
+Usage: python3 tools/check_links.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading: str) -> str:
+    """Approximate GitHub's heading→anchor slug."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")
+    # Keep word characters, spaces and hyphens; everything else vanishes
+    # (→, punctuation, slashes, braces), matching GitHub's behaviour.
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_file: Path) -> set[str]:
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in md_file.read_text(encoding="utf-8").splitlines():
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(md_file: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    text = md_file.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if EXTERNAL_RE.match(target):
+            continue  # http(s), mailto, etc.
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            md_file if not path_part else (md_file.parent / path_part).resolve()
+        )
+        rel = md_file.relative_to(root)
+        if path_part and not resolved.exists():
+            errors.append(f"{rel}: broken link target '{target}'")
+            continue
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # fragments only checked inside markdown
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{rel}: missing anchor '#{fragment}' in '{target}'")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    files = sorted((root / "docs").glob("**/*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.insert(0, readme)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    for md_file in files:
+        errors.extend(check_file(md_file, root))
+
+    for error in errors:
+        print(f"BROKEN: {error}", file=sys.stderr)
+    print(f"check_links: {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
