@@ -1,8 +1,11 @@
 // Post-event what-if desk (paper reference [2], "Rapid Post-Event
 // Catastrophe Modelling"): a major event has just occurred — in seconds,
 // report its impact on the book, rank the realistic disaster scenarios,
-// quantify how settled the tail metrics are (bootstrap), and project
-// multi-year solvency (DFA extension).
+// then revise the *full annual distribution* with the scenario engine:
+// intensity-scaled conditioning scenarios (src/scenario) answer "what do
+// this year's metrics look like given the event happened, across the
+// estimate revisions", all riding one streamed YELT pass. Bootstrap CIs
+// and a multi-year solvency projection run off the same sweep.
 //
 // Build & run:  ./build/example_post_event_whatif
 #include <iostream>
@@ -11,6 +14,7 @@
 #include "core/bootstrap.hpp"
 #include "core/post_event.hpp"
 #include "dfa/projection.hpp"
+#include "scenario/sweep.hpp"
 #include "util/format.hpp"
 #include "util/report.hpp"
 #include "util/stopwatch.hpp"
@@ -26,24 +30,12 @@ int main() {
 
   const core::PostEventAnalyzer analyzer(portfolio);
 
-  // 1. An event just happened (early intensity estimate 20% hot).
-  const EventId occurred = 4'242;
-  Stopwatch watch;
-  const auto impact = analyzer.analyse(occurred, /*intensity_scale=*/1.2);
-  std::cout << "post-event impact of event " << occurred << " (computed in "
-            << format_seconds(watch.seconds()) << ")\n"
-            << "  contracts hit      : " << impact.contracts_hit << "\n"
-            << "  ground-up loss     : " << format_count(impact.portfolio_ground_up) << "\n"
-            << "  net loss to book   : " << format_count(impact.portfolio_net) << "\n"
-            << "  layers attaching   : " << impact.layers_attaching << " ("
-            << impact.layers_exhausted << " exhausted)\n\n";
-
-  // 2. Realistic disaster scenarios: worst 5 catalogue events for this book.
+  // 1. Realistic disaster scenarios: worst 5 catalogue events for this book.
   std::vector<EventId> all_events(book.catalog_events);
   for (EventId e = 0; e < book.catalog_events; ++e) {
     all_events[e] = e;
   }
-  watch.reset();
+  Stopwatch watch;
   const auto worst = analyzer.worst_events(all_events, 5);
   std::cout << "realistic disaster scenarios (full-catalogue sweep, "
             << format_seconds(watch.seconds()) << ")\n";
@@ -54,30 +46,66 @@ int main() {
   }
   rds.print(std::cout);
 
-  // 3. How settled are the tail metrics at this trial count?
+  // 2. One of them just happened (early intensity estimate 20% hot): the
+  //    instant O(portfolio) lookup-and-terms answer. The runner-up rather
+  //    than the top event: the worst one exhausts its layers at any
+  //    intensity, which would make the revision ladder below a flat line.
+  const EventId occurred = worst[1].event;
+  watch.reset();
+  const auto impact = analyzer.analyse(occurred, /*intensity_scale=*/1.2);
+  std::cout << "\npost-event impact of event " << occurred << " (computed in "
+            << format_seconds(watch.seconds()) << ")\n"
+            << "  contracts hit      : " << impact.contracts_hit << "\n"
+            << "  ground-up loss     : " << format_count(impact.portfolio_ground_up) << "\n"
+            << "  net loss to book   : " << format_count(impact.portfolio_net) << "\n"
+            << "  layers attaching   : " << impact.layers_attaching << " ("
+            << impact.layers_exhausted << " exhausted)\n";
+
+  // 3. The full-distribution revision: condition the year on the event
+  //    having occurred, across the intensity-estimate ladder the field
+  //    teams will walk over the next days (DEXA'12's "revised repeatedly").
+  //    One sweep, one streamed YELT pass, deltas vs the pre-event book.
   data::YeltGenConfig lens;
   lens.trials = 20'000;
   const auto yelt = data::generate_yelt(book.catalog_events, lens);
+
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const double intensity : {0.8, 1.0, 1.2}) {
+    scenario::ScenarioSpec spec;
+    spec.name = "occurred @" + format_fixed(intensity, 1) + "x";
+    spec.conditioning = scenario::PostEventConditioning{occurred, intensity};
+    specs.push_back(std::move(spec));
+  }
+
   core::EngineConfig engine;
   engine.compute_oep = false;
   engine.keep_contract_ylts = false;
-  const auto result = core::run_aggregate_analysis(portfolio, yelt, engine);
+  watch.reset();
+  const auto sweep = scenario::run_scenario_sweep(portfolio, yelt, specs, engine);
+  std::cout << "\nconditional annual view given event " << occurred << " ("
+            << specs.size() << " intensity revisions + base in "
+            << format_seconds(sweep.seconds) << ", one YELT pass)\n";
+  sweep.report.print(std::cout);
 
-  const auto pml_ci = core::bootstrap_pml(result.portfolio_ylt, 250.0);
-  const auto tvar_ci = core::bootstrap_tvar(result.portfolio_ylt, 0.99);
-  std::cout << "\ntail-metric uncertainty at " << yelt.trials() << " trials (90% CIs)\n"
+  // 4. How settled are the post-event tail metrics at this trial count?
+  //    Bootstrap the conditioned (current-estimate) YLT from the sweep.
+  const auto& conditioned_ylt = sweep.scenarios[2].portfolio_ylt;  // 1.2x estimate
+  const auto pml_ci = core::bootstrap_pml(conditioned_ylt, 250.0);
+  const auto tvar_ci = core::bootstrap_tvar(conditioned_ylt, 0.99);
+  std::cout << "\npost-event tail-metric uncertainty at " << yelt.trials()
+            << " trials (90% CIs)\n"
             << "  PML 250y : " << format_count(pml_ci.point) << "  ["
             << format_count(pml_ci.lo) << ", " << format_count(pml_ci.hi) << "]\n"
             << "  TVaR 99  : " << format_count(tvar_ci.point) << "  ["
             << format_count(tvar_ci.lo) << ", " << format_count(tvar_ci.hi) << "]\n";
 
-  // 4. Multi-year solvency projection with the post-event book.
+  // 5. Multi-year solvency projection with the post-event book.
   dfa::ProjectionConfig proj;
   proj.paths = 5'000;
   proj.horizon_years = 5;
   proj.initial_capital = 1.0e9;
   // Calibrate the cat book against the projection balance sheet.
-  auto cat = result.portfolio_ylt;
+  auto cat = conditioned_ylt;
   cat *= 60e6 / cat.mean();
   dfa::MultiYearProjection projection(dfa::standard_risk_sources(11), proj);
   const auto path = projection.run(cat);

@@ -1,0 +1,90 @@
+// Scenario sweep: price an S-point re-strike of a layer in one pass.
+//
+// The pricing question every renewal asks: how do AAL and the tail metrics
+// move as a layer's attachment slides? Answering it naively costs one full
+// aggregate analysis per candidate attachment. The scenario engine
+// (src/scenario) answers all S candidates — plus a demand-surge stress and
+// a post-event revision — with ONE streamed YELT pass: the planner reuses
+// the base book's event→row resolutions for every scenario, and the
+// executor samples each occurrence's loss once and serves all S slot
+// variants.
+//
+// Build & run:  ./build/example_scenario_sweep
+#include <iostream>
+
+#include "core/aggregate_engine.hpp"
+#include "scenario/sweep.hpp"
+#include "util/format.hpp"
+#include "util/report.hpp"
+
+using namespace riskan;
+
+int main() {
+  finance::PortfolioGenConfig book;
+  book.contracts = 16;
+  book.catalog_events = 10'000;
+  book.elt_rows = 1'000;
+  book.layers_per_contract = 4;
+  const auto portfolio = finance::generate_portfolio(book);
+
+  data::YeltGenConfig lens;
+  lens.trials = 50'000;
+  const auto yelt = data::generate_yelt(book.catalog_events, lens);
+
+  // A 16-point sweep: 12 attachment strikes on contract 0's first layer,
+  // two demand-surge stresses, an exclusion mask, a post-event revision.
+  const auto& struck_layer = portfolio.contract(0).layers()[0];
+  std::vector<scenario::ScenarioSpec> specs;
+  for (int i = 0; i < 12; ++i) {
+    scenario::ScenarioSpec spec;
+    const double shift = 0.70 + 0.05 * i;  // 0.70x .. 1.25x of base attachment
+    spec.name = "attach " + format_fixed(shift, 2) + "x";
+    scenario::TargetedOverride o;
+    o.contract = portfolio.contract(0).id();
+    o.layer = struck_layer.id;
+    o.override.occ_retention = struck_layer.terms.occ_retention * shift;
+    spec.overrides.push_back(o);
+    specs.push_back(std::move(spec));
+  }
+  for (const double surge : {1.15, 1.30}) {
+    scenario::ScenarioSpec spec;
+    spec.name = "surge " + format_fixed(surge, 2) + "x";
+    spec.loss_scale = surge;
+    specs.push_back(std::move(spec));
+  }
+  {
+    scenario::ScenarioSpec spec;
+    spec.name = "exclude 100-149";
+    for (EventId e = 100; e < 150; ++e) {
+      spec.excluded_events.push_back(e);
+    }
+    specs.push_back(std::move(spec));
+  }
+  {
+    // Condition on an event that is actually in the book's footprint.
+    const EventId occurred = portfolio.contract(0).elt().event_ids()[0];
+    scenario::ScenarioSpec spec;
+    spec.name = "event " + std::to_string(occurred) + " occurred";
+    spec.conditioning = scenario::PostEventConditioning{occurred, 1.1};
+    specs.push_back(std::move(spec));
+  }
+
+  core::EngineConfig engine;
+  engine.keep_contract_ylts = false;
+  const auto sweep = scenario::run_scenario_sweep(portfolio, yelt, specs, engine);
+
+  std::cout << specs.size() << "-scenario sweep over " << yelt.trials() << " trials, "
+            << portfolio.size() << " contracts x "
+            << portfolio.contract(0).layers().size() << " layers, in "
+            << format_seconds(sweep.seconds) << " total (one streamed pass)\n\n";
+  sweep.report.print(std::cout);
+
+  std::cout << "\nplanner dedupe: " << sweep.plan.contracts_resolved
+            << " contract resolutions served " << sweep.plan.scenarios << " scenarios ("
+            << sweep.plan.resolutions_avoided << " re-resolutions avoided), "
+            << sweep.plan.distinct_masks << " mask column(s) for "
+            << sweep.plan.mask_references << " mask reference(s), "
+            << sweep.plan.slots << " slots in " << sweep.plan.gather_groups
+            << " shared-gather groups\n";
+  return 0;
+}

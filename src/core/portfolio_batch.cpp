@@ -10,75 +10,262 @@
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"
 
-namespace riskan::core {
+namespace riskan::core::batch {
 
 namespace {
 
-/// One (contract, layer) of the flattened batch, with everything the
-/// trial-chunk kernel gathers from or accumulates into. Slots are ordered
-/// (analysis, contract, layer) — the exact accumulation order of the
-/// per-contract engine, which is what makes the outputs bit-identical.
-struct Slot {
-  const std::uint64_t* hit_offsets = nullptr;  // compact CSR index, by trial
-  const std::uint32_t* seqs = nullptr;         // in-trial occurrence sequence
-  const std::uint32_t* rows = nullptr;         // ELT rows, parallel to seqs
-  const Money* means = nullptr;
-  const SecondarySampler* sampler = nullptr;  // null = use ELT means
-  finance::LayerTerms terms;
-  finance::Reinstatements reinstatements;
-  Money upfront_premium = 0.0;
-  ContractId contract_id = 0;
-  LayerId layer_id = 0;
-  std::span<Money> contract_losses;     // empty when keep_contract_ylts off
-  std::span<Money> portfolio_losses;    // this slot's analysis
-  std::span<Money> reinstatement_prem;  // this slot's analysis
-  Money* occurrence_accum = nullptr;    // this slot's analysis; null = OEP off
-};
+bool same_gather(const Slot& a, const Slot& b) noexcept {
+  return a.hit_offsets == b.hit_offsets && a.seqs == b.seqs && a.rows == b.rows &&
+         a.means == b.means && a.sampler == b.sampler && a.contract_id == b.contract_id &&
+         a.layer_id == b.layer_id;
+}
 
-/// Processes trials [lo, hi) for every slot: per trial, each slot walks its
-/// compacted hits in occurrence order, so per-slot annual sums, the shared
-/// per-trial accumulators and the per-occurrence OEP scratch see additions
-/// in the same order as the per-contract kernel. State is indexed by trial
-/// (or the trial's occurrence range), so disjoint chunks never race.
-void process_batch_trials(std::span<const Slot> slots,
-                          std::span<const std::uint64_t> yelt_offsets,
-                          const Philox4x32& philox, bool secondary, TrialId trial_base,
-                          TrialId lo, TrialId hi) {
+/// The conditioned occurrence of one (slot, trial), if any: applied before
+/// the trial's own occurrences. Returns its contribution to the annual sum.
+inline Money conditioned_annual(const Slot& s, TrialId t) {
+  if (s.conditioned_ground_up < 0.0) {
+    return 0.0;
+  }
+  const Money occ = finance::apply_occurrence(s.terms, s.conditioned_ground_up);
+  if (s.conditioned_accum != nullptr && occ > 0.0) {
+    s.conditioned_accum[t] += occ * s.terms.share;
+  }
+  return occ;
+}
+
+/// Annual terms + output accumulation of one (slot, trial).
+inline void finish_slot_trial(const Slot& s, TrialId t, Money annual) {
+  const Money consumed = finance::apply_aggregate(s.terms, annual);
+  const Money net = consumed * s.terms.share;
+  if (net > 0.0) {
+    if (!s.contract_losses.empty()) {
+      s.contract_losses[t] += net;
+    }
+    s.portfolio_losses[t] += net;
+    s.reinstatement_prem[t] +=
+        s.reinstatements.premium_due(consumed, s.terms.occ_limit, s.upfront_premium);
+  }
+}
+
+inline bool inert_transforms(const Slot& s) noexcept {
+  return s.mask_seq == nullptr && s.loss_scale == 1.0 && s.conditioned_ground_up < 0.0;
+}
+
+/// Singleton-group fast path: the base batched engine's regime (every slot
+/// its own gather group). Keeps the annual sum in a register — the grouped
+/// kernel's scratch-array accumulation costs a per-occurrence memory RMW
+/// that shows up at streaming rates — and compiles the transform hooks out
+/// entirely for inert slots (kTransforms = false), so the base path keeps
+/// the pre-scenario kernel's instruction stream.
+template <bool kTransforms>
+inline void process_singleton_trial(const Slot& s, const Philox4x32& philox,
+                                    bool secondary, TrialId trial_base, TrialId t,
+                                    std::uint64_t trial_begin) {
+  Money annual = kTransforms ? conditioned_annual(s, t) : 0.0;
+  const std::uint64_t k_end = s.hit_offsets[t + 1];
+  for (std::uint64_t k = s.hit_offsets[t]; k < k_end; ++k) {
+    const std::uint32_t seq = s.seqs[k];
+    const std::uint32_t row = s.rows[k];
+    std::uint32_t eff_seq = seq;
+    if constexpr (kTransforms) {
+      if (s.mask_seq != nullptr) {
+        const std::uint32_t adjusted = s.mask_seq[trial_begin + seq];
+        if (adjusted == kMaskedOut) {
+          continue;
+        }
+        eff_seq = adjusted;
+      }
+    }
+    Money ground_up;
+    if (secondary) {
+      auto stream =
+          occurrence_stream(philox, s.contract_id, s.layer_id, trial_base + t, eff_seq);
+      ground_up = s.sampler->sample(row, stream);
+    } else {
+      ground_up = s.means[row];
+    }
+    if constexpr (kTransforms) {
+      if (s.loss_scale != 1.0) {
+        ground_up *= s.loss_scale;
+      }
+    }
+    const Money occ = finance::apply_occurrence(s.terms, ground_up);
+    annual += occ;
+    if (s.occurrence_accum != nullptr && occ > 0.0) {
+      s.occurrence_accum[trial_begin + seq] += occ * s.terms.share;
+    }
+  }
+  finish_slot_trial(s, t, annual);
+}
+
+}  // namespace
+
+std::vector<Group> group_slots(std::span<const Slot> slots) {
+  std::vector<Group> groups;
+  std::size_t i = 0;
+  while (i < slots.size()) {
+    std::size_t j = i + 1;
+    while (j < slots.size() && same_gather(slots[i], slots[j])) {
+      ++j;
+    }
+    groups.push_back(Group{static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  return groups;
+}
+
+void process_trials(std::span<const Slot> slots, std::span<const Group> groups,
+                    std::span<const std::uint64_t> yelt_offsets, const Philox4x32& philox,
+                    bool secondary, TrialId trial_base, TrialId lo, TrialId hi,
+                    std::span<Money> annual_scratch) {
+  // The base batched engine flattens to all-inert singleton groups; that
+  // regime takes a dedicated loop whose body is exactly the pre-scenario
+  // kernel (slots iterated directly, no group machinery, transform hooks
+  // compiled out), so growing the scenario hooks costs the base path
+  // nothing. Checked once per chunk.
+  bool all_inert_singletons = slots.size() == groups.size();
+  if (all_inert_singletons) {
+    for (const Slot& s : slots) {
+      if (!inert_transforms(s)) {
+        all_inert_singletons = false;
+        break;
+      }
+    }
+  }
+  if (all_inert_singletons) {
+    for (TrialId t = lo; t < hi; ++t) {
+      const std::uint64_t trial_begin = yelt_offsets[t];
+      for (const Slot& s : slots) {
+        process_singleton_trial<false>(s, philox, secondary, trial_base, t, trial_begin);
+      }
+    }
+    return;
+  }
+
   for (TrialId t = lo; t < hi; ++t) {
     const std::uint64_t trial_begin = yelt_offsets[t];
-    for (const Slot& slot : slots) {
-      Money annual = 0.0;
-      const std::uint64_t k_end = slot.hit_offsets[t + 1];
-      for (std::uint64_t k = slot.hit_offsets[t]; k < k_end; ++k) {
-        const std::uint32_t seq = slot.seqs[k];
-        const std::uint32_t row = slot.rows[k];
-        Money ground_up;
-        if (secondary) {
-          auto stream = occurrence_stream(philox, slot.contract_id, slot.layer_id,
-                                          trial_base + t, seq);
-          ground_up = slot.sampler->sample(row, stream);
+    for (const Group& group : groups) {
+      const Slot* gs = slots.data() + group.begin;
+      const std::size_t gsize = group.size;
+      if (gsize == 1) {
+        if (inert_transforms(gs[0])) {
+          process_singleton_trial<false>(gs[0], philox, secondary, trial_base, t,
+                                         trial_begin);
         } else {
-          ground_up = slot.means[row];
+          process_singleton_trial<true>(gs[0], philox, secondary, trial_base, t,
+                                        trial_begin);
         }
-        const Money occ = finance::apply_occurrence(slot.terms, ground_up);
-        annual += occ;
-        if (slot.occurrence_accum != nullptr && occ > 0.0) {
-          slot.occurrence_accum[trial_begin + seq] += occ * slot.terms.share;
+        continue;
+      }
+      const Slot& lead = gs[0];
+
+      // Conditioned occurrences come first: the event has already happened
+      // when the trial year's own occurrences play out.
+      for (std::size_t i = 0; i < gsize; ++i) {
+        annual_scratch[i] = conditioned_annual(gs[i], t);
+      }
+
+      const std::uint64_t k_end = lead.hit_offsets[t + 1];
+      for (std::uint64_t k = lead.hit_offsets[t]; k < k_end; ++k) {
+        const std::uint32_t seq = lead.seqs[k];
+        const std::uint32_t row = lead.rows[k];
+        // The occurrence's ground-up loss is identical for every unmasked
+        // slot of the group (the stream is keyed by contract/layer/trial/
+        // seq, none of which a transform changes), so it is resolved once.
+        // Masked slots with a shifted sequence sample under the key the
+        // occurrence has in the physically filtered table; that sample too
+        // depends only on eff_seq within the group, so scenarios sharing a
+        // (deduped) mask column share it through a one-entry cache.
+        Money shared_gu = 0.0;
+        bool shared_ready = false;
+        std::uint32_t shifted_seq = kMaskedOut;
+        Money shifted_gu = 0.0;
+        for (std::size_t i = 0; i < gsize; ++i) {
+          const Slot& s = gs[i];
+          std::uint32_t eff_seq = seq;
+          if (s.mask_seq != nullptr) {
+            const std::uint32_t adjusted = s.mask_seq[trial_begin + seq];
+            if (adjusted == kMaskedOut) {
+              continue;
+            }
+            eff_seq = adjusted;
+          }
+          Money ground_up;
+          if (secondary) {
+            if (eff_seq == seq) {
+              if (!shared_ready) {
+                auto stream = occurrence_stream(philox, s.contract_id, s.layer_id,
+                                                trial_base + t, seq);
+                shared_gu = s.sampler->sample(row, stream);
+                shared_ready = true;
+              }
+              ground_up = shared_gu;
+            } else {
+              if (eff_seq != shifted_seq) {
+                auto stream = occurrence_stream(philox, s.contract_id, s.layer_id,
+                                                trial_base + t, eff_seq);
+                shifted_gu = s.sampler->sample(row, stream);
+                shifted_seq = eff_seq;
+              }
+              ground_up = shifted_gu;
+            }
+          } else {
+            ground_up = s.means[row];
+          }
+          if (s.loss_scale != 1.0) {
+            ground_up *= s.loss_scale;
+          }
+          const Money occ = finance::apply_occurrence(s.terms, ground_up);
+          annual_scratch[i] += occ;
+          if (s.occurrence_accum != nullptr && occ > 0.0) {
+            s.occurrence_accum[trial_begin + seq] += occ * s.terms.share;
+          }
         }
       }
-      const Money consumed = finance::apply_aggregate(slot.terms, annual);
-      const Money net = consumed * slot.terms.share;
-      if (net > 0.0) {
-        if (!slot.contract_losses.empty()) {
-          slot.contract_losses[t] += net;
-        }
-        slot.portfolio_losses[t] += net;
-        slot.reinstatement_prem[t] += slot.reinstatements.premium_due(
-            consumed, slot.terms.occ_limit, slot.upfront_premium);
+
+      for (std::size_t i = 0; i < gsize; ++i) {
+        finish_slot_trial(gs[i], t, annual_scratch[i]);
       }
     }
   }
 }
+
+void run_pass(std::span<const Slot> slots, std::span<const std::uint64_t> yelt_offsets,
+              const Philox4x32& philox, bool secondary, TrialId trial_base,
+              TrialId trials, ParallelConfig cfg) {
+  const std::vector<Group> groups = group_slots(slots);
+  std::size_t max_group = 0;
+  for (const Group& g : groups) {
+    max_group = std::max<std::size_t>(max_group, g.size);
+  }
+  parallel_for(
+      0, trials,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<Money> annual_scratch(max_group);
+        process_trials(slots, groups, yelt_offsets, philox, secondary, trial_base,
+                       static_cast<TrialId>(lo), static_cast<TrialId>(hi),
+                       annual_scratch);
+      },
+      cfg);
+}
+
+void finalize_oep(std::span<Money> oep, std::span<const Money> occurrence_accum,
+                  std::span<const std::uint64_t> yelt_offsets,
+                  std::span<const Money> conditioned_accum) {
+  for (TrialId t = 0; t < static_cast<TrialId>(oep.size()); ++t) {
+    Money worst = conditioned_accum.empty() ? 0.0 : std::max(0.0, conditioned_accum[t]);
+    for (std::uint64_t i = yelt_offsets[t]; i < yelt_offsets[t + 1]; ++i) {
+      worst = std::max(worst, occurrence_accum[i]);
+    }
+    oep[t] = worst;
+  }
+}
+
+}  // namespace riskan::core::batch
+
+namespace riskan::core {
+
+namespace {
 
 /// Per-analysis mutable state while its group runs.
 struct AnalysisRun {
@@ -106,7 +293,7 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
   data::ResolverCache& cache =
       config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
 
-  std::vector<Slot> slots;
+  std::vector<batch::Slot> slots;
   for (AnalysisRun& run : group) {
     const finance::Portfolio& portfolio = *run.portfolio;
 
@@ -153,7 +340,7 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
       run.result.elt_lookups +=
           entry.compact->hits() * static_cast<std::uint64_t>(contract.layers().size());
       for (const auto& layer : contract.layers()) {
-        Slot slot;
+        batch::Slot slot;
         slot.hit_offsets = entry.compact->trial_offsets().data();
         slot.seqs = entry.compact->seqs().data();
         slot.rows = entry.compact->rows().data();
@@ -177,31 +364,19 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
   }
 
   // The one streamed pass: every trial chunk is walked once, serving every
-  // slot of every analysis in the group.
+  // slot of every analysis in the group. Base slots are one (contract,
+  // layer) each, so every gather group is a singleton here; the scenario
+  // engine is the multi-slot-group consumer of the same kernel.
   const Philox4x32 philox(config.seed);
   const auto yelt_offsets = yelt.offsets();
-  const bool secondary = config.secondary_uncertainty;
-  const std::span<const Slot> slot_view = slots;
-  parallel_for(
-      0, trials,
-      [&](std::size_t lo, std::size_t hi) {
-        process_batch_trials(slot_view, yelt_offsets, philox, secondary,
-                             config.trial_base, static_cast<TrialId>(lo),
-                             static_cast<TrialId>(hi));
-      },
-      par_cfg);
+  batch::run_pass(slots, yelt_offsets, philox, config.secondary_uncertainty,
+                  config.trial_base, trials, par_cfg);
 
   for (AnalysisRun& run : group) {
     if (config.compute_oep) {
       run.result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
-      auto oep = run.result.portfolio_occurrence_ylt.mutable_losses();
-      for (TrialId t = 0; t < trials; ++t) {
-        Money worst = 0.0;
-        for (std::uint64_t i = yelt_offsets[t]; i < yelt_offsets[t + 1]; ++i) {
-          worst = std::max(worst, run.occurrence_accum[i]);
-        }
-        oep[t] = worst;
-      }
+      batch::finalize_oep(run.result.portfolio_occurrence_ylt.mutable_losses(),
+                          run.occurrence_accum, yelt_offsets, {});
     }
     run.result.occurrences_processed =
         yelt.entries() * static_cast<std::uint64_t>(run.portfolio->layer_count());

@@ -33,11 +33,114 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/aggregate_engine.hpp"
+#include "core/secondary.hpp"
 #include "data/yelt.hpp"
 #include "finance/contract.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace riskan::core::batch {
+
+/// Sentinel in a mask's adjusted-seq column: the occurrence is excluded.
+inline constexpr std::uint32_t kMaskedOut = ~std::uint32_t{0};
+
+/// One consumer of the streamed pass: a (contract, layer) with its gather
+/// inputs, optional per-slot transforms, financial terms and output sinks.
+///
+/// The base batched engine uses inert transforms; the scenario engine
+/// (src/scenario) rides the same kernel with one slot per
+/// (scenario, contract, layer), each slot carrying its scenario's transform
+/// parameters:
+///   loss_scale            — multiplies the sampled/mean ground-up loss
+///                           (demand-surge inflation); 1.0 is a no-op that
+///                           costs one predicted branch.
+///   mask_seq              — YELT-entry-aligned adjusted occurrence-sequence
+///                           column (scenario::MaskColumn): kMaskedOut drops
+///                           the occurrence, any other value is the sequence
+///                           number the occurrence would have in a physically
+///                           filtered YELT (the secondary-uncertainty stream
+///                           key, which is what makes mask scenarios
+///                           bit-identical to filtered tables).
+///   conditioned_ground_up — when >= 0, an extra deterministic occurrence of
+///                           this ground-up loss is injected at the start of
+///                           every trial (post-event conditioning; the value
+///                           arrives pre-scaled by intensity and loss_scale).
+struct Slot {
+  // Gather inputs — shared by every slot of a gather group.
+  const std::uint64_t* hit_offsets = nullptr;  // compact CSR index, by trial
+  const std::uint32_t* seqs = nullptr;         // in-trial occurrence sequence
+  const std::uint32_t* rows = nullptr;         // ELT rows, parallel to seqs
+  const Money* means = nullptr;
+  const SecondarySampler* sampler = nullptr;  // null = use ELT means
+  ContractId contract_id = 0;
+  LayerId layer_id = 0;
+
+  // Per-slot transform hooks; defaults are inert (the base batched path).
+  double loss_scale = 1.0;
+  const std::uint32_t* mask_seq = nullptr;
+  Money conditioned_ground_up = -1.0;
+
+  // Financial terms.
+  finance::LayerTerms terms;
+  finance::Reinstatements reinstatements;
+  Money upfront_premium = 0.0;
+
+  // Outputs. Spans/pointers belong to this slot's analysis (scenario).
+  std::span<Money> contract_losses;     // empty when contract YLTs are off
+  std::span<Money> portfolio_losses;
+  std::span<Money> reinstatement_prem;
+  Money* occurrence_accum = nullptr;    // per-occurrence OEP scratch; null = off
+  Money* conditioned_accum = nullptr;   // per-trial injected-occurrence scratch
+};
+
+/// Contiguous run of slots sharing gather inputs and sampling identity
+/// (contract, layer): the kernel computes each occurrence's ground-up loss
+/// once per group and feeds it to every slot, which is where an S-scenario
+/// sweep's sampling dedupe comes from.
+struct Group {
+  std::uint32_t begin = 0;
+  std::uint32_t size = 0;
+};
+
+/// Splits `slots` into maximal shared-gather groups (consecutive slots with
+/// identical hit columns, mean/sampler sources, contract and layer ids).
+std::vector<Group> group_slots(std::span<const Slot> slots);
+
+/// Processes trials [lo, hi) for every slot, group by group. Per trial and
+/// group, each occurrence's ground-up loss is resolved once (sample or ELT
+/// mean) and every slot of the group applies its own transforms and terms;
+/// a masked slot whose adjusted sequence differs re-samples under the
+/// filtered-table stream key. Accumulation order per output slot matches
+/// the per-contract engine (annual sums in occurrence order; shared
+/// accumulators in slot order), which is what keeps inert-transform slots
+/// bit-identical to run_aggregate_analysis. State is indexed by trial (or
+/// the trial's occurrence range), so disjoint chunks never race.
+/// `annual_scratch` needs one entry per slot of the largest group.
+void process_trials(std::span<const Slot> slots, std::span<const Group> groups,
+                    std::span<const std::uint64_t> yelt_offsets, const Philox4x32& philox,
+                    bool secondary, TrialId trial_base, TrialId lo, TrialId hi,
+                    std::span<Money> annual_scratch);
+
+/// The whole streamed pass for a finished slot list: groups the slots,
+/// sizes the per-chunk scratch, and runs process_trials over [0, trials)
+/// data-parallel under `cfg`. The one launch path both the batched engine
+/// and the scenario sweep use, so chunking/scratch changes happen once.
+void run_pass(std::span<const Slot> slots, std::span<const std::uint64_t> yelt_offsets,
+              const Philox4x32& philox, bool secondary, TrialId trial_base,
+              TrialId trials, ParallelConfig cfg);
+
+/// Per-trial OEP finalisation: oep[t] = max over the trial's occurrence
+/// accumulator range, seeded by the conditioned per-trial slot when
+/// `conditioned_accum` is non-empty (scenario conditioning injects one
+/// extra occurrence per trial that has no slot in the occurrence range).
+void finalize_oep(std::span<Money> oep, std::span<const Money> occurrence_accum,
+                  std::span<const std::uint64_t> yelt_offsets,
+                  std::span<const Money> conditioned_accum);
+
+}  // namespace riskan::core::batch
 
 namespace riskan::core {
 

@@ -56,6 +56,29 @@ Money apply_year(const LayerTerms& terms, std::span<const Money> ground_up_losse
   return apply_aggregate(terms, annual) * terms.share;
 }
 
+void LayerOverride::apply(LayerTerms& terms, Reinstatements& reinstatements,
+                          Money& upfront) const {
+  if (occ_retention) terms.occ_retention = *occ_retention;
+  if (occ_limit) terms.occ_limit = *occ_limit;
+  if (agg_retention) terms.agg_retention = *agg_retention;
+  if (agg_limit) terms.agg_limit = *agg_limit;
+  if (share) terms.share = *share;
+  if (retention_kind) terms.retention_kind = *retention_kind;
+  if (reinstatement_count) {
+    RISKAN_REQUIRE(*reinstatement_count >= 0, "reinstatement count must be non-negative");
+    reinstatements.count = *reinstatement_count;
+  }
+  if (reinstatement_rate) {
+    RISKAN_REQUIRE(*reinstatement_rate >= 0.0, "reinstatement rate must be non-negative");
+    reinstatements.premium_rate = *reinstatement_rate;
+  }
+  if (upfront_premium) {
+    RISKAN_REQUIRE(*upfront_premium >= 0.0, "upfront premium must be non-negative");
+    upfront = *upfront_premium;
+  }
+  terms.validate();
+}
+
 Money Reinstatements::implied_agg_limit(Money occ_limit) const noexcept {
   return occ_limit * static_cast<double>(count + 1);
 }

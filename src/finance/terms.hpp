@@ -14,6 +14,7 @@
 #pragma once
 
 #include <limits>
+#include <optional>
 #include <span>
 
 #include "util/types.hpp"
@@ -69,6 +70,33 @@ struct Reinstatements {
   /// given the layer's occurrence limit and upfront premium. Pro-rata to
   /// amount, capped at `count` full reinstatements.
   Money premium_due(Money limit_consumed, Money occ_limit, Money upfront_premium) const noexcept;
+};
+
+/// Partial re-statement of a layer's terms — the what-if currency of the
+/// scenario engine (src/scenario). Each engaged field replaces the base
+/// value; absent fields pass the base through untouched, so an empty
+/// override is the identity. apply() validates the resulting terms, so a
+/// sweep cannot silently construct an illegal layer.
+struct LayerOverride {
+  std::optional<Money> occ_retention;
+  std::optional<Money> occ_limit;
+  std::optional<Money> agg_retention;
+  std::optional<Money> agg_limit;
+  std::optional<double> share;
+  std::optional<RetentionKind> retention_kind;
+  std::optional<int> reinstatement_count;
+  std::optional<double> reinstatement_rate;
+  std::optional<Money> upfront_premium;
+
+  bool empty() const noexcept {
+    return !occ_retention && !occ_limit && !agg_retention && !agg_limit && !share &&
+           !retention_kind && !reinstatement_count && !reinstatement_rate &&
+           !upfront_premium;
+  }
+
+  /// Applies the engaged fields onto (terms, reinstatements, upfront);
+  /// validates the overridden terms.
+  void apply(LayerTerms& terms, Reinstatements& reinstatements, Money& upfront) const;
 };
 
 }  // namespace riskan::finance

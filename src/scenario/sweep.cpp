@@ -1,0 +1,166 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "core/portfolio_batch.hpp"
+#include "core/secondary.hpp"
+#include "data/resolved_yelt.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::scenario {
+
+namespace {
+
+/// Per-scenario mutable state while the pass runs.
+struct ScenarioRun {
+  core::EngineResult result;
+  std::vector<Money> occurrence_accum;   // yelt.entries()-sized; empty = OEP off
+  std::vector<Money> conditioned_accum;  // trials-sized; empty = no conditioning
+};
+
+}  // namespace
+
+ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
+                                       const data::YearEventLossTable& yelt,
+                                       std::span<const ScenarioSpec> specs,
+                                       const core::EngineConfig& config) {
+  RISKAN_REQUIRE(!portfolio.empty(), "scenario sweep needs a non-empty base book");
+  RISKAN_REQUIRE(yelt.trials() > 0, "scenario sweep needs a YELT with trials");
+  Stopwatch watch;
+
+  // Normalise validated copies; the base book is the implicit scenario 0.
+  std::vector<ScenarioSpec> all;
+  all.reserve(specs.size() + 1);
+  all.push_back(ScenarioSpec::identity());
+  for (const ScenarioSpec& spec : specs) {
+    all.push_back(spec);
+    all.back().validate();
+  }
+
+  // Sequential stays off the pool (single-thread contract, shared with
+  // MapReduce map tasks); DeviceSim falls back to the shared CPU pass.
+  const bool sequential = config.backend == core::Backend::Sequential;
+  const ParallelConfig par_cfg =
+      sequential ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
+                 : ParallelConfig{config.pool, config.trial_grain};
+  data::ResolverCache& cache =
+      config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
+
+  const ScenarioPlan plan = ScenarioPlan::build(portfolio, yelt, all, &cache, par_cfg);
+
+  const TrialId trials = yelt.trials();
+  std::vector<ScenarioRun> runs(all.size());
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    ScenarioRun& run = runs[s];
+    run.result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
+    run.result.reinstatement_premium =
+        data::YearLossTable(trials, "reinstatement-premium");
+    if (config.keep_contract_ylts) {
+      const auto& book = plan.scenario_books()[s];
+      run.result.contract_ylts.reserve(book.size());
+      for (const std::size_t c : book) {
+        run.result.contract_ylts.emplace_back(
+            trials, "contract-" + std::to_string(plan.contracts()[c]->id()));
+      }
+    }
+    if (config.compute_oep) {
+      run.occurrence_accum.assign(yelt.entries(), 0.0);
+      if (all[s].conditioning) {
+        run.conditioned_accum.assign(trials, 0.0);
+      }
+    }
+    run.result.resolve_seconds = plan.resolve_seconds();
+  }
+
+  // One sampler per distinct contract — shared by every scenario touching
+  // it, exactly like the resolutions.
+  std::vector<core::SecondarySampler> samplers;
+  if (config.secondary_uncertainty) {
+    samplers.reserve(plan.contracts().size());
+    for (const finance::Contract* contract : plan.contracts()) {
+      samplers.emplace_back(contract->elt());
+    }
+  }
+
+  // Flatten the blueprints into kernel slots (buffers are sized above, so
+  // the spans taken here stay valid).
+  std::vector<core::batch::Slot> slots;
+  slots.reserve(plan.blueprints().size());
+  for (const SlotBlueprint& bp : plan.blueprints()) {
+    const auto& entry = plan.resolution().entry(bp.contract);
+    const finance::Contract& contract = *plan.contracts()[bp.contract];
+    ScenarioRun& run = runs[bp.scenario];
+
+    core::batch::Slot slot;
+    slot.hit_offsets = entry.compact->trial_offsets().data();
+    slot.seqs = entry.compact->seqs().data();
+    slot.rows = entry.compact->rows().data();
+    slot.means = contract.elt().mean_loss().data();
+    slot.sampler = config.secondary_uncertainty ? &samplers[bp.contract] : nullptr;
+    slot.contract_id = contract.id();
+    slot.layer_id = bp.layer_id;
+    slot.loss_scale = bp.loss_scale;
+    slot.mask_seq = bp.mask >= 0 ? plan.masks()[bp.mask].adjusted_seq.data() : nullptr;
+    slot.conditioned_ground_up = bp.conditioned_ground_up;
+    slot.terms = bp.terms;
+    slot.reinstatements = bp.reinstatements;
+    slot.upfront_premium = bp.upfront_premium;
+    slot.contract_losses =
+        config.keep_contract_ylts
+            ? run.result.contract_ylts[bp.contract_in_scenario].mutable_losses()
+            : std::span<Money>{};
+    slot.portfolio_losses = run.result.portfolio_ylt.mutable_losses();
+    slot.reinstatement_prem = run.result.reinstatement_premium.mutable_losses();
+    slot.occurrence_accum = config.compute_oep ? run.occurrence_accum.data() : nullptr;
+    slot.conditioned_accum =
+        run.conditioned_accum.empty() ? nullptr : run.conditioned_accum.data();
+    slots.push_back(slot);
+  }
+
+  // The one streamed pass serving every scenario.
+  const Philox4x32 philox(config.seed);
+  const auto yelt_offsets = yelt.offsets();
+  core::batch::run_pass(slots, yelt_offsets, philox, config.secondary_uncertainty,
+                        config.trial_base, trials, par_cfg);
+
+  // OEP finalisation and telemetry, per scenario.
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    ScenarioRun& run = runs[s];
+    if (config.compute_oep) {
+      run.result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
+      core::batch::finalize_oep(run.result.portfolio_occurrence_ylt.mutable_losses(),
+                                run.occurrence_accum, yelt_offsets,
+                                run.conditioned_accum);
+    }
+    std::uint64_t layer_count = 0;
+    for (const std::size_t c : plan.scenario_books()[s]) {
+      const std::uint64_t layers = plan.contracts()[c]->layers().size();
+      run.result.elt_lookups += plan.resolution().entry(c).compact->hits() * layers;
+      layer_count += layers;
+    }
+    run.result.occurrences_processed = yelt.entries() * layer_count;
+  }
+
+  const double engine_seconds = watch.seconds();
+  for (ScenarioRun& run : runs) {
+    run.result.seconds = engine_seconds;
+  }
+
+  ScenarioSweepResult out;
+  out.base = std::move(runs[0].result);
+  out.scenarios.reserve(specs.size());
+  for (std::size_t s = 1; s < runs.size(); ++s) {
+    out.scenarios.push_back(std::move(runs[s].result));
+  }
+  out.plan = plan.stats();
+  out.report = build_report(out.base, out.scenarios,
+                            std::span<const ScenarioSpec>(all).subspan(1));
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace riskan::scenario

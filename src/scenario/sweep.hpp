@@ -1,0 +1,64 @@
+// Scenario sweep executor — S what-if variants on one streamed YELT pass.
+//
+// run_scenario_sweep extends the portfolio-batched engine's slot list
+// (core::batch) so that the base book and every scenario variant ride the
+// *same* trial-chunk pass: slots are ordered (contract, layer)-major with
+// scenarios innermost, so each occurrence's ground-up loss — the beta
+// sample that dominates stage-2 FLOPs — is resolved once per (contract,
+// layer) and served to all S scenarios, each slot applying its own
+// transform parameters (loss scale, exclusion mask, term overrides,
+// conditioning) on the way to its own EngineResult.
+//
+// Two hard contracts, enforced by tests/test_scenario.cpp across backends ×
+// secondary-uncertainty × grain sizes:
+//   * the identity scenario is bit-identical to run_portfolio_batch on the
+//     base book (the sweep is a pure extension of the batched pass);
+//   * an exclusion-mask scenario is bit-identical to run_portfolio_batch on
+//     the physically filtered YELT (filter_yelt) — masks are dropped
+//     in-kernel with filtered-table sequence keys, not by rebuilding
+//     tables.
+//
+// Backend behaviour matches the batched engine: Sequential runs the whole
+// sweep inline off the pool; Threaded parallelises over trial chunks with
+// the same trial_grain knob; DeviceSim falls back to the shared CPU pass
+// (the device kernel stages one layer at a time by design) — outputs are
+// backend-invariant either way, so the fallback changes wall-clock only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/aggregate_engine.hpp"
+#include "data/yelt.hpp"
+#include "finance/contract.hpp"
+#include "scenario/plan.hpp"
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
+
+namespace riskan::scenario {
+
+struct ScenarioSweepResult {
+  /// The unperturbed book, always computed — it rides the same pass and is
+  /// the reference of every delta. Bit-identical to run_portfolio_batch.
+  core::EngineResult base;
+  /// One result per spec, indexed as passed.
+  std::vector<core::EngineResult> scenarios;
+  /// Deltas vs base (AAL, VaR/TVaR, PML, EP curves).
+  ScenarioReport report;
+  /// Work-dedupe telemetry from the planner.
+  PlanStats plan;
+  /// Whole-sweep wall-clock (plan + pass + report).
+  double seconds = 0.0;
+};
+
+/// Runs every scenario in `specs` (plus the implicit base) over the book
+/// with one streamed YELT pass. Specs are validated internally; referents
+/// of added contracts must outlive the call. EngineConfig is honoured as in
+/// run_portfolio_batch (backend, seed, secondary_uncertainty, compute_oep,
+/// keep_contract_ylts, trial_grain, pool, trial_base, resolver_cache).
+ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
+                                       const data::YearEventLossTable& yelt,
+                                       std::span<const ScenarioSpec> specs,
+                                       const core::EngineConfig& config = {});
+
+}  // namespace riskan::scenario

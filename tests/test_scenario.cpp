@@ -1,0 +1,454 @@
+// Scenario engine — what-if sweeps sharing one streamed YELT pass.
+//
+// The sweep's value rests on two hard equivalence contracts (ISSUE 3):
+//   * the identity scenario is bit-identical to run_portfolio_batch on the
+//     base book, even while perturbed scenarios ride the same pass;
+//   * an exclusion-mask scenario is bit-identical to run_portfolio_batch on
+//     the physically filtered YELT (filter_yelt) — including secondary
+//     uncertainty, whose streams are keyed by the occurrence sequence the
+//     occurrence would have in the filtered table.
+// Both are checked across backends × secondary-uncertainty × grain sizes.
+// Beyond those, term overrides / contract add+drop are bit-identical to
+// physically materialised books, loss scaling to physically scaled ELTs on
+// the means path, conditioning is consistent with PostEventAnalyzer, and
+// the planner's dedupe telemetry (shared resolutions, mask dedupe) is
+// asserted against a private ResolverCache.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/aggregate_engine.hpp"
+#include "core/portfolio_batch.hpp"
+#include "core/post_event.hpp"
+#include "data/resolved_yelt.hpp"
+#include "finance/contract.hpp"
+#include "scenario/plan.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "util/require.hpp"
+
+namespace riskan::scenario {
+namespace {
+
+finance::Portfolio book(std::size_t contracts, int layers, std::uint64_t seed = 99,
+                        EventId catalog = 800, std::size_t elt_rows = 150) {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = contracts;
+  pg.catalog_events = catalog;
+  pg.elt_rows = elt_rows;
+  pg.layers_per_contract = layers;
+  pg.seed = seed;
+  return finance::generate_portfolio(pg);
+}
+
+data::YearEventLossTable lens(TrialId trials, EventId catalog = 800,
+                              std::uint64_t seed = 7) {
+  data::YeltGenConfig yg;
+  yg.trials = trials;
+  yg.seed = seed;
+  return data::generate_yelt(catalog, yg);
+}
+
+void expect_identical(const core::EngineResult& a, const core::EngineResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.portfolio_ylt.trials(), b.portfolio_ylt.trials()) << what;
+  for (TrialId t = 0; t < a.portfolio_ylt.trials(); ++t) {
+    ASSERT_EQ(a.portfolio_ylt[t], b.portfolio_ylt[t]) << what << " AEP trial " << t;
+    ASSERT_EQ(a.reinstatement_premium[t], b.reinstatement_premium[t])
+        << what << " reinstatement trial " << t;
+  }
+  ASSERT_EQ(a.portfolio_occurrence_ylt.trials(), b.portfolio_occurrence_ylt.trials())
+      << what;
+  for (TrialId t = 0; t < a.portfolio_occurrence_ylt.trials(); ++t) {
+    ASSERT_EQ(a.portfolio_occurrence_ylt[t], b.portfolio_occurrence_ylt[t])
+        << what << " OEP trial " << t;
+  }
+  ASSERT_EQ(a.contract_ylts.size(), b.contract_ylts.size()) << what;
+  for (std::size_t c = 0; c < a.contract_ylts.size(); ++c) {
+    for (TrialId t = 0; t < a.contract_ylts[c].trials(); ++t) {
+      ASSERT_EQ(a.contract_ylts[c][t], b.contract_ylts[c][t])
+          << what << " contract " << c << " trial " << t;
+    }
+  }
+}
+
+/// A set of events that actually occur in the generated YELT and hit the
+/// generated book, so exclusion scenarios change real losses.
+std::vector<EventId> busy_events() { return {1, 2, 3, 5, 8, 13, 21, 34, 55, 89}; }
+
+TEST(ScenarioSweep, IdentityBitIdenticalAcrossBackendsGrainsAndSecondary) {
+  const auto portfolio = book(/*contracts=*/4, /*layers=*/3);
+  const auto yelt = lens(1'200);
+
+  // The identity rides alongside perturbed scenarios — sharing the pass
+  // with them must not contaminate it.
+  std::vector<ScenarioSpec> specs(3);
+  specs[0] = ScenarioSpec::identity("identity");
+  specs[1].name = "surge";
+  specs[1].loss_scale = 1.4;
+  specs[2].name = "exclusion";
+  specs[2].excluded_events = busy_events();
+
+  for (const bool secondary : {false, true}) {
+    for (const core::Backend backend :
+         {core::Backend::Sequential, core::Backend::Threaded, core::Backend::DeviceSim}) {
+      for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
+        if (backend != core::Backend::Threaded && grain != 0) {
+          continue;  // grain only affects the threaded pass
+        }
+        core::EngineConfig config;
+        config.backend = backend;
+        config.secondary_uncertainty = secondary;
+        config.trial_grain = grain;
+
+        const auto reference = core::run_portfolio_batch(portfolio, yelt, config);
+        const auto sweep = run_scenario_sweep(portfolio, yelt, specs, config);
+
+        const std::string what = std::string(core::to_string(backend)) +
+                                 (secondary ? "/secondary" : "/means") +
+                                 "/grain=" + std::to_string(grain);
+        expect_identical(reference, sweep.base, what + " base");
+        expect_identical(reference, sweep.scenarios[0], what + " identity");
+        if (backend != core::Backend::DeviceSim) {
+          // The DeviceSim reference goes through the per-contract device
+          // fallback, whose lookup telemetry counts staged hits, not
+          // resolver hits; values above are still bit-identical.
+          EXPECT_EQ(reference.elt_lookups, sweep.base.elt_lookups) << what;
+          EXPECT_EQ(reference.occurrences_processed, sweep.base.occurrences_processed)
+              << what;
+        }
+        // The perturbed scenarios really are perturbed.
+        EXPECT_NE(sweep.scenarios[1].portfolio_ylt.total(),
+                  reference.portfolio_ylt.total())
+            << what;
+      }
+    }
+  }
+}
+
+TEST(ScenarioSweep, MaskBitIdenticalToFilteredYeltAcrossBackendsGrainsAndSecondary) {
+  const auto portfolio = book(/*contracts=*/4, /*layers=*/2);
+  const auto yelt = lens(1'200);
+  const auto excluded = busy_events();
+  const auto filtered = filter_yelt(yelt, excluded);
+  ASSERT_LT(filtered.entries(), yelt.entries()) << "mask must remove occurrences";
+
+  std::vector<ScenarioSpec> specs(1);
+  specs[0].name = "mask";
+  specs[0].excluded_events = excluded;
+
+  for (const bool secondary : {false, true}) {
+    for (const core::Backend backend :
+         {core::Backend::Sequential, core::Backend::Threaded, core::Backend::DeviceSim}) {
+      for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
+        if (backend != core::Backend::Threaded && grain != 0) {
+          continue;
+        }
+        core::EngineConfig config;
+        config.backend = backend;
+        config.secondary_uncertainty = secondary;
+        config.trial_grain = grain;
+
+        const auto reference = core::run_portfolio_batch(portfolio, filtered, config);
+        const auto sweep = run_scenario_sweep(portfolio, yelt, specs, config);
+
+        expect_identical(reference, sweep.scenarios[0],
+                         std::string(core::to_string(backend)) +
+                             (secondary ? "/secondary" : "/means") +
+                             "/grain=" + std::to_string(grain) + " mask");
+      }
+    }
+  }
+}
+
+TEST(ScenarioSweep, TermOverridesBitIdenticalToMaterializedBook) {
+  const auto portfolio = book(/*contracts=*/3, /*layers=*/3);
+  const auto yelt = lens(1'000);
+
+  ScenarioSpec spec;
+  spec.name = "re-strike";
+  // Double one layer's attachment, halve another contract's shares, and add
+  // a reinstatement schedule — addressed both per-layer and whole-contract.
+  TargetedOverride raise_attach;
+  raise_attach.contract = portfolio.contract(0).id();
+  raise_attach.layer = portfolio.contract(0).layers()[1].id;
+  raise_attach.override.occ_retention =
+      portfolio.contract(0).layers()[1].terms.occ_retention * 2.0;
+  spec.overrides.push_back(raise_attach);
+
+  TargetedOverride halve_share;
+  halve_share.contract = portfolio.contract(2).id();
+  halve_share.override.share = 0.5;
+  spec.overrides.push_back(halve_share);
+
+  TargetedOverride reinstate;
+  reinstate.contract = portfolio.contract(1).id();
+  reinstate.layer = portfolio.contract(1).layers()[0].id;
+  reinstate.override.reinstatement_count = 2;
+  reinstate.override.reinstatement_rate = 1.0;
+  reinstate.override.upfront_premium = 1e6;
+  spec.overrides.push_back(reinstate);
+
+  const auto materialized = materialize_portfolio(spec, portfolio);
+
+  for (const bool secondary : {false, true}) {
+    core::EngineConfig config;
+    config.backend = core::Backend::Threaded;
+    config.secondary_uncertainty = secondary;
+
+    const auto reference = core::run_portfolio_batch(materialized, yelt, config);
+    const auto sweep = run_scenario_sweep(portfolio, yelt, {&spec, 1}, config);
+    expect_identical(reference, sweep.scenarios[0],
+                     secondary ? "overrides/secondary" : "overrides/means");
+    // The sweep's base stays the unmodified book.
+    expect_identical(core::run_portfolio_batch(portfolio, yelt, config), sweep.base,
+                     "base alongside overrides");
+  }
+}
+
+TEST(ScenarioSweep, DropAndAddBitIdenticalToMaterializedBook) {
+  const auto portfolio = book(/*contracts=*/4, /*layers=*/2, /*seed=*/11);
+  const auto extra_book = book(/*contracts=*/2, /*layers=*/2, /*seed=*/333);
+  const auto yelt = lens(900);
+
+  ScenarioSpec spec;
+  spec.name = "recompose";
+  spec.dropped_contracts = {portfolio.contract(1).id()};
+  spec.added_contracts = {&extra_book.contract(0)};
+
+  const auto materialized = materialize_portfolio(spec, portfolio);
+  ASSERT_EQ(materialized.size(), portfolio.size());  // -1 drop, +1 add
+
+  core::EngineConfig config;
+  config.backend = core::Backend::Threaded;
+  const auto reference = core::run_portfolio_batch(materialized, yelt, config);
+  const auto sweep = run_scenario_sweep(portfolio, yelt, {&spec, 1}, config);
+  expect_identical(reference, sweep.scenarios[0], "drop+add");
+}
+
+TEST(ScenarioSweep, LossScaleBitIdenticalToScaledEltOnMeansPath) {
+  const auto portfolio = book(/*contracts=*/3, /*layers=*/2);
+  const auto yelt = lens(800);
+  const double scale = 1.35;
+
+  // Physically scale every ELT mean — the demand-surge reference book.
+  finance::Portfolio scaled;
+  for (const auto& contract : portfolio.contracts()) {
+    const auto& elt = contract.elt();
+    std::vector<data::EltRow> rows;
+    rows.reserve(elt.size());
+    for (std::size_t i = 0; i < elt.size(); ++i) {
+      rows.push_back({elt.event_ids()[i], elt.mean_loss()[i] * scale,
+                      elt.sigma_loss()[i], elt.exposure()[i]});
+    }
+    scaled.add(finance::Contract(contract.id(), data::EventLossTable::from_rows(rows),
+                                 contract.layers(), contract.region(), contract.lob(),
+                                 contract.peril()));
+  }
+
+  ScenarioSpec spec;
+  spec.name = "surge";
+  spec.loss_scale = scale;
+
+  core::EngineConfig config;
+  config.backend = core::Backend::Threaded;
+  config.secondary_uncertainty = false;  // sampling responds nonlinearly to the
+                                         // mean; the bit-contract is means-path
+  const auto reference = core::run_portfolio_batch(scaled, yelt, config);
+  const auto sweep = run_scenario_sweep(portfolio, yelt, {&spec, 1}, config);
+  expect_identical(reference, sweep.scenarios[0], "loss scale means path");
+
+  // Under secondary uncertainty the semantic is "scale the sampled loss":
+  // strictly monotone in the scale.
+  config.secondary_uncertainty = true;
+  const auto sweep2 = run_scenario_sweep(portfolio, yelt, {&spec, 1}, config);
+  EXPECT_GT(sweep2.scenarios[0].portfolio_ylt.total(), sweep2.base.portfolio_ylt.total());
+}
+
+TEST(ScenarioSweep, ConditioningSubsumesPostEventWhatIf) {
+  // Single contract, single layer, share 1, no binding aggregate: the
+  // conditioned trial loss is base + the event's occurrence loss, and that
+  // occurrence loss is exactly what PostEventAnalyzer reports.
+  const EventId event = 42;
+  std::vector<data::EltRow> rows;
+  for (EventId e = 0; e < 100; ++e) {
+    rows.push_back({e, 2e6 + 1e4 * e, 5e5, 1e7});
+  }
+  finance::Layer layer;
+  layer.id = 0;
+  layer.terms.occ_retention = 1e6;
+  layer.terms.occ_limit = 8e6;
+  layer.terms.agg_retention = 0.0;
+  layer.terms.agg_limit = std::numeric_limits<Money>::max();
+  layer.terms.share = 1.0;
+  finance::Portfolio portfolio;
+  portfolio.add(finance::Contract(7, data::EventLossTable::from_rows(rows), {layer}));
+
+  const auto yelt = lens(600, /*catalog=*/100);
+  const double intensity = 1.2;
+
+  ScenarioSpec spec;
+  spec.name = "post-event";
+  spec.conditioning = PostEventConditioning{event, intensity};
+
+  core::EngineConfig config;
+  config.backend = core::Backend::Threaded;
+  config.secondary_uncertainty = false;
+
+  const auto sweep = run_scenario_sweep(portfolio, yelt, {&spec, 1}, config);
+
+  const core::PostEventAnalyzer analyzer(portfolio);
+  const auto impact = analyzer.analyse(event, intensity);
+  ASSERT_EQ(impact.layers.size(), 1u);
+  const Money occ = impact.layers[0].occurrence_loss;
+  ASSERT_GT(occ, 0.0);
+  EXPECT_EQ(impact.layers[0].net_loss, occ);  // share 1, no prior losses
+
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    EXPECT_NEAR(sweep.scenarios[0].portfolio_ylt[t], sweep.base.portfolio_ylt[t] + occ,
+                1e-6)
+        << "trial " << t;
+    // The injected occurrence participates in the OEP too.
+    EXPECT_GE(sweep.scenarios[0].portfolio_occurrence_ylt[t] + 1e-9, occ) << t;
+  }
+  EXPECT_NEAR(sweep.report.rows[0].delta_aal, occ, 1e-6);
+}
+
+TEST(ScenarioSweep, PlannerDedupesResolutionsAndMasks) {
+  const auto portfolio = book(/*contracts=*/3, /*layers=*/2);
+  const auto yelt = lens(700);
+  data::ResolverCache cache;
+
+  core::EngineConfig config;
+  config.backend = core::Backend::Threaded;
+  config.resolver_cache = &cache;
+
+  // A base batched run first: the sweep must reuse its resolutions.
+  core::run_portfolio_batch(portfolio, yelt, config);
+  EXPECT_EQ(cache.miss_count(), portfolio.size());
+
+  std::vector<ScenarioSpec> specs(4);
+  specs[0].name = "mask-a";
+  specs[0].excluded_events = busy_events();
+  specs[1].name = "mask-a-again";
+  specs[1].excluded_events = busy_events();
+  specs[2].name = "mask-b";
+  specs[2].excluded_events = {400, 401};
+  specs[3].name = "surge";
+  specs[3].loss_scale = 2.0;
+
+  const auto sweep = run_scenario_sweep(portfolio, yelt, specs, config);
+
+  // No scenario re-resolved anything: every transform preserves event-id
+  // structure, so the base resolutions serve all five (incl. base) books.
+  EXPECT_EQ(cache.miss_count(), portfolio.size());
+  EXPECT_EQ(cache.hit_count(), portfolio.size());
+
+  EXPECT_EQ(sweep.plan.scenarios, 5u);  // 4 specs + implicit base
+  EXPECT_EQ(sweep.plan.contracts_resolved, 3u);
+  EXPECT_EQ(sweep.plan.resolutions_avoided, 5u * 3u - 3u);
+  EXPECT_EQ(sweep.plan.distinct_masks, 2u);  // mask-a shared, mask-b separate
+  EXPECT_EQ(sweep.plan.mask_references, 3u);
+  EXPECT_EQ(sweep.plan.slots, 5u * portfolio.layer_count());
+  EXPECT_EQ(sweep.plan.gather_groups, portfolio.layer_count());
+}
+
+TEST(ScenarioSweep, ReportDeltasAreCoherent) {
+  const auto portfolio = book(/*contracts=*/4, /*layers=*/2);
+  const auto yelt = lens(1'000);
+
+  std::vector<ScenarioSpec> specs(3);
+  specs[0] = ScenarioSpec::identity("identity");
+  specs[1].name = "surge";
+  specs[1].loss_scale = 1.5;
+  specs[2].name = "exclusion";
+  specs[2].excluded_events = busy_events();
+
+  const auto sweep = run_scenario_sweep(portfolio, yelt, specs, {});
+
+  ASSERT_EQ(sweep.report.rows.size(), 3u);
+  EXPECT_EQ(sweep.report.rows[0].name, "identity");
+  EXPECT_EQ(sweep.report.rows[0].delta_aal, 0.0);
+  EXPECT_EQ(sweep.report.rows[0].delta_var_99, 0.0);
+  EXPECT_EQ(sweep.report.rows[0].delta_tvar_99, 0.0);
+  EXPECT_EQ(sweep.report.rows[0].delta_pml_250, 0.0);
+  EXPECT_GT(sweep.report.rows[1].delta_aal, 0.0);
+  EXPECT_LE(sweep.report.rows[2].delta_aal, 0.0);
+  ASSERT_EQ(sweep.report.return_periods.size(), sweep.report.rows[0].aep.size());
+  ASSERT_EQ(sweep.report.rows[0].oep.size(), sweep.report.rows[0].aep.size());
+  for (std::size_t i = 0; i < sweep.report.rows[0].aep.size(); ++i) {
+    EXPECT_EQ(sweep.report.rows[0].delta_aep[i], 0.0);
+    EXPECT_EQ(sweep.report.rows[0].delta_oep[i], 0.0);
+  }
+}
+
+TEST(ScenarioSweep, RejectsIllFormedSpecs) {
+  const auto portfolio = book(/*contracts=*/2, /*layers=*/1);
+  const auto yelt = lens(300);
+
+  ScenarioSpec bad_target;
+  bad_target.name = "bad-target";
+  TargetedOverride stray;
+  stray.contract = 9999;
+  bad_target.overrides.push_back(stray);
+  const std::span<const ScenarioSpec> bad_target_span(&bad_target, 1);
+  EXPECT_THROW(run_scenario_sweep(portfolio, yelt, bad_target_span, {}),
+               ContractViolation);
+
+  ScenarioSpec bad_scale;
+  bad_scale.name = "bad-scale";
+  bad_scale.loss_scale = 0.0;
+  const std::span<const ScenarioSpec> bad_scale_span(&bad_scale, 1);
+  EXPECT_THROW(run_scenario_sweep(portfolio, yelt, bad_scale_span, {}),
+               ContractViolation);
+
+  ScenarioSpec empty_book;
+  empty_book.name = "empty-book";
+  for (const auto& contract : portfolio.contracts()) {
+    empty_book.dropped_contracts.push_back(contract.id());
+  }
+  const std::span<const ScenarioSpec> empty_book_span(&empty_book, 1);
+  EXPECT_THROW(run_scenario_sweep(portfolio, yelt, empty_book_span, {}),
+               ContractViolation);
+
+  // A conditioning event no contract models would silently degenerate to
+  // the identity — the plan rejects it instead.
+  ScenarioSpec ghost_event;
+  ghost_event.name = "ghost-event";
+  ghost_event.conditioning = PostEventConditioning{999'999, 1.0};
+  const std::span<const ScenarioSpec> ghost_event_span(&ghost_event, 1);
+  EXPECT_THROW(run_scenario_sweep(portfolio, yelt, ghost_event_span, {}),
+               ContractViolation);
+}
+
+TEST(MaskColumn, AdjustedSequencesMatchFilteredTable) {
+  const auto yelt = lens(400, /*catalog=*/200);
+  const std::vector<EventId> excluded = {3, 14, 15, 92};
+  const auto mask = MaskColumn::build(yelt, excluded);
+  const auto filtered = filter_yelt(yelt, excluded);
+
+  ASSERT_EQ(mask.adjusted_seq.size(), yelt.entries());
+  EXPECT_EQ(yelt.entries() - mask.excluded_occurrences, filtered.entries());
+
+  // Walking the original table with the mask must enumerate exactly the
+  // filtered table's occurrences, with matching sequence numbers.
+  const auto offsets = yelt.offsets();
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    const auto original = yelt.trial_events(t);
+    const auto kept = filtered.trial_events(t);
+    std::size_t expected_seq = 0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      const std::uint32_t adjusted = mask.adjusted_seq[offsets[t] + i];
+      if (adjusted == core::batch::kMaskedOut) {
+        continue;
+      }
+      ASSERT_EQ(adjusted, expected_seq) << "trial " << t;
+      ASSERT_EQ(original[i], kept[expected_seq]) << "trial " << t;
+      ++expected_seq;
+    }
+    ASSERT_EQ(expected_seq, kept.size()) << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace riskan::scenario
