@@ -18,7 +18,6 @@
 
 #include "bench/common.hpp"
 #include "core/aggregate_engine.hpp"
-#include "core/device_engine.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace riskan;
@@ -47,8 +46,9 @@ int main() {
 
   config.backend = core::Backend::DeviceSim;
   core::DeviceRunInfo device_info;
-  const auto dev = core::run_aggregate_device(workload.portfolio, workload.yelt, config,
-                                              DeviceSpec{}, &device_info);
+  config.device_info = &device_info;
+  const auto dev = core::run_aggregate_analysis(workload.portfolio, workload.yelt, config);
+  config.device_info = nullptr;
 
   // Sanity: identical results across backends.
   for (TrialId t = 0; t < trials; ++t) {

@@ -4,11 +4,17 @@
 // of chunking, which is utilising shared and constant memory as much as
 // possible."
 //
-// Two sweeps:
+// Three sweeps:
 //   (a) device block size (trials per block): small blocks fit their YELT
 //       slice into the 48 KiB shared-memory arena but waste warp lanes and
 //       launch more blocks; large blocks spill to global memory. The
 //       modeled device time exposes the trade-off.
+//   (a') constant-memory residency cap (ELT rows staged per gather
+//       source): small caps pack every contract's table into one residency
+//       chunk (one launch, gathers mostly from global memory); large caps
+//       give each table full residency at the price of one launch per
+//       chunk. The execution plan (core::exec) makes the choice; this
+//       sweep exposes it.
 //   (b) host trial-chunk grain for the threaded engine: tiny grains pay
 //       scheduling overhead, huge grains lose load balance (visible only
 //       with >1 core, but the sweep also shows cache effects).
@@ -16,7 +22,6 @@
 
 #include "bench/common.hpp"
 #include "core/aggregate_engine.hpp"
-#include "core/device_engine.hpp"
 
 using namespace riskan;
 
@@ -30,8 +35,8 @@ int main() {
 
   // ---- (a) device block-dim sweep.
   {
-    ReportTable table({"trials/block", "ELT chunks", "blocks staged", "blocks spilled",
-                       "modeled device time", "host time"});
+    ReportTable table({"trials/block", "residency chunks", "blocks staged",
+                       "blocks spilled", "modeled device time", "host time"});
     for (const int block_dim : {16, 32, 64, 128, 256, 512, 2048}) {
       core::EngineConfig config;
       config.backend = core::Backend::DeviceSim;
@@ -39,8 +44,8 @@ int main() {
       config.compute_oep = false;
       config.keep_contract_ylts = false;
       core::DeviceRunInfo info;
-      (void)core::run_aggregate_device(workload.portfolio, workload.yelt, config,
-                                       DeviceSpec{}, &info);
+      config.device_info = &info;
+      (void)core::run_aggregate_analysis(workload.portfolio, workload.yelt, config);
       table.add_row({std::to_string(block_dim), std::to_string(info.elt_chunks),
                      std::to_string(info.shared_staged_blocks),
                      std::to_string(info.shared_spill_blocks),
@@ -51,24 +56,29 @@ int main() {
     bench::emit("e4_device_blocks", table);
   }
 
-  // ---- (a') constant-memory ELT chunk sweep.
+  // ---- (a') constant-memory residency-cap sweep.
   {
-    ReportTable table({"ELT rows/chunk", "launches", "const traffic", "modeled time"});
+    ReportTable table({"ELT rows resident/source", "launches", "const traffic",
+                       "global traffic", "modeled time"});
     for (const std::size_t rows : {64UL, 256UL, 1024UL, 0UL /* fit-to-capacity */}) {
       core::EngineConfig config;
       config.backend = core::Backend::DeviceSim;
       config.device_elt_chunk_rows = rows;
+      // Batched plan: residency is shared across the whole book, so the
+      // cap trades launches (chunks) against constant-memory coverage.
+      config.batch_contracts = true;
       config.compute_oep = false;
       config.keep_contract_ylts = false;
       core::DeviceRunInfo info;
-      (void)core::run_aggregate_device(workload.portfolio, workload.yelt, config,
-                                       DeviceSpec{}, &info);
+      config.device_info = &info;
+      (void)core::run_aggregate_analysis(workload.portfolio, workload.yelt, config);
       table.add_row({rows == 0 ? "fit (auto)" : std::to_string(rows),
                      std::to_string(info.launches),
                      format_bytes(static_cast<double>(info.counters.const_read_bytes)),
+                     format_bytes(static_cast<double>(info.counters.global_read_bytes)),
                      format_seconds(info.modeled_seconds)});
     }
-    std::cout << "\n(a') device: ELT constant-memory chunk sweep\n";
+    std::cout << "\n(a') device: constant-memory residency sweep\n";
     bench::emit("e4_device_elt_chunks", table);
   }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "core/device_engine.hpp"
+#include "core/exec.hpp"
 #include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
 #include "finance/terms.hpp"
@@ -24,116 +24,47 @@ const char* to_string(Backend backend) noexcept {
 
 namespace {
 
-/// Everything the per-trial kernel needs about one layer.
-struct LayerContext {
-  const data::EventLossTable* elt = nullptr;
-  const SecondarySampler* sampler = nullptr;  // null = use ELT means
-  finance::LayerTerms terms;
-  finance::Reinstatements reinstatements;
-  Money upfront_premium = 0.0;
-  ContractId contract_id = 0;
-  LayerId layer_id = 0;
-  TrialId trial_base = 0;
-};
-
-struct TrialOutputs {
-  std::span<Money> contract_losses;      // per-trial, may be empty
-  std::span<Money> portfolio_losses;     // per-trial
-  std::span<Money> occurrence_accum;     // per-occurrence, may be empty (OEP off)
-  std::span<Money> reinstatement_prem;   // per-trial
-};
-
-/// Processes trials [lo, hi) of one layer; `row_of(i)` maps global
-/// occurrence index i to the contract's ELT row (or npos). The only state
-/// shared between concurrent calls is indexed by trial (or by the trial's
-/// occurrence range), so disjoint trial ranges never race.
-template <typename RowOf>
-std::uint64_t process_layer_trials(const LayerContext& ctx,
-                                   const data::YearEventLossTable& yelt,
-                                   const Philox4x32& philox, bool secondary, TrialId lo,
-                                   TrialId hi, const TrialOutputs& out,
-                                   const RowOf& row_of) {
-  const auto offsets = yelt.offsets();
-  const auto means = ctx.elt->mean_loss();
-  std::uint64_t lookups_found = 0;
-
-  for (TrialId t = lo; t < hi; ++t) {
-    Money annual = 0.0;
-    const std::uint64_t begin = offsets[t];
-    const std::uint64_t end = offsets[t + 1];
-    for (std::uint64_t i = begin; i < end; ++i) {
-      const auto row = row_of(i);
-      if (row == data::EventLossTable::npos) {
-        continue;
-      }
-      ++lookups_found;
-      Money ground_up;
-      if (secondary) {
-        auto stream = occurrence_stream(philox, ctx.contract_id, ctx.layer_id,
-                                        ctx.trial_base + t,
-                                        static_cast<std::uint32_t>(i - begin));
-        ground_up = ctx.sampler->sample(row, stream);
-      } else {
-        ground_up = means[row];
-      }
-      const Money occ = finance::apply_occurrence(ctx.terms, ground_up);
-      annual += occ;
-      if (!out.occurrence_accum.empty() && occ > 0.0) {
-        out.occurrence_accum[i] += occ * ctx.terms.share;
-      }
-    }
-    const Money consumed = finance::apply_aggregate(ctx.terms, annual);
-    const Money net = consumed * ctx.terms.share;
-    if (net > 0.0) {
-      if (!out.contract_losses.empty()) {
-        out.contract_losses[t] += net;
-      }
-      out.portfolio_losses[t] += net;
-      out.reinstatement_prem[t] += ctx.reinstatements.premium_due(
-          consumed, ctx.terms.occ_limit, ctx.upfront_premium);
-    }
-  }
-  return lookups_found;
-}
-
-/// Runs one layer over [0, trials) on the configured backend, accumulating
-/// the found-lookup count per chunk (parallel_reduce) instead of bouncing a
-/// contended atomic between cores.
-template <typename RowOf>
-std::uint64_t run_layer_trials(const LayerContext& ctx, const data::YearEventLossTable& yelt,
-                               const Philox4x32& philox, const EngineConfig& config,
-                               TrialId trials, const TrialOutputs& out,
-                               const RowOf& row_of) {
-  const bool secondary = config.secondary_uncertainty;
-  if (config.backend == Backend::Sequential) {
-    return process_layer_trials(ctx, yelt, philox, secondary, 0, trials, out, row_of);
-  }
-  return parallel_reduce<std::uint64_t>(
-      0, trials, 0,
-      [&](std::size_t lo, std::size_t hi) {
-        return process_layer_trials(ctx, yelt, philox, secondary,
-                                    static_cast<TrialId>(lo), static_cast<TrialId>(hi),
-                                    out, row_of);
-      },
-      [](std::uint64_t a, std::uint64_t b) { return a + b; },
-      ParallelConfig{config.pool, config.trial_grain});
-}
+/// Bounds beyond which a knob is a bug, not a tuning choice.
+constexpr int kMaxDeviceBlockDim = 1 << 20;
+constexpr std::size_t kMaxTrialGrain = std::size_t{1} << 30;
+constexpr std::size_t kMaxDeviceEltChunkRows = std::size_t{1} << 30;
 
 }  // namespace
+
+void validate_engine_config(const EngineConfig& config) {
+  RISKAN_REQUIRE(config.trial_grain <= kMaxTrialGrain,
+                 "trial_grain is absurdly large (max 2^30 trials per chunk)");
+  RISKAN_REQUIRE(config.device_block_dim > 0, "device block dim must be positive");
+  RISKAN_REQUIRE(config.device_block_dim <= kMaxDeviceBlockDim,
+                 "device block dim is absurdly large (max 2^20 trials per block)");
+  RISKAN_REQUIRE(config.device_elt_chunk_rows <= kMaxDeviceEltChunkRows,
+                 "device_elt_chunk_rows is absurdly large (max 2^30 rows per chunk)");
+  if (config.backend == Backend::DeviceSim) {
+    RISKAN_REQUIRE(config.device_spec.const_mem_bytes > 0,
+                   "DeviceSim needs a constant-memory segment");
+    RISKAN_REQUIRE(config.device_spec.shared_mem_per_block > 0,
+                   "DeviceSim needs a shared-memory arena");
+  }
+}
 
 EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
                                     const data::YearEventLossTable& yelt,
                                     const EngineConfig& config) {
+  validate_engine_config(config);
   RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
   RISKAN_REQUIRE(yelt.trials() > 0, "YELT must contain trials");
 
-  if (config.backend == Backend::DeviceSim) {
-    return run_aggregate_device(portfolio, yelt, config);
-  }
   if (config.batch_contracts) {
     return run_portfolio_batch(portfolio, yelt, config);
   }
 
+  // The per-contract lowering: one 1-slot execution plan per (contract,
+  // layer), dispatched in layer-major order on the configured executor so
+  // a layer's ELT stays hot while its trials stream — the legacy engine's
+  // loop nest, now expressed as plans over the one batch kernel. With the
+  // resolver on each slot gathers through the contract's dense pre-joined
+  // row column; off, it binary-searches the ELT per occurrence (the
+  // reference plan flag).
   Stopwatch watch;
   const TrialId trials = yelt.trials();
 
@@ -157,6 +88,9 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
   std::uint64_t lookups = 0;
   data::ResolverCache& cache =
       config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
+  const auto executor = exec::make_executor(config);
+  const auto yelt_offsets = yelt.offsets();
+  const auto events = yelt.events();
 
   for (std::size_t c = 0; c < portfolio.size(); ++c) {
     const auto& contract = portfolio.contract(c);
@@ -182,60 +116,50 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
     }
 
     for (const auto& layer : contract.layers()) {
-      LayerContext ctx;
-      ctx.elt = &contract.elt();
-      ctx.sampler = sampler ? &*sampler : nullptr;
-      ctx.terms = layer.terms;
-      ctx.reinstatements = layer.reinstatements;
-      ctx.upfront_premium = layer.upfront_premium;
-      ctx.contract_id = contract.id();
-      ctx.layer_id = layer.id;
-      ctx.trial_base = config.trial_base;
-
-      TrialOutputs out;
-      out.contract_losses = config.keep_contract_ylts
-                                ? result.contract_ylts[c].mutable_losses()
-                                : std::span<Money>{};
-      out.portfolio_losses = result.portfolio_ylt.mutable_losses();
-      out.occurrence_accum = occurrence_accum;
-      out.reinstatement_prem = result.reinstatement_premium.mutable_losses();
-
+      batch::Slot slot;
+      slot.elt = &contract.elt();
       if (resolved) {
-        const std::uint32_t* rows = resolved->rows().data();
-        lookups += run_layer_trials(
-            ctx, yelt, philox, config, trials, out, [rows](std::uint64_t i) {
-              const std::uint32_t row = rows[i];
-              return row == data::ResolvedYelt::kNoLoss
-                         ? data::EventLossTable::npos
-                         : static_cast<std::size_t>(row);
-            });
+        slot.gather = batch::Gather::Dense;
+        slot.dense_rows = resolved->rows().data();
       } else {
-        const auto events = yelt.events();
-        const auto& elt = contract.elt();
-        lookups += run_layer_trials(
-            ctx, yelt, philox, config, trials, out,
-            [&elt, events](std::uint64_t i) { return elt.find(events[i]); });
+        slot.gather = batch::Gather::Search;
+        slot.search_events = events.data();
       }
+      slot.means = contract.elt().mean_loss().data();
+      slot.sampler = sampler ? &*sampler : nullptr;
+      slot.terms = layer.terms;
+      slot.reinstatements = layer.reinstatements;
+      slot.upfront_premium = layer.upfront_premium;
+      slot.contract_id = contract.id();
+      slot.layer_id = layer.id;
+      slot.contract_losses = config.keep_contract_ylts
+                                 ? result.contract_ylts[c].mutable_losses()
+                                 : std::span<Money>{};
+      slot.portfolio_losses = result.portfolio_ylt.mutable_losses();
+      slot.reinstatement_prem = result.reinstatement_premium.mutable_losses();
+      slot.occurrence_accum = config.compute_oep ? occurrence_accum.data() : nullptr;
+
+      const exec::ExecutionPlan plan =
+          exec::ExecutionPlan::lower({&slot, 1}, yelt_offsets, trials, config);
+      lookups += executor->execute(plan, philox);
     }
   }
 
   if (config.compute_oep) {
     result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
-    auto oep = result.portfolio_occurrence_ylt.mutable_losses();
-    const auto offsets = yelt.offsets();
-    for (TrialId t = 0; t < trials; ++t) {
-      Money worst = 0.0;
-      for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
-        worst = std::max(worst, occurrence_accum[i]);
-      }
-      oep[t] = worst;
-    }
+    batch::finalize_oep(result.portfolio_occurrence_ylt.mutable_losses(), occurrence_accum,
+                        yelt_offsets, {});
   }
 
   result.seconds = watch.seconds();
   result.occurrences_processed =
       yelt.entries() * static_cast<std::uint64_t>(portfolio.layer_count());
   result.elt_lookups = lookups;
+  // Accumulated under DeviceSim only, mirroring the executor's counter
+  // accumulation so host/modeled scopes stay matched across runs.
+  if (config.backend == Backend::DeviceSim && config.device_info != nullptr) {
+    config.device_info->host_seconds += result.seconds;
+  }
   return result;
 }
 

@@ -11,24 +11,35 @@
 // gather each occurrence's ELT row, optionally sample secondary
 // uncertainty, apply per-occurrence terms, sum, apply annual aggregate
 // terms and share, and accumulate into the contract's and the portfolio's
-// YLT. The loop nest is layer-major so a layer's ELT stays hot while its
-// trials stream — the in-memory analogue of the paper's chunking.
+// YLT.
+//
+// There is exactly ONE implementation of that loop in the repo:
+// core::batch::process_trials (src/core/portfolio_batch.hpp). Every entry
+// point — this per-contract front end, the batched runner, the scenario
+// sweep, MapReduce map tasks and the pricer's run_layer — lowers its
+// request into batch slots via an exec::ExecutionPlan (src/core/exec.hpp)
+// and dispatches it on a pluggable executor:
+//   Sequential — single thread, pool-free; the baseline of the paper's
+//                "15x" claim (MapReduce map tasks rely on the pool-free
+//                contract).
+//   Threaded   — parallel trial chunks on the shared-memory pool.
+//   DeviceSim  — the GPU execution model: the same kernel runs inside
+//                simulated device blocks with slot columns staged to
+//                shared memory and ELT tables resident in constant memory,
+//                residency chosen by the plan.
+// Outputs are bit-identical across backends, lowerings and scheduling
+// (tests enforce).
 //
 // The event→row mapping is identical for every layer of a contract and on
-// every run, so by default it is pre-joined once per (contract, YELT) into
-// a flat row column (data::ResolvedYelt, cached by data::ResolverCache)
-// and the kernel gathers by direct index; EngineConfig::use_resolver = off
-// selects the legacy per-occurrence binary search.
+// every run, so by default it is pre-joined once per (contract, YELT)
+// (data::ResolvedYelt, cached by data::ResolverCache) and the kernel
+// gathers by direct index; EngineConfig::use_resolver = off selects the
+// legacy per-occurrence binary search, which survives as a plan flag.
 //
-// Three backends, bit-identical outputs (tests enforce):
-//   Sequential — single thread; the baseline of the paper's "15x" claim.
-//   Threaded   — parallel_for over trial chunks on the shared-memory pool.
-//   DeviceSim  — the GPU execution model (src/core/device_engine.hpp).
-//
-// Multi-contract books should prefer the portfolio-batched path
+// Multi-contract books should prefer the portfolio-batched lowering
 // (EngineConfig::batch_contracts / src/core/portfolio_batch.hpp): one
 // streamed YELT pass serves every contract's layer stack, bit-identically,
-// instead of the per-contract re-walk this file implements.
+// instead of the per-(contract, layer) re-walk this front end plans.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +50,7 @@
 #include "data/yelt.hpp"
 #include "data/ylt.hpp"
 #include "finance/contract.hpp"
+#include "parallel/device.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace riskan::core {
@@ -50,6 +62,32 @@ enum class Backend {
 };
 
 const char* to_string(Backend backend) noexcept;
+
+/// Every backend, in to_string order — the shared iteration helper for
+/// equivalence-matrix tests and benches (no per-file backend lists).
+inline constexpr Backend kAllBackends[] = {Backend::Sequential, Backend::Threaded,
+                                           Backend::DeviceSim};
+/// The host backends (everything but the simulated device), for matrices
+/// that sweep `trial_grain` or other host-only knobs.
+inline constexpr Backend kHostBackends[] = {Backend::Sequential, Backend::Threaded};
+
+/// Per-run telemetry of the DeviceSim executor, for the E2/E4 reports:
+/// metered traffic per access class plus the calibrated performance-model
+/// time (see src/parallel/device.hpp).
+struct DeviceRunInfo {
+  double modeled_seconds = 0.0;  ///< performance-model device time
+  double host_seconds = 0.0;     ///< wall-clock of the simulation on this host
+  DeviceCounters counters;
+  /// Kernel launches. One per residency chunk, so this currently equals
+  /// elt_chunks; both are kept because the launch structure (e.g. a
+  /// future multi-kernel pipeline) and the residency plan are distinct
+  /// concepts that happen to coincide today.
+  int launches = 0;
+  /// Constant-memory residency chunks the plan scheduled (one launch each).
+  std::size_t elt_chunks = 0;
+  std::size_t shared_staged_blocks = 0;
+  std::size_t shared_spill_blocks = 0;
+};
 
 struct EngineConfig {
   Backend backend = Backend::Threaded;
@@ -76,12 +114,21 @@ struct EngineConfig {
   TrialId trial_base = 0;
   /// Trials per device block (DeviceSim); one thread per trial.
   int device_block_dim = 128;
-  /// Max ELT rows staged per device chunk; 0 = fit to constant memory.
+  /// Cap on ELT rows staged into constant memory per gather source
+  /// (DeviceSim); 0 = stage as much as the constant segment fits. Smaller
+  /// caps pack more contracts' tables into one residency chunk (fewer
+  /// launches, more global-memory gather traffic); larger caps give each
+  /// table fuller residency at the cost of more launches.
   std::size_t device_elt_chunk_rows = 0;
+  /// Hardware model for the DeviceSim executor's performance accounting.
+  DeviceSpec device_spec{};
+  /// When non-null and backend == DeviceSim, receives the run's accumulated
+  /// device telemetry (counters, launches, modeled time).
+  DeviceRunInfo* device_info = nullptr;
   /// Pre-join each contract's ELT to the YELT once (data::ResolvedYelt) and
   /// gather rows by direct index in the trial kernel. Off = the legacy
-  /// per-occurrence binary search, retained as the reference path for the
-  /// equivalence tests and the resolver-on/off bench comparison.
+  /// per-occurrence binary search, retained as the reference plan flag for
+  /// the equivalence tests and the resolver-on/off bench comparison.
   bool use_resolver = true;
   /// Cache of resolutions shared across layers and runs; nullptr = the
   /// process-wide data::ResolverCache::shared().
@@ -90,10 +137,18 @@ struct EngineConfig {
   /// trial chunk once, serving every contract's layer stack in the same
   /// pass, instead of re-walking the YELT per (contract, layer). Outputs
   /// are bit-identical either way; batching is the wall-clock win on
-  /// multi-contract books. Implies the resolver (`use_resolver` is ignored
-  /// on this path); DeviceSim falls back to the per-contract device kernel.
+  /// multi-contract books and composes with every backend, DeviceSim
+  /// included. Implies the resolver (`use_resolver` is ignored on this
+  /// path).
   bool batch_contracts = false;
 };
+
+/// Validates the cross-field sanity of `config` up front with
+/// ContractViolation errors instead of silent misbehavior downstream:
+/// positive, bounded device_block_dim; bounded trial_grain and
+/// device_elt_chunk_rows. Every engine entry point calls this before
+/// planning.
+void validate_engine_config(const EngineConfig& config);
 
 /// Result of one aggregate-analysis run.
 struct EngineResult {
@@ -123,7 +178,7 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
                                     const EngineConfig& config = {});
 
 /// Single-layer convenience used by the pricer and micro-benches: returns
-/// the layer's per-trial net losses.
+/// the layer's per-trial net losses (a 1-slot execution plan).
 std::vector<Money> run_layer(const finance::Contract& contract, const finance::Layer& layer,
                              const data::YearEventLossTable& yelt, const EngineConfig& config);
 

@@ -1,0 +1,526 @@
+#include "core/exec.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "core/secondary.hpp"
+#include "parallel/device.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/require.hpp"
+
+namespace riskan::core::exec {
+
+namespace {
+
+bool same_source(const ExecutionPlan::Source& src, const batch::Slot& s) noexcept {
+  return src.gather == s.gather && src.elt == s.elt && src.hit_offsets == s.hit_offsets &&
+         src.seqs == s.seqs && src.rows == s.rows && src.dense_rows == s.dense_rows &&
+         src.search_events == s.search_events;
+}
+
+/// Packed ELT row as uploaded to simulated constant memory: event id, mean
+/// (for secondary-off gathers) and the secondary-uncertainty parameters —
+/// the per-gather unit of constant-memory traffic.
+struct DeviceEltRow {
+  EventId event_id = 0;
+  Money mean_loss = 0.0;
+  SecondarySampler::Param param;
+};
+
+// Approximate FLOP cost of one beta draw (two Marsaglia-Tsang gammas plus
+// transforms) and of the per-occurrence layer terms; feeds the performance
+// model only.
+constexpr std::uint64_t kBetaFlops = 220;
+constexpr std::uint64_t kOccTermFlops = 4;
+
+/// Bytes one binary-search probe sequence over `rows` sorted ELT rows
+/// touches (16 bytes per probed cache line, log2(rows) probes).
+std::uint64_t probe_bytes(std::size_t rows) noexcept {
+  return 16 * (64 - static_cast<std::uint64_t>(__builtin_clzll(rows | 1)));
+}
+
+/// Greedy constant-memory residency planning: walk the groups in slot
+/// order, packing each new source's table (capped at device_elt_chunk_rows
+/// rows when set) into the current chunk while the constant segment fits;
+/// when a table does not fit alongside the current residents, close the
+/// chunk (one launch each) and start the next. A table too large for an
+/// empty segment is staged partially — its leading rows are resident, the
+/// tail gathers from global memory.
+void plan_device_chunks(ExecutionPlan& plan, const EngineConfig& config) {
+  const std::size_t row_bytes = sizeof(DeviceEltRow);
+  const std::size_t capacity = config.device_spec.const_mem_bytes;
+  const std::size_t budget = capacity > 64 ? capacity - 64 : 0;
+  // Each const_upload starts 16-byte aligned, so charge aligned sizes —
+  // the sum then upper-bounds the arena's actual usage.
+  const auto charge = [row_bytes](std::size_t rows) {
+    return (rows * row_bytes + 15) & ~std::size_t{15};
+  };
+
+  ExecutionPlan::DeviceChunk cur;
+  std::size_t cur_bytes = 0;
+  const auto close = [&plan, &cur, &cur_bytes]() {
+    if (cur.group_end > cur.group_begin) {
+      plan.device_chunks.push_back(std::move(cur));
+    }
+    cur = ExecutionPlan::DeviceChunk{};
+    cur_bytes = 0;
+  };
+
+  for (std::uint32_t g = 0; g < plan.groups.size(); ++g) {
+    const std::uint32_t s = plan.group_source[g];
+    const bool seen = std::any_of(cur.staged_rows.begin(), cur.staged_rows.end(),
+                                  [s](const auto& e) { return e.first == s; });
+    if (seen) {
+      cur.group_end = g + 1;
+      continue;
+    }
+    std::size_t want = plan.sources[s].elt->size();
+    if (config.device_elt_chunk_rows > 0) {
+      want = std::min(want, config.device_elt_chunk_rows);
+    }
+    if (cur.group_end > cur.group_begin && cur_bytes + charge(want) > budget) {
+      close();
+      cur.group_begin = g;
+    }
+    // Partial residency when the table exceeds even an empty segment;
+    // shaving the alignment pad off the remainder keeps charge(want)
+    // within it.
+    const std::size_t avail = budget - cur_bytes;
+    want = std::min(want, avail >= 15 ? (avail - 15) / row_bytes : 0);
+    cur.staged_rows.emplace_back(s, want);
+    cur_bytes += charge(want);
+    cur.group_end = g + 1;
+  }
+  close();
+}
+
+class SequentialExecutor final : public Executor {
+ public:
+  std::uint64_t execute(const ExecutionPlan& plan, const Philox4x32& philox) override {
+    std::vector<Money> scratch(plan.max_group_size);
+    return batch::process_trials(plan.slots, plan.groups, plan.yelt_offsets, philox,
+                                 plan.secondary, plan.trial_base, 0, plan.trials, scratch);
+  }
+};
+
+class ThreadedExecutor final : public Executor {
+ public:
+  ThreadedExecutor(ThreadPool* pool, std::size_t grain) : pool_(pool), grain_(grain) {}
+
+  std::uint64_t execute(const ExecutionPlan& plan, const Philox4x32& philox) override {
+    return parallel_reduce<std::uint64_t>(
+        0, plan.trials, 0,
+        [&](std::size_t lo, std::size_t hi) {
+          std::vector<Money> scratch(plan.max_group_size);
+          return batch::process_trials(plan.slots, plan.groups, plan.yelt_offsets, philox,
+                                       plan.secondary, plan.trial_base,
+                                       static_cast<TrialId>(lo), static_cast<TrialId>(hi),
+                                       scratch);
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; },
+        ParallelConfig{pool_, grain_});
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::size_t grain_;
+};
+
+/// The GPU execution model: runs the same process_trials kernel inside
+/// simulated device blocks, one launch per constant-memory residency chunk
+/// of the plan, staging each block's slot column slices into shared memory
+/// when they fit. Staged copies are what the kernel actually reads (values
+/// are identical by construction, so outputs stay bit-exact); traffic is
+/// metered per access class and converted to a modeled device time.
+class DeviceSimExecutor final : public Executor {
+ public:
+  explicit DeviceSimExecutor(const EngineConfig& config)
+      : device_(config.device_spec, config.pool),
+        block_dim_(config.device_block_dim),
+        info_(config.device_info) {}
+
+  std::uint64_t execute(const ExecutionPlan& plan, const Philox4x32& philox) override;
+
+ private:
+  Device device_;
+  int block_dim_;
+  DeviceRunInfo* info_;
+};
+
+/// Adjusts a staged column pointer so that indexing with the *global*
+/// offsets the kernel uses lands inside the block's staged slice (which
+/// starts at global index `base`). Routed through uintptr_t: the biased
+/// pointer is never dereferenced outside [base, base + slice).
+template <typename T>
+const T* rebase(const T* staged, std::uint64_t base) noexcept {
+  return reinterpret_cast<const T*>(reinterpret_cast<std::uintptr_t>(staged) -
+                                    static_cast<std::uintptr_t>(base) * sizeof(T));
+}
+
+std::uint64_t DeviceSimExecutor::execute(const ExecutionPlan& plan,
+                                         const Philox4x32& philox) {
+  const TrialId trials = plan.trials;
+  const int block_dim = block_dim_;
+  const int grid_dim = static_cast<int>((static_cast<std::uint64_t>(trials) + block_dim - 1) /
+                                        static_cast<std::uint64_t>(block_dim));
+  const auto yelt_offsets = plan.yelt_offsets;
+  std::uint64_t lookups = 0;
+
+  DeviceRunInfo scratch_info;
+  DeviceRunInfo& info = info_ != nullptr ? *info_ : scratch_info;
+  info.elt_chunks += plan.device_chunks.size();
+
+  for (const ExecutionPlan::DeviceChunk& chunk : plan.device_chunks) {
+    // Per-source resident row counts for this chunk (0 = fully global).
+    std::vector<std::size_t> resident(plan.sources.size(), 0);
+    device_.const_clear();
+    for (const auto& [src, rows] : chunk.staged_rows) {
+      resident[src] = rows;
+      if (rows == 0) {
+        continue;
+      }
+      // Upload the packed leading rows — real data in the real arena, so
+      // the 64 KiB capacity contract is enforced exactly like CUDA's.
+      const ExecutionPlan::Source& source = plan.sources[src];
+      std::vector<DeviceEltRow> packed(rows);
+      const auto ids = source.elt->event_ids();
+      const auto means = source.elt->mean_loss();
+      // Any slot of the source shares the sampler (same ELT); find one.
+      const SecondarySampler* sampler = nullptr;
+      for (std::uint32_t g = chunk.group_begin; g < chunk.group_end; ++g) {
+        if (plan.group_source[g] == src) {
+          sampler = plan.slots[plan.groups[g].begin].sampler;
+          break;
+        }
+      }
+      RISKAN_REQUIRE(!plan.secondary || sampler != nullptr,
+                     "staged source has no slot in its residency chunk");
+      for (std::size_t i = 0; i < rows; ++i) {
+        packed[i].event_id = ids[i];
+        packed[i].mean_loss = means[i];
+        if (sampler != nullptr) {
+          packed[i].param = sampler->param(i);
+        }
+      }
+      (void)device_.const_upload(packed.data(), rows * sizeof(DeviceEltRow));
+    }
+
+    const std::uint32_t slot_lo = plan.groups[chunk.group_begin].begin;
+    const batch::Group& last_group = plan.groups[chunk.group_end - 1];
+    const std::uint32_t slot_hi = last_group.begin + last_group.size;
+
+    std::vector<std::uint64_t> block_found(static_cast<std::size_t>(grid_dim), 0);
+    std::vector<std::uint8_t> block_staged(static_cast<std::size_t>(grid_dim), 2);
+
+    const auto stats = device_.launch_blocks(grid_dim, block_dim, [&](BlockContext& ctx) {
+      const auto first =
+          static_cast<TrialId>(std::min<std::uint64_t>(trials,
+              static_cast<std::uint64_t>(ctx.block_id()) * block_dim));
+      const auto last =
+          static_cast<TrialId>(std::min<std::uint64_t>(trials,
+              static_cast<std::uint64_t>(first) + static_cast<std::uint64_t>(block_dim)));
+      if (first >= last) {
+        return;
+      }
+      const std::uint64_t occ_lo = yelt_offsets[first];
+      const std::uint64_t occ_hi = yelt_offsets[last];
+
+      // ---- Stage this block's column slices into shared memory, greedily
+      // in source order. Search sources share the YELT event column, so it
+      // is staged at most once.
+      std::vector<const std::uint32_t*> staged_seqs(plan.sources.size(), nullptr);
+      std::vector<const std::uint32_t*> staged_rows(plan.sources.size(), nullptr);
+      std::vector<const std::uint32_t*> staged_dense(plan.sources.size(), nullptr);
+      const EventId* staged_events = nullptr;
+      bool all_staged = true;
+      for (const auto& [src, rows_resident] : chunk.staged_rows) {
+        (void)rows_resident;
+        const ExecutionPlan::Source& source = plan.sources[src];
+        if (source.gather == batch::Gather::Compact) {
+          const std::uint64_t hit_lo = source.hit_offsets[first];
+          const std::uint64_t n = source.hit_offsets[last] - hit_lo;
+          const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(std::uint32_t);
+          if (2 * bytes + ctx.shared_used() <= ctx.shared_capacity()) {
+            if (n > 0) {
+              auto* seqs = ctx.shared_alloc<std::uint32_t>(n);
+              auto* rows = ctx.shared_alloc<std::uint32_t>(n);
+              std::memcpy(seqs, source.seqs + hit_lo, bytes);
+              std::memcpy(rows, source.rows + hit_lo, bytes);
+              staged_seqs[src] = rebase(seqs, hit_lo);
+              staged_rows[src] = rebase(rows, hit_lo);
+            }
+            ctx.meter_global_read(2 * bytes);
+            ctx.meter_shared_write(2 * bytes);
+          } else {
+            all_staged = false;
+          }
+          continue;
+        }
+        const std::uint64_t n = occ_hi - occ_lo;
+        const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(std::uint32_t);
+        if (source.gather == batch::Gather::Dense) {
+          if (bytes + ctx.shared_used() <= ctx.shared_capacity()) {
+            if (n > 0) {
+              auto* dense = ctx.shared_alloc<std::uint32_t>(n);
+              std::memcpy(dense, source.dense_rows + occ_lo, bytes);
+              staged_dense[src] = rebase(dense, occ_lo);
+            }
+            ctx.meter_global_read(bytes);
+            ctx.meter_shared_write(bytes);
+          } else {
+            all_staged = false;
+          }
+        } else if (staged_events == nullptr) {
+          if (bytes + ctx.shared_used() <= ctx.shared_capacity()) {
+            if (n > 0) {
+              auto* events = ctx.shared_alloc<EventId>(n);
+              std::memcpy(events, source.search_events + occ_lo, bytes);
+              staged_events = rebase(events, occ_lo);
+            }
+            ctx.meter_global_read(bytes);
+            ctx.meter_shared_write(bytes);
+          } else {
+            all_staged = false;
+          }
+        }
+      }
+
+      // ---- The one trial kernel, over this block's trial range. Slots are
+      // copied with staged columns swapped in only when something actually
+      // staged; spill blocks read the plan's slots in place.
+      const bool anything_staged = ctx.shared_used() > 0;
+      std::vector<Money> annual_scratch(plan.max_group_size);
+      std::uint64_t found = 0;
+      if (anything_staged) {
+        std::vector<batch::Slot> local(plan.slots.begin() + slot_lo,
+                                       plan.slots.begin() + slot_hi);
+        std::vector<batch::Group> local_groups(plan.groups.begin() + chunk.group_begin,
+                                               plan.groups.begin() + chunk.group_end);
+        for (batch::Group& g : local_groups) {
+          g.begin -= slot_lo;
+        }
+        for (std::uint32_t g = chunk.group_begin; g < chunk.group_end; ++g) {
+          const std::uint32_t src = plan.group_source[g];
+          const batch::Group& group = plan.groups[g];
+          for (std::uint32_t i = 0; i < group.size; ++i) {
+            batch::Slot& s = local[group.begin + i - slot_lo];
+            if (staged_seqs[src] != nullptr) {
+              s.seqs = staged_seqs[src];
+              s.rows = staged_rows[src];
+            }
+            if (staged_dense[src] != nullptr) {
+              s.dense_rows = staged_dense[src];
+            }
+            if (s.gather == batch::Gather::Search && staged_events != nullptr) {
+              s.search_events = staged_events;
+            }
+          }
+        }
+        found = batch::process_trials(local, local_groups, yelt_offsets, philox,
+                                      plan.secondary, plan.trial_base, first, last,
+                                      annual_scratch);
+      } else {
+        found = batch::process_trials(
+            plan.slots,
+            std::span<const batch::Group>(plan.groups)
+                .subspan(chunk.group_begin, chunk.group_end - chunk.group_begin),
+            yelt_offsets, philox, plan.secondary, plan.trial_base, first, last,
+            annual_scratch);
+      }
+      block_found[static_cast<std::size_t>(ctx.block_id())] = found;
+
+      // ---- Meter the gather/compute traffic analytically, per group.
+      std::uint64_t noncompact_slots = 0;
+      double noncompact_frac = 0.0;
+      for (std::uint32_t g = chunk.group_begin; g < chunk.group_end; ++g) {
+        const std::uint32_t src = plan.group_source[g];
+        const ExecutionPlan::Source& source = plan.sources[src];
+        const batch::Group& group = plan.groups[g];
+        const std::size_t elt_rows = source.elt->size();
+        const double frac =
+            elt_rows == 0 ? 0.0
+                          : static_cast<double>(std::min(resident[src], elt_rows)) /
+                                static_cast<double>(elt_rows);
+        if (source.gather == batch::Gather::Compact) {
+          const std::uint64_t hits = source.hit_offsets[last] - source.hit_offsets[first];
+          const std::uint64_t col_bytes = hits * 2 * sizeof(std::uint32_t);
+          if (staged_seqs[src] != nullptr) {
+            ctx.meter_shared_read(col_bytes);
+          } else {
+            ctx.meter_global_read(col_bytes);
+          }
+          const auto row_traffic = hits * static_cast<std::uint64_t>(sizeof(DeviceEltRow));
+          ctx.meter_const_read(static_cast<std::uint64_t>(frac * row_traffic));
+          ctx.meter_global_read(row_traffic - static_cast<std::uint64_t>(frac * row_traffic));
+          if (plan.secondary) {
+            ctx.meter_flops(hits * kBetaFlops);
+          }
+          ctx.meter_flops(hits * kOccTermFlops * group.size);
+          for (std::uint32_t i = 0; i < group.size; ++i) {
+            const batch::Slot& s = plan.slots[group.begin + i];
+            if (s.occurrence_accum != nullptr) {
+              ctx.meter_global_write(hits * sizeof(Money));
+            }
+          }
+          // Annual finish per trial with hits.
+          std::uint64_t busy_trials = 0;
+          for (TrialId t = first; t < last; ++t) {
+            busy_trials += source.hit_offsets[t + 1] > source.hit_offsets[t] ? 1 : 0;
+          }
+          ctx.meter_flops(busy_trials * 6 * group.size);
+          ctx.meter_global_write(busy_trials * 3 * sizeof(Money) * group.size);
+        } else {
+          const std::uint64_t occ = occ_hi - occ_lo;
+          const std::uint64_t col_bytes = occ * sizeof(std::uint32_t);
+          const bool col_staged = source.gather == batch::Gather::Dense
+                                      ? staged_dense[src] != nullptr
+                                      : staged_events != nullptr;
+          if (col_staged) {
+            ctx.meter_shared_read(col_bytes);
+          } else {
+            ctx.meter_global_read(col_bytes);
+          }
+          if (source.gather == batch::Gather::Search) {
+            // Every occurrence binary-searches the table; probes split
+            // between the resident prefix and the global tail.
+            const std::uint64_t probes = occ * probe_bytes(elt_rows);
+            ctx.meter_const_read(static_cast<std::uint64_t>(frac * probes));
+            ctx.meter_global_read(probes - static_cast<std::uint64_t>(frac * probes));
+          }
+          noncompact_slots += group.size;
+          noncompact_frac = frac;
+          ctx.meter_flops((occ_hi > occ_lo ? last - first : 0) * 6 * group.size);
+          ctx.meter_global_write((occ_hi > occ_lo ? last - first : 0) * 3 *
+                                 sizeof(Money) * group.size);
+        }
+      }
+      if (noncompact_slots > 0) {
+        // Found-lookup gathers of the dense/search slots: per found row one
+        // packed-row read (const for the resident fraction) plus sampling
+        // and term FLOPs. The per-group split is not tracked — plans are
+        // one noncompact source in practice (the per-layer lowering); a
+        // mix meters under the last source's residency fraction.
+        const auto row_traffic = found * static_cast<std::uint64_t>(sizeof(DeviceEltRow));
+        const auto const_part = static_cast<std::uint64_t>(noncompact_frac *
+                                                           static_cast<double>(row_traffic));
+        ctx.meter_const_read(const_part);
+        ctx.meter_global_read(row_traffic - const_part);
+        if (plan.secondary) {
+          ctx.meter_flops(found * kBetaFlops);
+        }
+        ctx.meter_flops(found * kOccTermFlops);
+      }
+
+      block_staged[static_cast<std::size_t>(ctx.block_id())] = all_staged ? 1 : 0;
+    });
+
+    info.counters += stats.counters;
+    info.modeled_seconds += stats.modeled_seconds;
+    ++info.launches;
+    for (const std::uint64_t found : block_found) {
+      lookups += found;
+    }
+    for (const std::uint8_t staged : block_staged) {
+      if (staged == 1) {
+        ++info.shared_staged_blocks;
+      } else if (staged == 0) {
+        ++info.shared_spill_blocks;
+      }
+    }
+  }
+  return lookups;
+}
+
+}  // namespace
+
+ExecutionPlan ExecutionPlan::lower(std::span<const batch::Slot> slots,
+                                   std::span<const std::uint64_t> yelt_offsets,
+                                   TrialId trials, const EngineConfig& config) {
+  RISKAN_REQUIRE(!slots.empty(), "execution plan needs at least one slot");
+  ExecutionPlan plan;
+  plan.slots = slots;
+  plan.yelt_offsets = yelt_offsets;
+  plan.trials = trials;
+  plan.trial_base = config.trial_base;
+  plan.secondary = config.secondary_uncertainty;
+
+  const std::uint64_t entries = yelt_offsets.empty() ? 0 : yelt_offsets[trials];
+  for (const batch::Slot& s : slots) {
+    RISKAN_REQUIRE(s.elt != nullptr, "slot needs its gather ELT");
+    switch (s.gather) {
+      case batch::Gather::Compact:
+        RISKAN_REQUIRE(s.hit_offsets != nullptr, "compact slot needs its CSR index");
+        RISKAN_REQUIRE((s.seqs != nullptr && s.rows != nullptr) ||
+                           s.hit_offsets[trials] == 0,
+                       "compact slot needs seq and row columns");
+        break;
+      case batch::Gather::Dense:
+        RISKAN_REQUIRE(s.dense_rows != nullptr || entries == 0,
+                       "dense slot needs its pre-joined row column");
+        break;
+      case batch::Gather::Search:
+        RISKAN_REQUIRE(s.search_events != nullptr || entries == 0,
+                       "search slot needs the YELT event column");
+        break;
+    }
+    if (s.gather != batch::Gather::Compact) {
+      RISKAN_REQUIRE(s.mask_seq == nullptr && s.loss_scale == 1.0 &&
+                         s.conditioned_ground_up < 0.0,
+                     "dense/search slots take no scenario transforms");
+    }
+    RISKAN_REQUIRE(!plan.secondary || s.sampler != nullptr,
+                   "secondary sampling needs a per-slot sampler");
+    RISKAN_REQUIRE(s.means != nullptr || plan.secondary, "means-path slot needs ELT means");
+  }
+
+  plan.groups = batch::group_slots(slots);
+  for (const batch::Group& g : plan.groups) {
+    plan.max_group_size = std::max<std::size_t>(plan.max_group_size, g.size);
+    if (g.size > 1) {
+      RISKAN_REQUIRE(slots[g.begin].gather == batch::Gather::Compact,
+                     "shared-gather groups are compact-mode only");
+    }
+  }
+
+  plan.group_source.reserve(plan.groups.size());
+  for (const batch::Group& g : plan.groups) {
+    const batch::Slot& lead = slots[g.begin];
+    std::uint32_t src = 0;
+    while (src < plan.sources.size() && !same_source(plan.sources[src], lead)) {
+      ++src;
+    }
+    if (src == plan.sources.size()) {
+      Source source;
+      source.gather = lead.gather;
+      source.elt = lead.elt;
+      source.hit_offsets = lead.hit_offsets;
+      source.seqs = lead.seqs;
+      source.rows = lead.rows;
+      source.dense_rows = lead.dense_rows;
+      source.search_events = lead.search_events;
+      plan.sources.push_back(source);
+    }
+    plan.group_source.push_back(src);
+  }
+
+  if (config.backend == Backend::DeviceSim) {
+    plan_device_chunks(plan, config);
+  }
+  return plan;
+}
+
+std::unique_ptr<Executor> make_executor(const EngineConfig& config) {
+  switch (config.backend) {
+    case Backend::Sequential:
+      return std::make_unique<SequentialExecutor>();
+    case Backend::Threaded:
+      return std::make_unique<ThreadedExecutor>(config.pool, config.trial_grain);
+    case Backend::DeviceSim:
+      return std::make_unique<DeviceSimExecutor>(config);
+  }
+  RISKAN_REQUIRE(false, "unknown backend");
+  return nullptr;
+}
+
+}  // namespace riskan::core::exec

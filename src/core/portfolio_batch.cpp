@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/exec.hpp"
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
 #include "finance/terms.hpp"
@@ -15,8 +16,10 @@ namespace riskan::core::batch {
 namespace {
 
 bool same_gather(const Slot& a, const Slot& b) noexcept {
-  return a.hit_offsets == b.hit_offsets && a.seqs == b.seqs && a.rows == b.rows &&
-         a.means == b.means && a.sampler == b.sampler && a.contract_id == b.contract_id &&
+  return a.gather == b.gather && a.hit_offsets == b.hit_offsets && a.seqs == b.seqs &&
+         a.rows == b.rows && a.dense_rows == b.dense_rows &&
+         a.search_events == b.search_events && a.elt == b.elt && a.means == b.means &&
+         a.sampler == b.sampler && a.contract_id == b.contract_id &&
          a.layer_id == b.layer_id;
 }
 
@@ -98,6 +101,66 @@ inline void process_singleton_trial(const Slot& s, const Philox4x32& philox,
   finish_slot_trial(s, t, annual);
 }
 
+/// Dense/search singleton: one trial of a slot that walks the *full*
+/// occurrence range [trial_begin, trial_end) — `row_of(i)` maps the global
+/// occurrence index to an ELT row or npos. This is the legacy per-contract
+/// kernel's loop body (same sampling keys, same accumulation order), kept
+/// as a gather mode of the one trial kernel. Transforms are inert on these
+/// slots by plan contract. Returns the found-lookup count.
+template <typename RowOf>
+inline std::uint64_t process_full_range_trial(const Slot& s, const Philox4x32& philox,
+                                              bool secondary, TrialId trial_base, TrialId t,
+                                              std::uint64_t trial_begin,
+                                              std::uint64_t trial_end, const RowOf& row_of) {
+  Money annual = 0.0;
+  std::uint64_t found = 0;
+  for (std::uint64_t i = trial_begin; i < trial_end; ++i) {
+    const std::size_t row = row_of(i);
+    if (row == data::EventLossTable::npos) {
+      continue;
+    }
+    ++found;
+    Money ground_up;
+    if (secondary) {
+      auto stream = occurrence_stream(philox, s.contract_id, s.layer_id, trial_base + t,
+                                      static_cast<std::uint32_t>(i - trial_begin));
+      ground_up = s.sampler->sample(row, stream);
+    } else {
+      ground_up = s.means[row];
+    }
+    const Money occ = finance::apply_occurrence(s.terms, ground_up);
+    annual += occ;
+    if (s.occurrence_accum != nullptr && occ > 0.0) {
+      s.occurrence_accum[i] += occ * s.terms.share;
+    }
+  }
+  finish_slot_trial(s, t, annual);
+  return found;
+}
+
+inline std::uint64_t process_noncompact_trial(const Slot& s, const Philox4x32& philox,
+                                              bool secondary, TrialId trial_base, TrialId t,
+                                              std::uint64_t trial_begin,
+                                              std::uint64_t trial_end) {
+  if (s.gather == Gather::Dense) {
+    const std::uint32_t* dense = s.dense_rows;
+    return process_full_range_trial(
+        s, philox, secondary, trial_base, t, trial_begin, trial_end,
+        [dense](std::uint64_t i) {
+          const std::uint32_t row = dense[i];
+          return row == data::ResolvedYelt::kNoLoss ? data::EventLossTable::npos
+                                                    : static_cast<std::size_t>(row);
+        });
+  }
+  const data::EventLossTable* elt = s.elt;
+  const EventId* events = s.search_events;
+  return process_full_range_trial(
+      s, philox, secondary, trial_base, t, trial_begin, trial_end,
+      [elt, events](std::uint64_t i) { return elt->find(events[i]); });
+}
+
+inline bool compact_gather(const Slot& s) noexcept { return s.gather == Gather::Compact; }
+
 }  // namespace
 
 std::vector<Group> group_slots(std::span<const Slot> slots) {
@@ -114,10 +177,12 @@ std::vector<Group> group_slots(std::span<const Slot> slots) {
   return groups;
 }
 
-void process_trials(std::span<const Slot> slots, std::span<const Group> groups,
-                    std::span<const std::uint64_t> yelt_offsets, const Philox4x32& philox,
-                    bool secondary, TrialId trial_base, TrialId lo, TrialId hi,
-                    std::span<Money> annual_scratch) {
+std::uint64_t process_trials(std::span<const Slot> slots, std::span<const Group> groups,
+                             std::span<const std::uint64_t> yelt_offsets,
+                             const Philox4x32& philox, bool secondary, TrialId trial_base,
+                             TrialId lo, TrialId hi, std::span<Money> annual_scratch) {
+  std::uint64_t noncompact_found = 0;
+
   // The base batched engine flattens to all-inert singleton groups; that
   // regime takes a dedicated loop whose body is exactly the pre-scenario
   // kernel (slots iterated directly, no group machinery, transform hooks
@@ -136,10 +201,15 @@ void process_trials(std::span<const Slot> slots, std::span<const Group> groups,
     for (TrialId t = lo; t < hi; ++t) {
       const std::uint64_t trial_begin = yelt_offsets[t];
       for (const Slot& s : slots) {
-        process_singleton_trial<false>(s, philox, secondary, trial_base, t, trial_begin);
+        if (compact_gather(s)) {
+          process_singleton_trial<false>(s, philox, secondary, trial_base, t, trial_begin);
+        } else {
+          noncompact_found += process_noncompact_trial(s, philox, secondary, trial_base,
+                                                       t, trial_begin, yelt_offsets[t + 1]);
+        }
       }
     }
-    return;
+    return noncompact_found;
   }
 
   for (TrialId t = lo; t < hi; ++t) {
@@ -148,7 +218,10 @@ void process_trials(std::span<const Slot> slots, std::span<const Group> groups,
       const Slot* gs = slots.data() + group.begin;
       const std::size_t gsize = group.size;
       if (gsize == 1) {
-        if (inert_transforms(gs[0])) {
+        if (!compact_gather(gs[0])) {
+          noncompact_found += process_noncompact_trial(gs[0], philox, secondary, trial_base,
+                                                       t, trial_begin, yelt_offsets[t + 1]);
+        } else if (inert_transforms(gs[0])) {
           process_singleton_trial<false>(gs[0], philox, secondary, trial_base, t,
                                          trial_begin);
         } else {
@@ -228,25 +301,7 @@ void process_trials(std::span<const Slot> slots, std::span<const Group> groups,
       }
     }
   }
-}
-
-void run_pass(std::span<const Slot> slots, std::span<const std::uint64_t> yelt_offsets,
-              const Philox4x32& philox, bool secondary, TrialId trial_base,
-              TrialId trials, ParallelConfig cfg) {
-  const std::vector<Group> groups = group_slots(slots);
-  std::size_t max_group = 0;
-  for (const Group& g : groups) {
-    max_group = std::max<std::size_t>(max_group, g.size);
-  }
-  parallel_for(
-      0, trials,
-      [&](std::size_t lo, std::size_t hi) {
-        std::vector<Money> annual_scratch(max_group);
-        process_trials(slots, groups, yelt_offsets, philox, secondary, trial_base,
-                       static_cast<TrialId>(lo), static_cast<TrialId>(hi),
-                       annual_scratch);
-      },
-      cfg);
+  return noncompact_found;
 }
 
 void finalize_oep(std::span<Money> oep, std::span<const Money> occurrence_accum,
@@ -344,6 +399,7 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
         slot.hit_offsets = entry.compact->trial_offsets().data();
         slot.seqs = entry.compact->seqs().data();
         slot.rows = entry.compact->rows().data();
+        slot.elt = &contract.elt();
         slot.means = contract.elt().mean_loss().data();
         slot.sampler = config.secondary_uncertainty ? &run.samplers[c] : nullptr;
         slot.terms = layer.terms;
@@ -366,11 +422,15 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
   // The one streamed pass: every trial chunk is walked once, serving every
   // slot of every analysis in the group. Base slots are one (contract,
   // layer) each, so every gather group is a singleton here; the scenario
-  // engine is the multi-slot-group consumer of the same kernel.
+  // engine is the multi-slot-group consumer of the same kernel. The plan /
+  // executor layer (src/core/exec.hpp) owns the partitioning — Sequential
+  // runs inline, Threaded chunks trials on the pool, DeviceSim launches
+  // simulated blocks with plan-decided constant-memory residency.
   const Philox4x32 philox(config.seed);
   const auto yelt_offsets = yelt.offsets();
-  batch::run_pass(slots, yelt_offsets, philox, config.secondary_uncertainty,
-                  config.trial_base, trials, par_cfg);
+  const exec::ExecutionPlan plan =
+      exec::ExecutionPlan::lower(slots, yelt_offsets, trials, config);
+  (void)exec::make_executor(config)->execute(plan, philox);
 
   for (AnalysisRun& run : group) {
     if (config.compute_oep) {
@@ -388,11 +448,19 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
   for (AnalysisRun& run : group) {
     run.result.seconds = seconds;
   }
+  // Accumulated (not assigned) and under DeviceSim only: a multi-YELT
+  // runner calls run_group once per group and the other DeviceRunInfo
+  // fields accumulate too, so the host/modeled scopes stay matched.
+  if (config.backend == Backend::DeviceSim && config.device_info != nullptr) {
+    config.device_info->host_seconds += seconds;
+  }
 }
 
 }  // namespace
 
-PortfolioBatchRunner::PortfolioBatchRunner(EngineConfig config) : config_(config) {}
+PortfolioBatchRunner::PortfolioBatchRunner(EngineConfig config) : config_(config) {
+  validate_engine_config(config_);
+}
 
 std::size_t PortfolioBatchRunner::add(const finance::Portfolio& portfolio,
                                       const data::YearEventLossTable& yelt) {
@@ -414,19 +482,6 @@ std::size_t PortfolioBatchRunner::group_count() const noexcept {
 
 std::vector<EngineResult> PortfolioBatchRunner::run() const {
   std::vector<EngineResult> results(analyses_.size());
-
-  if (config_.backend == Backend::DeviceSim) {
-    // The device kernel stages one layer at a time by design; batching
-    // degenerates to the per-contract device path (bit-identical outputs,
-    // no batching win). See the backend matrix in docs/architecture.md.
-    EngineConfig per_contract = config_;
-    per_contract.batch_contracts = false;
-    for (std::size_t i = 0; i < analyses_.size(); ++i) {
-      results[i] = run_aggregate_analysis(*analyses_[i].portfolio, *analyses_[i].yelt,
-                                          per_contract);
-    }
-    return results;
-  }
 
   // Group analyses by YELT identity (in-run pointer identity — referents
   // are pinned by add()'s lifetime contract) so books sharing a table share

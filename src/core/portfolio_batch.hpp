@@ -1,31 +1,34 @@
-// Portfolio-batched aggregate analysis — one YELT pass serving every
-// contract.
+// The trial kernel of aggregate analysis — core::batch::process_trials —
+// and the portfolio-batched front end over it.
 //
-// The per-contract engine (aggregate_engine.cpp) re-streams the YELT's
-// occurrence structure once per (contract, layer): a book of C contracts
-// walks the same trial offsets and per-trial slices C times and pays C
-// fork/join barriers. That is the remaining O(contracts) redundancy after
-// PR 1 hoisted the per-occurrence lookups — the paper's "scan, don't seek"
-// argument applied one level up: scan the shared table once, serve every
-// consumer from the scan.
+// Since the executor refactor this file holds the repo's ONE stage-2 trial
+// loop. Every entry point (per-contract run, batched run, scenario sweep,
+// MapReduce map task, pricer run_layer) lowers to a list of Slots, is
+// shaped into an exec::ExecutionPlan, and is dispatched onto this kernel by
+// an exec::Executor (Sequential / Threaded / DeviceSim) — see
+// src/core/exec.hpp for the plan/executor layer.
 //
-// The batched path inverts the loop nest. Up front it pre-resolves every
-// contract's ELT against the YELT (data::MultiResolution, hit-compacted
-// through the ResolverCache) and flattens the book into a slot list, one
-// slot per (contract, layer). Then a single data-parallel pass over trial
-// chunks walks each trial once and, per trial, feeds every slot from the
-// contract's compacted hit columns — per-occurrence terms, annual terms,
-// OEP scratch and reinstatement premium exactly as the per-contract kernel
-// orders them, so every output is bit-identical (tests enforce).
+// A Slot is one consumer of the streamed pass — a (contract, layer), with
+// one of three gather modes:
+//   compact — hit-compacted CSR columns (data::CompactResolvedYelt): the
+//             batched regime; the pass touches 8 bytes per *hit*.
+//   dense   — the full pre-joined row column (data::ResolvedYelt): the
+//             per-contract regime (`batch_contracts = false`); the pass
+//             touches 4 bytes and branches per *occurrence*, which is the
+//             legacy per-contract kernel's access pattern and what E10's
+//             batched-vs-loop ratio measures.
+//   search  — per-occurrence binary search of the contract's ELT: the
+//             `use_resolver = false` reference path of the equivalence
+//             tests and the E2b ablation.
+// All three run through the same per-trial loop structure, so outputs are
+// bit-identical across modes, backends and scheduling (tests enforce).
 //
-// Backend behaviour:
-//   Sequential — the whole pass runs inline on the caller's thread (never
-//                touches a pool; MapReduce map tasks rely on this).
-//   Threaded   — parallel_for over trial chunks; `trial_grain` is the same
-//                chunking knob as the per-contract path.
-//   DeviceSim  — falls back to the per-contract device engine (the device
-//                kernel stages one layer at a time by design); outputs are
-//                still bit-identical, only the batching win is absent.
+// The batched path pre-resolves every contract's ELT against the YELT
+// (data::MultiResolution, hit-compacted through the ResolverCache) and
+// flattens the book into compact slots; a single data-parallel pass over
+// trial chunks then walks each trial once and feeds every slot — per-
+// occurrence terms, annual terms, OEP scratch and reinstatement premium
+// exactly as the per-contract lowering orders them.
 //
 // The runner additionally groups *multiple* analyses by YELT identity:
 // books added over the same table are served by the same streamed pass,
@@ -38,6 +41,7 @@
 
 #include "core/aggregate_engine.hpp"
 #include "core/secondary.hpp"
+#include "data/elt.hpp"
 #include "data/yelt.hpp"
 #include "finance/contract.hpp"
 #include "parallel/parallel_for.hpp"
@@ -46,6 +50,13 @@ namespace riskan::core::batch {
 
 /// Sentinel in a mask's adjusted-seq column: the occurrence is excluded.
 inline constexpr std::uint32_t kMaskedOut = ~std::uint32_t{0};
+
+/// How a slot reaches its ELT rows (see the file header).
+enum class Gather : std::uint8_t {
+  Compact,  ///< hit-compacted CSR columns (batched regime)
+  Dense,    ///< full pre-joined row column (per-contract regime)
+  Search,   ///< per-occurrence binary search (use_resolver=false reference)
+};
 
 /// One consumer of the streamed pass: a (contract, layer) with its gather
 /// inputs, optional per-slot transforms, financial terms and output sinks.
@@ -69,10 +80,22 @@ inline constexpr std::uint32_t kMaskedOut = ~std::uint32_t{0};
 ///                           every trial (post-event conditioning; the value
 ///                           arrives pre-scaled by intensity and loss_scale).
 struct Slot {
-  // Gather inputs — shared by every slot of a gather group.
+  // Gather inputs — shared by every slot of a gather group. `gather`
+  // selects the mode; the mode's columns must be set (they may be null
+  // only when the YELT/hit span is empty). `elt` is always required (the
+  // DeviceSim executor sizes constant-memory residency from it; search
+  // mode probes it).
+  Gather gather = Gather::Compact;
   const std::uint64_t* hit_offsets = nullptr;  // compact CSR index, by trial
   const std::uint32_t* seqs = nullptr;         // in-trial occurrence sequence
   const std::uint32_t* rows = nullptr;         // ELT rows, parallel to seqs
+  /// Dense mode: full row column aligned with yelt.events()
+  /// (data::ResolvedYelt::rows); entries are ELT rows or kNoLoss.
+  const std::uint32_t* dense_rows = nullptr;
+  /// Search mode: the YELT event column; each occurrence binary-searches
+  /// `elt` in-kernel (the legacy `use_resolver = false` reference path).
+  const EventId* search_events = nullptr;
+  const data::EventLossTable* elt = nullptr;
   const Money* means = nullptr;
   const SecondarySampler* sampler = nullptr;  // null = use ELT means
   ContractId contract_id = 0;
@@ -114,23 +137,19 @@ std::vector<Group> group_slots(std::span<const Slot> slots);
 /// mean) and every slot of the group applies its own transforms and terms;
 /// a masked slot whose adjusted sequence differs re-samples under the
 /// filtered-table stream key. Accumulation order per output slot matches
-/// the per-contract engine (annual sums in occurrence order; shared
+/// the per-contract lowering (annual sums in occurrence order; shared
 /// accumulators in slot order), which is what keeps inert-transform slots
-/// bit-identical to run_aggregate_analysis. State is indexed by trial (or
-/// the trial's occurrence range), so disjoint chunks never race.
+/// bit-identical across lowerings. State is indexed by trial (or the
+/// trial's occurrence range), so disjoint chunks never race.
 /// `annual_scratch` needs one entry per slot of the largest group.
-void process_trials(std::span<const Slot> slots, std::span<const Group> groups,
-                    std::span<const std::uint64_t> yelt_offsets, const Philox4x32& philox,
-                    bool secondary, TrialId trial_base, TrialId lo, TrialId hi,
-                    std::span<Money> annual_scratch);
-
-/// The whole streamed pass for a finished slot list: groups the slots,
-/// sizes the per-chunk scratch, and runs process_trials over [0, trials)
-/// data-parallel under `cfg`. The one launch path both the batched engine
-/// and the scenario sweep use, so chunking/scratch changes happen once.
-void run_pass(std::span<const Slot> slots, std::span<const std::uint64_t> yelt_offsets,
-              const Philox4x32& philox, bool secondary, TrialId trial_base,
-              TrialId trials, ParallelConfig cfg);
+///
+/// Returns the number of occurrences that resolved to an ELT row in dense
+/// and search slots (the legacy lookup telemetry; compact slots report
+/// hits via their resolution instead and contribute 0 here).
+std::uint64_t process_trials(std::span<const Slot> slots, std::span<const Group> groups,
+                             std::span<const std::uint64_t> yelt_offsets,
+                             const Philox4x32& philox, bool secondary, TrialId trial_base,
+                             TrialId lo, TrialId hi, std::span<Money> annual_scratch);
 
 /// Per-trial OEP finalisation: oep[t] = max over the trial's occurrence
 /// accumulator range, seeded by the conditioned per-trial slot when

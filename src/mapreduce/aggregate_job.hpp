@@ -2,12 +2,12 @@
 // the paper's alternative stage-2 architecture (experiment E6).
 //
 // The YELT is split into trial-range blocks stored in the DFS; each map
-// task deserialises its block and runs the same aggregate-analysis kernel
-// the in-memory engine uses over the whole contract group (sequential
-// backend, portfolio-batched by default so the slice is streamed once for
-// every contract, trial_base = the block's first global trial so
-// secondary-uncertainty streams line up), and emits (trial, portfolio
-// loss). The reduce is a per-trial sum — trivially
+// task deserialises its block and lowers the whole contract group through
+// the same execution plan onto the same trial kernel the in-memory engine
+// uses (sequential executor — pool-free by contract, portfolio-batched by
+// default so the slice is streamed once for every contract, trial_base =
+// the block's first global trial so secondary-uncertainty streams line
+// up), and emits (trial, portfolio loss). The reduce is a per-trial sum — trivially
 // combiner-friendly, which is why this workload MapReduces well. The
 // output YLT is bit-identical to the in-memory engine's (integration tests
 // enforce this).

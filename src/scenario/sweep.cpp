@@ -4,6 +4,7 @@
 #include <limits>
 #include <string>
 
+#include "core/exec.hpp"
 #include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
@@ -28,6 +29,7 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
                                        const data::YearEventLossTable& yelt,
                                        std::span<const ScenarioSpec> specs,
                                        const core::EngineConfig& config) {
+  core::validate_engine_config(config);
   RISKAN_REQUIRE(!portfolio.empty(), "scenario sweep needs a non-empty base book");
   RISKAN_REQUIRE(yelt.trials() > 0, "scenario sweep needs a YELT with trials");
   Stopwatch watch;
@@ -42,7 +44,7 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
   }
 
   // Sequential stays off the pool (single-thread contract, shared with
-  // MapReduce map tasks); DeviceSim falls back to the shared CPU pass.
+  // MapReduce map tasks); the executor layer owns the backend dispatch.
   const bool sequential = config.backend == core::Backend::Sequential;
   const ParallelConfig par_cfg =
       sequential ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
@@ -99,6 +101,7 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
     slot.hit_offsets = entry.compact->trial_offsets().data();
     slot.seqs = entry.compact->seqs().data();
     slot.rows = entry.compact->rows().data();
+    slot.elt = &contract.elt();
     slot.means = contract.elt().mean_loss().data();
     slot.sampler = config.secondary_uncertainty ? &samplers[bp.contract] : nullptr;
     slot.contract_id = contract.id();
@@ -121,11 +124,14 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
     slots.push_back(slot);
   }
 
-  // The one streamed pass serving every scenario.
+  // The one streamed pass serving every scenario, dispatched on the
+  // configured executor (DeviceSim sweeps run in simulated device blocks
+  // like any other plan — no CPU fallback).
   const Philox4x32 philox(config.seed);
   const auto yelt_offsets = yelt.offsets();
-  core::batch::run_pass(slots, yelt_offsets, philox, config.secondary_uncertainty,
-                        config.trial_base, trials, par_cfg);
+  const core::exec::ExecutionPlan exec_plan =
+      core::exec::ExecutionPlan::lower(slots, yelt_offsets, trials, config);
+  (void)core::exec::make_executor(config)->execute(exec_plan, philox);
 
   // OEP finalisation and telemetry, per scenario.
   for (std::size_t s = 0; s < all.size(); ++s) {

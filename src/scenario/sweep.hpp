@@ -18,11 +18,14 @@
 //     in-kernel with filtered-table sequence keys, not by rebuilding
 //     tables.
 //
-// Backend behaviour matches the batched engine: Sequential runs the whole
-// sweep inline off the pool; Threaded parallelises over trial chunks with
-// the same trial_grain knob; DeviceSim falls back to the shared CPU pass
-// (the device kernel stages one layer at a time by design) — outputs are
-// backend-invariant either way, so the fallback changes wall-clock only.
+// Backend behaviour matches the batched engine: the sweep's slot list is
+// lowered through core::exec::ExecutionPlan and dispatched on the
+// configured executor — Sequential runs the whole sweep inline off the
+// pool; Threaded parallelises over trial chunks with the same trial_grain
+// knob; DeviceSim runs the sweep in simulated device blocks with
+// plan-decided constant-memory residency. Outputs are backend-invariant
+// (the engine's determinism contract), so the backend changes wall-clock
+// and telemetry only.
 #pragma once
 
 #include <span>

@@ -6,7 +6,6 @@
 #include <cmath>
 
 #include "core/aggregate_engine.hpp"
-#include "core/device_engine.hpp"
 #include "core/secondary.hpp"
 #include "util/require.hpp"
 

@@ -1,10 +1,12 @@
-// Device-engine telemetry: the counters and the performance model that
-// E2/E4 report. These tests pin the metering semantics so the modeled
-// numbers in EXPERIMENTS.md stay auditable.
+// DeviceSim executor telemetry: the counters and the performance model
+// that E2/E4 report. These tests pin the metering semantics of the
+// plan/executor layer (core::exec) so the modeled numbers in
+// EXPERIMENTS.md stay auditable: constant-memory residency is decided by
+// the execution plan per gather source, one launch per residency chunk,
+// and shared-memory staging is greedy per block.
 #include <gtest/gtest.h>
 
 #include "core/aggregate_engine.hpp"
-#include "core/device_engine.hpp"
 #include "data/yelt.hpp"
 #include "finance/contract.hpp"
 
@@ -16,9 +18,10 @@ struct World {
   data::YearEventLossTable yelt;
 };
 
-World make_world(TrialId trials = 400, std::size_t elt_rows = 200) {
+World make_world(TrialId trials = 400, std::size_t elt_rows = 200,
+                 std::size_t contracts = 2) {
   finance::PortfolioGenConfig pg;
-  pg.contracts = 2;
+  pg.contracts = contracts;
   pg.catalog_events = 500;
   pg.elt_rows = elt_rows;
   data::YeltGenConfig yg;
@@ -28,8 +31,10 @@ World make_world(TrialId trials = 400, std::size_t elt_rows = 200) {
 
 DeviceRunInfo run_device(const World& world, EngineConfig config, DeviceSpec spec = {}) {
   config.backend = Backend::DeviceSim;
+  config.device_spec = spec;
   DeviceRunInfo info;
-  (void)run_aggregate_device(world.portfolio, world.yelt, config, spec, &info);
+  config.device_info = &info;
+  (void)run_aggregate_analysis(world.portfolio, world.yelt, config);
   return info;
 }
 
@@ -41,8 +46,8 @@ TEST(DeviceMetering, CountersArePopulated) {
   EXPECT_GT(info.elt_chunks, 0u);
   EXPECT_GT(info.modeled_seconds, 0.0);
   EXPECT_GT(info.host_seconds, 0.0);
-  EXPECT_GT(info.counters.const_read_bytes, 0u);   // ELT probes
-  EXPECT_GT(info.counters.global_read_bytes, 0u);  // YELT staging + scratch
+  EXPECT_GT(info.counters.const_read_bytes, 0u);   // resident ELT gathers
+  EXPECT_GT(info.counters.global_read_bytes, 0u);  // column staging + scratch
   EXPECT_GT(info.counters.flops, 0u);              // beta sampling
 }
 
@@ -57,48 +62,109 @@ TEST(DeviceMetering, SecondaryOffDropsFlops) {
   EXPECT_GT(info_on.counters.flops, 2 * info_off.counters.flops);
 }
 
-TEST(DeviceMetering, SmallerEltChunksMeanMoreLaunchesAndConstTraffic) {
-  // Legacy lookup path: every occurrence binary-searches every chunk, so
-  // finer chunking strictly inflates constant-memory probe traffic.
+TEST(DeviceMetering, ResidencyCapShiftsGatherTrafficToGlobal) {
+  // The plan stages up to device_elt_chunk_rows of each ELT into constant
+  // memory; capping residency moves the per-gather row reads from the
+  // constant segment to global memory.
   const auto world = make_world(300, 400);
-  EngineConfig coarse;
-  coarse.use_resolver = false;
-  coarse.device_elt_chunk_rows = 0;  // fit
-  EngineConfig fine;
-  fine.use_resolver = false;
-  fine.device_elt_chunk_rows = 32;
-  const auto a = run_device(world, coarse);
-  const auto b = run_device(world, fine);
-  EXPECT_GT(b.launches, a.launches);
-  EXPECT_GT(b.elt_chunks, a.elt_chunks);
-  EXPECT_GT(b.counters.const_read_bytes, a.counters.const_read_bytes);
-  EXPECT_GT(b.modeled_seconds, a.modeled_seconds);
+  EngineConfig fit;
+  fit.device_elt_chunk_rows = 0;  // stage as much as the segment fits
+  EngineConfig capped;
+  capped.device_elt_chunk_rows = 32;
+  const auto a = run_device(world, fit);
+  const auto b = run_device(world, capped);
+  EXPECT_GT(a.counters.const_read_bytes, b.counters.const_read_bytes);
+  EXPECT_GT(b.counters.global_read_bytes, a.counters.global_read_bytes);
 }
 
-TEST(DeviceMetering, ResolverMakesConstTrafficChunkingInvariant) {
-  // Resolved path: an occurrence touches constant memory only in the one
-  // chunk that owns its row, so const traffic no longer scales with chunk
-  // count — only the per-launch re-scan of the row column (global/shared
-  // traffic) does.
+TEST(DeviceMetering, SearchPathProbesCostMoreConstTrafficThanResolvedGathers) {
+  // The use_resolver=false reference path binary-searches the resident
+  // table per occurrence (log2(rows) probes); the resolved path reads one
+  // packed row per hit. Same staging either way, so the probe traffic is
+  // the difference.
   const auto world = make_world(300, 400);
-  EngineConfig coarse;
-  coarse.device_elt_chunk_rows = 0;  // fit
-  EngineConfig fine;
-  fine.device_elt_chunk_rows = 32;
-  const auto a = run_device(world, coarse);
-  const auto b = run_device(world, fine);
-  EXPECT_GT(b.launches, a.launches);
-  EXPECT_EQ(b.counters.const_read_bytes, a.counters.const_read_bytes);
-  const auto occurrence_traffic = [](const DeviceRunInfo& info) {
-    return info.counters.shared_read_bytes + info.counters.global_read_bytes;
-  };
-  EXPECT_GT(occurrence_traffic(b), occurrence_traffic(a));
-  EXPECT_GT(b.modeled_seconds, a.modeled_seconds);
+  EngineConfig resolved;
+  resolved.use_resolver = true;
+  EngineConfig search;
+  search.use_resolver = false;
+  const auto a = run_device(world, resolved);
+  const auto b = run_device(world, search);
+  EXPECT_GT(b.counters.const_read_bytes, a.counters.const_read_bytes);
+}
+
+TEST(DeviceMetering, BatchedBookSharesLaunchesAcrossContracts) {
+  // Per-contract lowering launches per (contract, layer); the batched plan
+  // packs every contract's table into shared residency chunks — with small
+  // tables, the whole book rides one launch. This is the constraint the
+  // executor refactor lifted (the legacy device kernel staged one layer's
+  // ELT at a time).
+  const auto world = make_world(400, 200, /*contracts=*/4);
+  EngineConfig loop;
+  loop.batch_contracts = false;
+  EngineConfig batched;
+  batched.batch_contracts = true;
+  const auto a = run_device(world, loop);
+  const auto b = run_device(world, batched);
+  EXPECT_EQ(a.launches, 4);  // one per (contract, layer)
+  EXPECT_EQ(b.launches, 1);  // 4 x 200-row tables fit one constant segment
+  EXPECT_LT(b.modeled_seconds, a.modeled_seconds);
+}
+
+TEST(DeviceMetering, ConstantPressureSplitsBatchedPlanIntoMoreLaunches) {
+  // Eight 500-row tables (~28 KiB packed each) cannot all share the 64 KiB
+  // constant segment at full residency: the plan closes residency chunks
+  // (more launches). Capping per-source residency packs them together.
+  const auto world = make_world(200, 500, /*contracts=*/8);
+  EngineConfig full;
+  full.batch_contracts = true;
+  full.device_elt_chunk_rows = 0;
+  EngineConfig capped;
+  capped.batch_contracts = true;
+  capped.device_elt_chunk_rows = 64;
+  const auto a = run_device(world, full);
+  const auto b = run_device(world, capped);
+  EXPECT_GT(a.launches, b.launches);
+  EXPECT_EQ(b.launches, 1);
+  EXPECT_GT(a.counters.const_read_bytes, b.counters.const_read_bytes);
+}
+
+TEST(DeviceMetering, TightConstantPackingRespectsUploadAlignment) {
+  // Eleven tables whose exact byte sum fits the planner's budget but whose
+  // per-upload 16-byte alignment pads would overflow the segment if the
+  // plan charged raw sizes: the residency planner must charge aligned
+  // sizes so every planned chunk actually uploads.
+  finance::Layer layer;
+  layer.id = 1;
+  layer.terms = finance::LayerTerms::typical();
+  finance::Portfolio portfolio;
+  for (ContractId c = 0; c < 11; ++c) {
+    std::vector<data::EltRow> rows;
+    const EventId rows_n = c == 10 ? 99 : 107;
+    for (EventId e = 0; e < rows_n; ++e) {
+      rows.push_back({static_cast<EventId>(c * 120 + e), 1e6 + e, 2e5, 4e6});
+    }
+    portfolio.add(
+        finance::Contract(c, data::EventLossTable::from_rows(rows), {layer}));
+  }
+  data::YeltGenConfig yg;
+  yg.trials = 200;
+  const auto yelt = data::generate_yelt(500, yg);
+
+  EngineConfig config;
+  config.backend = Backend::Sequential;
+  config.batch_contracts = true;
+  const auto reference = run_aggregate_analysis(portfolio, yelt, config);
+  config.backend = Backend::DeviceSim;
+  const auto device = run_aggregate_analysis(portfolio, yelt, config);
+  for (TrialId t = 0; t < yelt.trials(); ++t) {
+    ASSERT_EQ(reference.portfolio_ylt[t], device.portfolio_ylt[t]) << t;
+  }
 }
 
 TEST(DeviceMetering, TinyBlocksStageButHugeBlocksSpill) {
   // 5k trials x ~10 occurrences: a 4096-trial block carries ~160 KiB of
-  // event ids — over the 48 KiB shared arena — while 8-trial blocks fit.
+  // row-column slice — over the 48 KiB shared arena — while 8-trial blocks
+  // fit.
   const auto world = make_world(5'000);
   EngineConfig small;
   small.device_block_dim = 8;

@@ -54,8 +54,7 @@ TEST(EdgeCases, EngineWithAllEmptyTrials) {
   const auto yelt = builder.finish();
   EXPECT_EQ(yelt.entries(), 0u);
 
-  for (const auto backend :
-       {core::Backend::Sequential, core::Backend::Threaded, core::Backend::DeviceSim}) {
+  for (const auto backend : core::kAllBackends) {
     core::EngineConfig config;
     config.backend = backend;
     const auto result = core::run_aggregate_analysis(portfolio, yelt, config);

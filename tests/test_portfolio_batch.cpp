@@ -64,9 +64,9 @@ TEST(PortfolioBatch, BitIdenticalAcrossBackendsGrainsAndSecondary) {
   const auto yelt = lens(1'500);
 
   for (const bool secondary : {false, true}) {
-    for (const Backend backend : {Backend::Sequential, Backend::Threaded}) {
+    for (const Backend backend : kAllBackends) {
       for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
-        if (backend == Backend::Sequential && grain != 0) {
+        if (backend != Backend::Threaded && grain != 0) {
           continue;  // grain only affects the threaded backend
         }
         EngineConfig config;
@@ -90,7 +90,10 @@ TEST(PortfolioBatch, BitIdenticalAcrossBackendsGrainsAndSecondary) {
   }
 }
 
-TEST(PortfolioBatch, DeviceSimFallbackMatchesPerContract) {
+TEST(PortfolioBatch, DeviceSimBatchedMatchesPerContract) {
+  // Since the executor refactor the batched plan runs natively on the
+  // simulated device (no per-contract fallback): one launch sequence
+  // serves every contract, bit-identically, through both entry points.
   const auto portfolio = book(/*contracts=*/4, /*layers=*/2);
   const auto yelt = lens(800);
 
@@ -105,13 +108,34 @@ TEST(PortfolioBatch, DeviceSimFallbackMatchesPerContract) {
   const auto via_runner = run_portfolio_batch(portfolio, yelt, config);
   expect_identical(per_contract, via_engine, "device-sim via engine");
   expect_identical(per_contract, via_runner, "device-sim via runner");
+  EXPECT_EQ(via_engine.elt_lookups, per_contract.elt_lookups);
+}
+
+TEST(PortfolioBatch, DeviceSimBlockDimSweepIsBitIdentical) {
+  // The block partition is pure scheduling: 32/128/512-trial blocks (and
+  // the host reference) must agree to the bit on the batched plan.
+  const auto portfolio = book(/*contracts=*/5, /*layers=*/2);
+  const auto yelt = lens(1'100);
+
+  EngineConfig config;
+  config.backend = Backend::Sequential;
+  config.batch_contracts = true;
+  const auto reference = run_portfolio_batch(portfolio, yelt, config);
+
+  config.backend = Backend::DeviceSim;
+  for (const int block_dim : {32, 128, 512}) {
+    config.device_block_dim = block_dim;
+    const auto device = run_portfolio_batch(portfolio, yelt, config);
+    expect_identical(reference, device,
+                     "device block dim " + std::to_string(block_dim));
+  }
 }
 
 TEST(PortfolioBatch, DegenerateSingleContractBatch) {
   const auto portfolio = book(/*contracts=*/1, /*layers=*/2);
   const auto yelt = lens(1'000);
 
-  for (const Backend backend : {Backend::Sequential, Backend::Threaded}) {
+  for (const Backend backend : kAllBackends) {
     EngineConfig config;
     config.backend = backend;
     config.batch_contracts = false;

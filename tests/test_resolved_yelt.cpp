@@ -177,7 +177,7 @@ TEST(ResolverEquivalence, BitIdenticalAcrossBackendsGrainsAndSecondary) {
   const auto w = equivalence_workload();
 
   for (const bool secondary : {false, true}) {
-    for (const Backend backend : {Backend::Sequential, Backend::Threaded}) {
+    for (const Backend backend : kHostBackends) {
       for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
         if (backend == Backend::Sequential && grain != 0) {
           continue;  // grain only affects the threaded backend
@@ -214,7 +214,7 @@ TEST(ResolverEquivalence, DeviceSimMatchesNaiveSequential) {
 
   config.backend = Backend::DeviceSim;
   config.use_resolver = true;
-  config.device_elt_chunk_rows = 64;  // force multiple constant-memory chunks
+  config.device_elt_chunk_rows = 64;  // cap constant-memory residency per table
   const auto device = run_aggregate_analysis(w.portfolio, w.yelt, config);
 
   expect_identical(naive, device, "device-sim resolver vs naive sequential");

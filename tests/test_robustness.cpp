@@ -3,8 +3,12 @@
 // frequency model must honour its moments.
 #include <gtest/gtest.h>
 
+#include "core/aggregate_engine.hpp"
+#include "core/portfolio_batch.hpp"
 #include "data/chunked_file.hpp"
 #include "data/serialize.hpp"
+#include "finance/contract.hpp"
+#include "scenario/sweep.hpp"
 #include "util/bytes.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
@@ -146,3 +150,95 @@ TEST(ClusteredFrequency, NegativeDispersionRejected) {
 
 }  // namespace
 }  // namespace riskan::data
+
+// EngineConfig cross-field validation: every engine entry point rejects
+// nonsensical knobs up front with a ContractViolation instead of
+// misbehaving (or silently "working") downstream.
+namespace riskan::core {
+namespace {
+
+struct ValidationWorld {
+  finance::Portfolio portfolio;
+  data::YearEventLossTable yelt;
+};
+
+ValidationWorld validation_world() {
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 2;
+  pg.catalog_events = 100;
+  pg.elt_rows = 30;
+  data::YeltGenConfig yg;
+  yg.trials = 50;
+  return ValidationWorld{finance::generate_portfolio(pg), data::generate_yelt(100, yg)};
+}
+
+TEST(EngineConfigValidation, RejectsNonPositiveDeviceBlockDim) {
+  const auto w = validation_world();
+  EngineConfig config;
+  config.backend = Backend::DeviceSim;
+  config.device_block_dim = 0;
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+  config.device_block_dim = -128;
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+}
+
+TEST(EngineConfigValidation, RejectsAbsurdChunkingKnobs) {
+  const auto w = validation_world();
+  EngineConfig config;
+  config.trial_grain = std::size_t{1} << 40;
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+
+  config = EngineConfig{};
+  config.backend = Backend::DeviceSim;
+  config.device_block_dim = 1 << 24;  // 16M trials per block is a bug
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+
+  config = EngineConfig{};
+  config.device_elt_chunk_rows = std::size_t{1} << 40;
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+}
+
+TEST(EngineConfigValidation, RejectsDegenerateDeviceSpec) {
+  const auto w = validation_world();
+  EngineConfig config;
+  config.backend = Backend::DeviceSim;
+  config.device_spec.const_mem_bytes = 0;
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+  config = EngineConfig{};
+  config.backend = Backend::DeviceSim;
+  config.device_spec.shared_mem_per_block = 0;
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+  // The same spec is legal on host backends (the device model is unused).
+  config.backend = Backend::Threaded;
+  EXPECT_NO_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config));
+}
+
+TEST(EngineConfigValidation, EveryEntryPointValidates) {
+  const auto w = validation_world();
+  EngineConfig config;
+  config.device_block_dim = 0;  // invalid regardless of backend
+
+  EXPECT_THROW((void)run_aggregate_analysis(w.portfolio, w.yelt, config),
+               ContractViolation);
+  EXPECT_THROW(PortfolioBatchRunner{config}, ContractViolation);
+  EXPECT_THROW((void)run_portfolio_batch(w.portfolio, w.yelt, config),
+               ContractViolation);
+  const std::vector<scenario::ScenarioSpec> specs;
+  EXPECT_THROW((void)scenario::run_scenario_sweep(
+                   w.portfolio, w.yelt,
+                   std::span<const scenario::ScenarioSpec>(specs), config),
+               ContractViolation);
+  EXPECT_THROW((void)run_layer(w.portfolio.contract(0),
+                               w.portfolio.contract(0).layers()[0], w.yelt, config),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan::core

@@ -90,8 +90,7 @@ TEST(ScenarioSweep, IdentityBitIdenticalAcrossBackendsGrainsAndSecondary) {
   specs[2].excluded_events = busy_events();
 
   for (const bool secondary : {false, true}) {
-    for (const core::Backend backend :
-         {core::Backend::Sequential, core::Backend::Threaded, core::Backend::DeviceSim}) {
+    for (const core::Backend backend : core::kAllBackends) {
       for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
         if (backend != core::Backend::Threaded && grain != 0) {
           continue;  // grain only affects the threaded pass
@@ -109,14 +108,11 @@ TEST(ScenarioSweep, IdentityBitIdenticalAcrossBackendsGrainsAndSecondary) {
                                  "/grain=" + std::to_string(grain);
         expect_identical(reference, sweep.base, what + " base");
         expect_identical(reference, sweep.scenarios[0], what + " identity");
-        if (backend != core::Backend::DeviceSim) {
-          // The DeviceSim reference goes through the per-contract device
-          // fallback, whose lookup telemetry counts staged hits, not
-          // resolver hits; values above are still bit-identical.
-          EXPECT_EQ(reference.elt_lookups, sweep.base.elt_lookups) << what;
-          EXPECT_EQ(reference.occurrences_processed, sweep.base.occurrences_processed)
-              << what;
-        }
+        // Every backend now lowers through the same plan, so the lookup
+        // telemetry agrees too (DeviceSim included — no fallback).
+        EXPECT_EQ(reference.elt_lookups, sweep.base.elt_lookups) << what;
+        EXPECT_EQ(reference.occurrences_processed, sweep.base.occurrences_processed)
+            << what;
         // The perturbed scenarios really are perturbed.
         EXPECT_NE(sweep.scenarios[1].portfolio_ylt.total(),
                   reference.portfolio_ylt.total())
@@ -138,8 +134,7 @@ TEST(ScenarioSweep, MaskBitIdenticalToFilteredYeltAcrossBackendsGrainsAndSeconda
   specs[0].excluded_events = excluded;
 
   for (const bool secondary : {false, true}) {
-    for (const core::Backend backend :
-         {core::Backend::Sequential, core::Backend::Threaded, core::Backend::DeviceSim}) {
+    for (const core::Backend backend : core::kAllBackends) {
       for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
         if (backend != core::Backend::Threaded && grain != 0) {
           continue;
@@ -157,6 +152,36 @@ TEST(ScenarioSweep, MaskBitIdenticalToFilteredYeltAcrossBackendsGrainsAndSeconda
                              (secondary ? "/secondary" : "/means") +
                              "/grain=" + std::to_string(grain) + " mask");
       }
+    }
+  }
+}
+
+TEST(ScenarioSweep, DeviceSimBlockDimSweepIsBitIdentical) {
+  // The sweep runs natively in simulated device blocks; the block
+  // partition (32/128/512 trials per block) is pure scheduling and must
+  // not move a bit of any scenario's outputs vs the host pass.
+  const auto portfolio = book(/*contracts=*/3, /*layers=*/2);
+  const auto yelt = lens(900);
+
+  std::vector<ScenarioSpec> specs(2);
+  specs[0].name = "surge";
+  specs[0].loss_scale = 1.3;
+  specs[1].name = "exclusion";
+  specs[1].excluded_events = busy_events();
+
+  core::EngineConfig config;
+  config.backend = core::Backend::Sequential;
+  const auto reference = run_scenario_sweep(portfolio, yelt, specs, config);
+
+  config.backend = core::Backend::DeviceSim;
+  for (const int block_dim : {32, 128, 512}) {
+    config.device_block_dim = block_dim;
+    const auto device = run_scenario_sweep(portfolio, yelt, specs, config);
+    const std::string what = "sweep block dim " + std::to_string(block_dim);
+    expect_identical(reference.base, device.base, what + " base");
+    for (std::size_t s = 0; s < reference.scenarios.size(); ++s) {
+      expect_identical(reference.scenarios[s], device.scenarios[s],
+                       what + " scenario " + std::to_string(s));
     }
   }
 }
