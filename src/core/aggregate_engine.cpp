@@ -6,6 +6,7 @@
 #include "core/exec.hpp"
 #include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
+#include "data/trial_source.hpp"
 #include "finance/terms.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
@@ -47,15 +48,59 @@ void validate_engine_config(const EngineConfig& config) {
   }
 }
 
+data::ResolverCache& resolver_cache_for(const EngineConfig& config,
+                                        const data::TrialSource& source,
+                                        data::ResolverCache& local) {
+  // Ephemeral blocks die with the pass, so caching their resolutions
+  // anywhere durable — the caller's cache included — only parks dead keys
+  // and evicts genuinely warm entries; the run-local cache (cleared per
+  // block) wins unconditionally there.
+  if (source.ephemeral_blocks()) {
+    return local;
+  }
+  return config.resolver_cache != nullptr ? *config.resolver_cache
+                                          : data::ResolverCache::shared();
+}
+
+void for_each_trial_block(data::TrialSource& source, const EngineConfig& config,
+                          data::ResolverCache& run_local_cache,
+                          const std::function<void(const data::TrialBlock&, TrialId)>& body) {
+  const TrialId trials = source.trials();
+  data::TrialBlock block;
+  TrialId seen = 0;
+  while (source.next(block)) {
+    const TrialId block_trials = block.yelt->trials();
+    RISKAN_ENSURE(block.trial_offset == seen && seen + block_trials <= trials,
+                  "trial source delivered blocks out of order or past its trial count");
+    body(block, config.trial_base + block.trial_offset);
+    seen += block_trials;
+    // Ephemeral blocks resolve through the run-local cache (see
+    // resolver_cache_for); dropping those resolutions with the block keeps
+    // memory bounded and pointer-keyed entries from outliving their table.
+    if (source.ephemeral_blocks()) {
+      run_local_cache.clear();
+    }
+  }
+  RISKAN_ENSURE(seen == trials, "trial source delivered fewer trials than declared");
+}
+
 EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
                                     const data::YearEventLossTable& yelt,
                                     const EngineConfig& config) {
+  data::InMemorySource source(yelt);
+  return run_aggregate_analysis(portfolio, source, config);
+}
+
+EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
+                                    data::TrialSource& source,
+                                    const EngineConfig& config) {
   validate_engine_config(config);
   RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
-  RISKAN_REQUIRE(yelt.trials() > 0, "YELT must contain trials");
+  const TrialId trials = source.trials();
+  RISKAN_REQUIRE(trials > 0, "trial source must contain trials");
 
   if (config.batch_contracts) {
-    return run_portfolio_batch(portfolio, yelt, config);
+    return run_portfolio_batch(portfolio, source, config);
   }
 
   // The per-contract lowering: one 1-slot execution plan per (contract,
@@ -64,9 +109,12 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
   // loop nest, now expressed as plans over the one batch kernel. With the
   // resolver on each slot gathers through the contract's dense pre-joined
   // row column; off, it binary-searches the ELT per occurrence (the
-  // reference plan flag).
+  // reference plan flag). Plans are lowered against the first trial block
+  // and re-bound to each subsequent one (an in-memory run is the one-block
+  // special case); per-trial accumulators are sliced by block, and the
+  // block's trial offset rides the sampling stream base, so a streamed run
+  // is bit-identical to the monolithic one.
   Stopwatch watch;
-  const TrialId trials = yelt.trials();
 
   EngineResult result;
   result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
@@ -78,82 +126,114 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
           trials, "contract-" + std::to_string(contract.id()));
     }
   }
-
-  std::vector<Money> occurrence_accum;
   if (config.compute_oep) {
-    occurrence_accum.assign(yelt.entries(), 0.0);
+    result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
+  }
+
+  // Samplers are pure functions of each contract's ELT — block-invariant,
+  // so they are built once per run.
+  std::vector<SecondarySampler> samplers;
+  if (config.secondary_uncertainty) {
+    samplers.reserve(portfolio.size());
+    for (const auto& contract : portfolio.contracts()) {
+      samplers.emplace_back(contract.elt());
+    }
   }
 
   const Philox4x32 philox(config.seed);
   std::uint64_t lookups = 0;
-  data::ResolverCache& cache =
-      config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
+  data::ResolverCache local_cache;
+  data::ResolverCache& cache = resolver_cache_for(config, source, local_cache);
   const auto executor = exec::make_executor(config);
-  const auto yelt_offsets = yelt.offsets();
-  const auto events = yelt.events();
 
-  for (std::size_t c = 0; c < portfolio.size(); ++c) {
-    const auto& contract = portfolio.contract(c);
-    std::optional<SecondarySampler> sampler;
-    if (config.secondary_uncertainty) {
-      sampler.emplace(contract.elt());
+  const std::uint64_t layer_count = portfolio.layer_count();
+  std::vector<batch::Slot> slot_storage(layer_count);
+  std::vector<exec::ExecutionPlan> plans(layer_count);
+  bool lowered = false;
+
+  std::vector<Money> occurrence_accum;
+  for_each_trial_block(source, config, local_cache,
+                       [&](const data::TrialBlock& block, TrialId base) {
+    const data::YearEventLossTable& yelt = *block.yelt;
+    const TrialId block_trials = yelt.trials();
+    const auto yelt_offsets = yelt.offsets();
+    const auto events = yelt.events();
+    if (config.compute_oep) {
+      occurrence_accum.assign(yelt.entries(), 0.0);
     }
 
-    // One pre-join per contract, shared by all of its layers (and, via the
-    // cache, by subsequent runs over the same tables). The Sequential
-    // backend builds inline — it must stay off the pool, both for its
-    // single-thread contract and because MapReduce map tasks run it from
-    // pool workers (submitting and blocking there can deadlock).
-    std::shared_ptr<const data::ResolvedYelt> resolved;
-    if (config.use_resolver) {
-      Stopwatch resolve_watch;
-      const ParallelConfig resolve_cfg =
-          config.backend == Backend::Sequential
-              ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
-              : ParallelConfig{config.pool, 0};
-      resolved = cache.get_or_build(contract.elt(), yelt, resolve_cfg);
-      result.resolve_seconds += resolve_watch.seconds();
-    }
+    std::size_t p = 0;
+    for (std::size_t c = 0; c < portfolio.size(); ++c) {
+      const auto& contract = portfolio.contract(c);
 
-    for (const auto& layer : contract.layers()) {
-      batch::Slot slot;
-      slot.elt = &contract.elt();
-      if (resolved) {
-        slot.gather = batch::Gather::Dense;
-        slot.dense_rows = resolved->rows().data();
-      } else {
-        slot.gather = batch::Gather::Search;
-        slot.search_events = events.data();
+      // One pre-join per contract per block, shared by all of its layers
+      // (and, via the cache, by subsequent runs over the same tables). The
+      // Sequential backend builds inline — it must stay off the pool, both
+      // for its single-thread contract and because MapReduce map tasks run
+      // it from pool workers (submitting and blocking there can deadlock).
+      std::shared_ptr<const data::ResolvedYelt> resolved;
+      if (config.use_resolver) {
+        Stopwatch resolve_watch;
+        const ParallelConfig resolve_cfg =
+            config.backend == Backend::Sequential
+                ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
+                : ParallelConfig{config.pool, 0};
+        resolved = cache.get_or_build(contract.elt(), yelt, resolve_cfg);
+        result.resolve_seconds += resolve_watch.seconds();
       }
-      slot.means = contract.elt().mean_loss().data();
-      slot.sampler = sampler ? &*sampler : nullptr;
-      slot.terms = layer.terms;
-      slot.reinstatements = layer.reinstatements;
-      slot.upfront_premium = layer.upfront_premium;
-      slot.contract_id = contract.id();
-      slot.layer_id = layer.id;
-      slot.contract_losses = config.keep_contract_ylts
-                                 ? result.contract_ylts[c].mutable_losses()
-                                 : std::span<Money>{};
-      slot.portfolio_losses = result.portfolio_ylt.mutable_losses();
-      slot.reinstatement_prem = result.reinstatement_premium.mutable_losses();
-      slot.occurrence_accum = config.compute_oep ? occurrence_accum.data() : nullptr;
 
-      const exec::ExecutionPlan plan =
-          exec::ExecutionPlan::lower({&slot, 1}, yelt_offsets, trials, config);
-      lookups += executor->execute(plan, philox);
+      for (const auto& layer : contract.layers()) {
+        batch::Slot& slot = slot_storage[p];
+        slot = batch::Slot{};
+        slot.elt = &contract.elt();
+        if (resolved) {
+          slot.gather = batch::Gather::Dense;
+          slot.dense_rows = resolved->rows().data();
+        } else {
+          slot.gather = batch::Gather::Search;
+          slot.search_events = events.data();
+        }
+        slot.means = contract.elt().mean_loss().data();
+        slot.sampler = config.secondary_uncertainty ? &samplers[c] : nullptr;
+        slot.terms = layer.terms;
+        slot.reinstatements = layer.reinstatements;
+        slot.upfront_premium = layer.upfront_premium;
+        slot.contract_id = contract.id();
+        slot.layer_id = layer.id;
+        slot.contract_losses =
+            config.keep_contract_ylts
+                ? result.contract_ylts[c].mutable_losses().subspan(block.trial_offset,
+                                                                   block_trials)
+                : std::span<Money>{};
+        slot.portfolio_losses =
+            result.portfolio_ylt.mutable_losses().subspan(block.trial_offset, block_trials);
+        slot.reinstatement_prem = result.reinstatement_premium.mutable_losses().subspan(
+            block.trial_offset, block_trials);
+        slot.occurrence_accum = config.compute_oep ? occurrence_accum.data() : nullptr;
+
+        if (!lowered) {
+          EngineConfig lower_config = config;
+          lower_config.trial_base = base;
+          plans[p] = exec::ExecutionPlan::lower({&slot, 1}, yelt_offsets, block_trials,
+                                                lower_config);
+        } else {
+          plans[p].rebind({&slot, 1}, yelt_offsets, block_trials, base);
+        }
+        lookups += executor->execute(plans[p], philox);
+        ++p;
+      }
     }
-  }
+    lowered = true;
 
-  if (config.compute_oep) {
-    result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
-    batch::finalize_oep(result.portfolio_occurrence_ylt.mutable_losses(), occurrence_accum,
-                        yelt_offsets, {});
-  }
+    if (config.compute_oep) {
+      batch::finalize_oep(result.portfolio_occurrence_ylt.mutable_losses().subspan(
+                              block.trial_offset, block_trials),
+                          occurrence_accum, yelt_offsets, {});
+    }
+    result.occurrences_processed += yelt.entries() * layer_count;
+  });
 
   result.seconds = watch.seconds();
-  result.occurrences_processed =
-      yelt.entries() * static_cast<std::uint64_t>(portfolio.layer_count());
   result.elt_lookups = lookups;
   // Accumulated under DeviceSim only, mirroring the executor's counter
   // accumulation so host/modeled scopes stay matched across runs.

@@ -43,6 +43,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -52,6 +53,11 @@
 #include "finance/contract.hpp"
 #include "parallel/device.hpp"
 #include "parallel/thread_pool.hpp"
+
+namespace riskan::data {
+class TrialSource;  // data/trial_source.hpp — the engine's data plane
+struct TrialBlock;
+}
 
 namespace riskan::core {
 
@@ -176,6 +182,40 @@ struct EngineResult {
 EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
                                     const data::YearEventLossTable& yelt,
                                     const EngineConfig& config = {});
+
+/// The same analysis over any data::TrialSource — the one data plane behind
+/// every entry point. The in-memory overload wraps its table in a one-block
+/// InMemorySource and calls this; an out-of-core run passes a
+/// ChunkedFileSource and streams trial blocks through the *same* execution
+/// plans (lowered once, re-bound per block, with each block's trial offset
+/// keying the sampling streams), so the outputs are bit-identical to the
+/// in-memory run across every backend, with batching, per-contract YLTs and
+/// OEP all available.
+EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
+                                    data::TrialSource& source,
+                                    const EngineConfig& config = {});
+
+/// Resolver cache for a run over `source`: always `local` when the
+/// source's blocks are transient decodes (their resolutions must not park
+/// dead keys in any durable cache, the caller's included — the block
+/// driver clears `local` between blocks); otherwise config.resolver_cache
+/// when set, else ResolverCache::shared().
+data::ResolverCache& resolver_cache_for(const EngineConfig& config,
+                                        const data::TrialSource& source,
+                                        data::ResolverCache& local);
+
+/// The one block-consumption driver every runner shares. Yields each of
+/// `source`'s blocks to `body` together with the block's effective
+/// sampling stream base (config.trial_base + block.trial_offset — the
+/// invariant that keeps streamed runs bit-identical to monolithic ones)
+/// and ENSUREs in-order delivery covering exactly source.trials().
+/// `run_local_cache` is the run's local resolver cache (the one
+/// resolver_cache_for selected for ephemeral sources): after each
+/// ephemeral block it is cleared, so transient resolutions cannot outlive
+/// the block whose pointers key them.
+void for_each_trial_block(data::TrialSource& source, const EngineConfig& config,
+                          data::ResolverCache& run_local_cache,
+                          const std::function<void(const data::TrialBlock&, TrialId)>& body);
 
 /// Single-layer convenience used by the pricer and micro-benches: returns
 /// the layer's per-trial net losses (a 1-slot execution plan).

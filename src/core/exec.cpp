@@ -19,6 +19,42 @@ bool same_source(const ExecutionPlan::Source& src, const batch::Slot& s) noexcep
          src.search_events == s.search_events;
 }
 
+/// Per-slot invariants shared by lower() and rebind(): every slot carries
+/// exactly its gather mode's columns, scenario transforms stay compact-only,
+/// and the sampling/means inputs match the secondary setting.
+void validate_slots(std::span<const batch::Slot> slots,
+                    std::span<const std::uint64_t> yelt_offsets, TrialId trials,
+                    bool secondary) {
+  const std::uint64_t entries = yelt_offsets.empty() ? 0 : yelt_offsets[trials];
+  for (const batch::Slot& s : slots) {
+    RISKAN_REQUIRE(s.elt != nullptr, "slot needs its gather ELT");
+    switch (s.gather) {
+      case batch::Gather::Compact:
+        RISKAN_REQUIRE(s.hit_offsets != nullptr, "compact slot needs its CSR index");
+        RISKAN_REQUIRE((s.seqs != nullptr && s.rows != nullptr) ||
+                           s.hit_offsets[trials] == 0,
+                       "compact slot needs seq and row columns");
+        break;
+      case batch::Gather::Dense:
+        RISKAN_REQUIRE(s.dense_rows != nullptr || entries == 0,
+                       "dense slot needs its pre-joined row column");
+        break;
+      case batch::Gather::Search:
+        RISKAN_REQUIRE(s.search_events != nullptr || entries == 0,
+                       "search slot needs the YELT event column");
+        break;
+    }
+    if (s.gather != batch::Gather::Compact) {
+      RISKAN_REQUIRE(s.mask_seq == nullptr && s.loss_scale == 1.0 &&
+                         s.conditioned_ground_up < 0.0,
+                     "dense/search slots take no scenario transforms");
+    }
+    RISKAN_REQUIRE(!secondary || s.sampler != nullptr,
+                   "secondary sampling needs a per-slot sampler");
+    RISKAN_REQUIRE(s.means != nullptr || secondary, "means-path slot needs ELT means");
+  }
+}
+
 /// Packed ELT row as uploaded to simulated constant memory: event id, mean
 /// (for secondary-off gathers) and the secondary-uncertainty parameters —
 /// the per-gather unit of constant-memory traffic.
@@ -445,34 +481,7 @@ ExecutionPlan ExecutionPlan::lower(std::span<const batch::Slot> slots,
   plan.trial_base = config.trial_base;
   plan.secondary = config.secondary_uncertainty;
 
-  const std::uint64_t entries = yelt_offsets.empty() ? 0 : yelt_offsets[trials];
-  for (const batch::Slot& s : slots) {
-    RISKAN_REQUIRE(s.elt != nullptr, "slot needs its gather ELT");
-    switch (s.gather) {
-      case batch::Gather::Compact:
-        RISKAN_REQUIRE(s.hit_offsets != nullptr, "compact slot needs its CSR index");
-        RISKAN_REQUIRE((s.seqs != nullptr && s.rows != nullptr) ||
-                           s.hit_offsets[trials] == 0,
-                       "compact slot needs seq and row columns");
-        break;
-      case batch::Gather::Dense:
-        RISKAN_REQUIRE(s.dense_rows != nullptr || entries == 0,
-                       "dense slot needs its pre-joined row column");
-        break;
-      case batch::Gather::Search:
-        RISKAN_REQUIRE(s.search_events != nullptr || entries == 0,
-                       "search slot needs the YELT event column");
-        break;
-    }
-    if (s.gather != batch::Gather::Compact) {
-      RISKAN_REQUIRE(s.mask_seq == nullptr && s.loss_scale == 1.0 &&
-                         s.conditioned_ground_up < 0.0,
-                     "dense/search slots take no scenario transforms");
-    }
-    RISKAN_REQUIRE(!plan.secondary || s.sampler != nullptr,
-                   "secondary sampling needs a per-slot sampler");
-    RISKAN_REQUIRE(s.means != nullptr || plan.secondary, "means-path slot needs ELT means");
-  }
+  validate_slots(slots, yelt_offsets, trials, plan.secondary);
 
   plan.groups = batch::group_slots(slots);
   for (const batch::Group& g : plan.groups) {
@@ -508,6 +517,43 @@ ExecutionPlan ExecutionPlan::lower(std::span<const batch::Slot> slots,
     plan_device_chunks(plan, config);
   }
   return plan;
+}
+
+void ExecutionPlan::rebind(std::span<const batch::Slot> new_slots,
+                           std::span<const std::uint64_t> new_yelt_offsets,
+                           TrialId new_trials, TrialId new_trial_base) {
+  RISKAN_REQUIRE(new_slots.size() == slots.size(),
+                 "rebind requires the lowered slot-list shape");
+  validate_slots(new_slots, new_yelt_offsets, new_trials, secondary);
+
+  const auto new_groups = batch::group_slots(new_slots);
+  RISKAN_REQUIRE(new_groups.size() == groups.size(),
+                 "rebind changed the gather-group structure");
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    RISKAN_REQUIRE(new_groups[g].begin == groups[g].begin &&
+                       new_groups[g].size == groups[g].size,
+                   "rebind changed the gather-group structure");
+    const batch::Slot& lead = new_slots[groups[g].begin];
+    Source& src = sources[group_source[g]];
+    RISKAN_REQUIRE(src.gather == lead.gather && src.elt == lead.elt,
+                   "rebind changed a gather source's mode or table");
+    src.hit_offsets = lead.hit_offsets;
+    src.seqs = lead.seqs;
+    src.rows = lead.rows;
+    src.dense_rows = lead.dense_rows;
+    src.search_events = lead.search_events;
+  }
+  // Groups sharing a source must still share columns in the new block, or
+  // the device's per-source staging would misattribute reads.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    RISKAN_REQUIRE(same_source(sources[group_source[g]], new_slots[groups[g].begin]),
+                   "rebind broke gather-source sharing across groups");
+  }
+
+  slots = new_slots;
+  yelt_offsets = new_yelt_offsets;
+  trials = new_trials;
+  trial_base = new_trial_base;
 }
 
 std::unique_ptr<Executor> make_executor(const EngineConfig& config) {

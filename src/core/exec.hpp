@@ -101,6 +101,18 @@ struct ExecutionPlan {
   static ExecutionPlan lower(std::span<const batch::Slot> slots,
                              std::span<const std::uint64_t> yelt_offsets, TrialId trials,
                              const EngineConfig& config);
+
+  /// Re-binds a lowered plan to a new trial block of the *same* request:
+  /// the slot list must keep the length, gather modes, grouping structure
+  /// and ELT tables it was lowered with — only the gather/output pointers,
+  /// the trial range and the sampling stream base change. Groups, scratch
+  /// sizing and the device residency plan are structural, so they carry
+  /// over; gather sources are re-pointed at the block's columns. This is
+  /// what makes out-of-core execution "lower once, re-bind per block"
+  /// instead of re-planning per block.
+  void rebind(std::span<const batch::Slot> new_slots,
+              std::span<const std::uint64_t> new_yelt_offsets, TrialId new_trials,
+              TrialId new_trial_base);
 };
 
 /// Where a plan runs. Executors are cheap to construct per engine run and

@@ -6,6 +6,7 @@
 #include "core/exec.hpp"
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
+#include "data/trial_source.hpp"
 #include "finance/terms.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
@@ -332,12 +333,14 @@ struct AnalysisRun {
   EngineResult result;
 };
 
-/// Runs one YELT group: a single streamed pass over `yelt` serving every
-/// slot of every analysis in the group.
-void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yelt,
+/// Runs one YELT group over a trial source: per block, a single streamed
+/// pass serves every slot of every analysis in the group. The plan is
+/// lowered on the first block and re-bound to each subsequent one; an
+/// in-memory run is the one-block special case.
+void run_group(std::span<AnalysisRun> group, data::TrialSource& source,
                const EngineConfig& config) {
   Stopwatch watch;
-  const TrialId trials = yelt.trials();
+  const TrialId trials = source.trials();
   const bool sequential = config.backend == Backend::Sequential;
   // Sequential must stay off the pool (single-thread contract; MapReduce
   // map tasks run it from pool workers, where blocking can deadlock).
@@ -345,10 +348,11 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
       sequential ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
                  : ParallelConfig{config.pool, config.trial_grain};
 
-  data::ResolverCache& cache =
-      config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
+  data::ResolverCache local_cache;
+  data::ResolverCache& cache = resolver_cache_for(config, source, local_cache);
 
-  std::vector<batch::Slot> slots;
+  // Output buffers are sized for the whole source up front; samplers are
+  // pure functions of each contract's ELT, so both are block-invariant.
   for (AnalysisRun& run : group) {
     const finance::Portfolio& portfolio = *run.portfolio;
 
@@ -363,19 +367,8 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
       }
     }
     if (config.compute_oep) {
-      run.occurrence_accum.assign(yelt.entries(), 0.0);
+      run.result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
     }
-
-    // Up-front resolution of every contract's ELT, shared through the
-    // cache, then hit-compacted for the gather kernel.
-    Stopwatch resolve_watch;
-    std::vector<const data::EventLossTable*> elts;
-    elts.reserve(portfolio.size());
-    for (const auto& contract : portfolio.contracts()) {
-      elts.push_back(&contract.elt());
-    }
-    run.resolution = data::MultiResolution::build(elts, yelt, &cache, par_cfg);
-    run.result.resolve_seconds = resolve_watch.seconds();
 
     if (config.secondary_uncertainty) {
       run.samplers.reserve(portfolio.size());
@@ -385,62 +378,104 @@ void run_group(std::span<AnalysisRun> group, const data::YearEventLossTable& yel
     }
   }
 
-  // Flatten to slots only after every analysis's buffers are sized — spans
-  // into them must not be invalidated by later growth.
-  for (AnalysisRun& run : group) {
-    const finance::Portfolio& portfolio = *run.portfolio;
-    for (std::size_t c = 0; c < portfolio.size(); ++c) {
-      const auto& contract = portfolio.contract(c);
-      const auto& entry = run.resolution.entry(c);
-      run.result.elt_lookups +=
-          entry.compact->hits() * static_cast<std::uint64_t>(contract.layers().size());
-      for (const auto& layer : contract.layers()) {
-        batch::Slot slot;
-        slot.hit_offsets = entry.compact->trial_offsets().data();
-        slot.seqs = entry.compact->seqs().data();
-        slot.rows = entry.compact->rows().data();
-        slot.elt = &contract.elt();
-        slot.means = contract.elt().mean_loss().data();
-        slot.sampler = config.secondary_uncertainty ? &run.samplers[c] : nullptr;
-        slot.terms = layer.terms;
-        slot.reinstatements = layer.reinstatements;
-        slot.upfront_premium = layer.upfront_premium;
-        slot.contract_id = contract.id();
-        slot.layer_id = layer.id;
-        slot.contract_losses = config.keep_contract_ylts
-                                   ? run.result.contract_ylts[c].mutable_losses()
-                                   : std::span<Money>{};
-        slot.portfolio_losses = run.result.portfolio_ylt.mutable_losses();
-        slot.reinstatement_prem = run.result.reinstatement_premium.mutable_losses();
-        slot.occurrence_accum =
-            config.compute_oep ? run.occurrence_accum.data() : nullptr;
-        slots.push_back(slot);
+  const Philox4x32 philox(config.seed);
+  const auto executor = exec::make_executor(config);
+  exec::ExecutionPlan plan;
+  bool lowered = false;
+  std::vector<batch::Slot> slots;
+
+  for_each_trial_block(source, config, local_cache,
+                       [&](const data::TrialBlock& block, TrialId base) {
+    const data::YearEventLossTable& yelt = *block.yelt;
+    const TrialId block_trials = yelt.trials();
+    const auto yelt_offsets = yelt.offsets();
+
+    // Per-block resolution of every contract's ELT, shared through the
+    // cache, then hit-compacted for the gather kernel.
+    for (AnalysisRun& run : group) {
+      const finance::Portfolio& portfolio = *run.portfolio;
+      Stopwatch resolve_watch;
+      std::vector<const data::EventLossTable*> elts;
+      elts.reserve(portfolio.size());
+      for (const auto& contract : portfolio.contracts()) {
+        elts.push_back(&contract.elt());
+      }
+      run.resolution = data::MultiResolution::build(elts, yelt, &cache, par_cfg);
+      run.result.resolve_seconds += resolve_watch.seconds();
+      if (config.compute_oep) {
+        run.occurrence_accum.assign(yelt.entries(), 0.0);
       }
     }
-  }
 
-  // The one streamed pass: every trial chunk is walked once, serving every
-  // slot of every analysis in the group. Base slots are one (contract,
-  // layer) each, so every gather group is a singleton here; the scenario
-  // engine is the multi-slot-group consumer of the same kernel. The plan /
-  // executor layer (src/core/exec.hpp) owns the partitioning — Sequential
-  // runs inline, Threaded chunks trials on the pool, DeviceSim launches
-  // simulated blocks with plan-decided constant-memory residency.
-  const Philox4x32 philox(config.seed);
-  const auto yelt_offsets = yelt.offsets();
-  const exec::ExecutionPlan plan =
-      exec::ExecutionPlan::lower(slots, yelt_offsets, trials, config);
-  (void)exec::make_executor(config)->execute(plan, philox);
-
-  for (AnalysisRun& run : group) {
-    if (config.compute_oep) {
-      run.result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
-      batch::finalize_oep(run.result.portfolio_occurrence_ylt.mutable_losses(),
-                          run.occurrence_accum, yelt_offsets, {});
+    // Flatten to slots (buffers were sized above, so the spans taken here
+    // stay valid). The slot order — analyses, contracts, layers — is the
+    // same every block, which is what lets the plan re-bind structurally.
+    slots.clear();
+    for (AnalysisRun& run : group) {
+      const finance::Portfolio& portfolio = *run.portfolio;
+      for (std::size_t c = 0; c < portfolio.size(); ++c) {
+        const auto& contract = portfolio.contract(c);
+        const auto& entry = run.resolution.entry(c);
+        run.result.elt_lookups +=
+            entry.compact->hits() * static_cast<std::uint64_t>(contract.layers().size());
+        for (const auto& layer : contract.layers()) {
+          batch::Slot slot;
+          slot.hit_offsets = entry.compact->trial_offsets().data();
+          slot.seqs = entry.compact->seqs().data();
+          slot.rows = entry.compact->rows().data();
+          slot.elt = &contract.elt();
+          slot.means = contract.elt().mean_loss().data();
+          slot.sampler = config.secondary_uncertainty ? &run.samplers[c] : nullptr;
+          slot.terms = layer.terms;
+          slot.reinstatements = layer.reinstatements;
+          slot.upfront_premium = layer.upfront_premium;
+          slot.contract_id = contract.id();
+          slot.layer_id = layer.id;
+          slot.contract_losses =
+              config.keep_contract_ylts
+                  ? run.result.contract_ylts[c].mutable_losses().subspan(
+                        block.trial_offset, block_trials)
+                  : std::span<Money>{};
+          slot.portfolio_losses = run.result.portfolio_ylt.mutable_losses().subspan(
+              block.trial_offset, block_trials);
+          slot.reinstatement_prem =
+              run.result.reinstatement_premium.mutable_losses().subspan(
+                  block.trial_offset, block_trials);
+          slot.occurrence_accum =
+              config.compute_oep ? run.occurrence_accum.data() : nullptr;
+          slots.push_back(slot);
+        }
+      }
     }
-    run.result.occurrences_processed =
-        yelt.entries() * static_cast<std::uint64_t>(run.portfolio->layer_count());
-  }
+
+    // The one streamed pass: every trial chunk is walked once, serving
+    // every slot of every analysis in the group. Base slots are one
+    // (contract, layer) each, so every gather group is a singleton here;
+    // the scenario engine is the multi-slot-group consumer of the same
+    // kernel. The plan / executor layer (src/core/exec.hpp) owns the
+    // partitioning — Sequential runs inline, Threaded chunks trials on the
+    // pool, DeviceSim launches simulated blocks with plan-decided
+    // constant-memory residency (one launch sequence per trial block).
+    if (!lowered) {
+      EngineConfig lower_config = config;
+      lower_config.trial_base = base;
+      plan = exec::ExecutionPlan::lower(slots, yelt_offsets, block_trials, lower_config);
+      lowered = true;
+    } else {
+      plan.rebind(slots, yelt_offsets, block_trials, base);
+    }
+    (void)executor->execute(plan, philox);
+
+    for (AnalysisRun& run : group) {
+      if (config.compute_oep) {
+        batch::finalize_oep(run.result.portfolio_occurrence_ylt.mutable_losses().subspan(
+                                block.trial_offset, block_trials),
+                            run.occurrence_accum, yelt_offsets, {});
+      }
+      run.result.occurrences_processed +=
+          yelt.entries() * static_cast<std::uint64_t>(run.portfolio->layer_count());
+    }
+  });
 
   // The pass is shared, so each analysis reports the group's wall-clock —
   // the time it actually took to produce its result.
@@ -505,7 +540,8 @@ std::vector<EngineResult> PortfolioBatchRunner::run() const {
   }
 
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    run_group(groups[g], *group_yelts[g], config_);
+    data::InMemorySource source(*group_yelts[g]);
+    run_group(groups[g], source, config_);
     for (AnalysisRun& run : groups[g]) {
       results[run.result_index] = std::move(run.result);
     }
@@ -520,6 +556,17 @@ EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
   runner.add(portfolio, yelt);
   auto results = runner.run();
   return std::move(results.front());
+}
+
+EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
+                                 data::TrialSource& source, const EngineConfig& config) {
+  validate_engine_config(config);
+  RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
+  RISKAN_REQUIRE(source.trials() > 0, "trial source must contain trials");
+  AnalysisRun run;
+  run.portfolio = &portfolio;
+  run_group({&run, 1}, source, config);
+  return std::move(run.result);
 }
 
 }  // namespace riskan::core

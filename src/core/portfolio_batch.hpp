@@ -171,6 +171,17 @@ EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
                                  const data::YearEventLossTable& yelt,
                                  const EngineConfig& config = {});
 
+/// Batched run over any data::TrialSource: the out-of-core twin of the
+/// in-memory overload (which wraps its table in a one-block source and
+/// calls this). The plan is lowered against the first trial block and
+/// re-bound per block — resolutions per block through the ResolverCache,
+/// per-trial outputs sliced by block, the block's trial offset riding the
+/// sampling stream base — so a streamed run is bit-identical to the
+/// in-memory one on every backend.
+EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
+                                 data::TrialSource& source,
+                                 const EngineConfig& config = {});
+
 /// Multi-book front end: register any number of (portfolio, YELT) analyses,
 /// then run them with one streamed pass per *distinct* YELT — contracts of
 /// different books sharing a table ride the same scan.

@@ -4,8 +4,8 @@
 
 #include "data/chunked_file.hpp"
 #include "data/serialize.hpp"
+#include "data/trial_source.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::core {
 
@@ -14,20 +14,11 @@ std::size_t save_yelt_chunked(const data::YearEventLossTable& yelt, const std::s
   RISKAN_REQUIRE(trials_per_chunk > 0, "trials per chunk must be positive");
   data::ChunkedFileWriter writer(path);
   const TrialId trials = yelt.trials();
+  ByteWriter bytes;
   for (TrialId lo = 0; lo < trials; lo += trials_per_chunk) {
     const TrialId hi = std::min<TrialId>(trials, lo + trials_per_chunk);
-    data::YearEventLossTable::Builder builder(hi - lo);
-    for (TrialId t = lo; t < hi; ++t) {
-      builder.begin_trial();
-      const auto events = yelt.trial_events(t);
-      const auto days = yelt.trial_days(t);
-      for (std::size_t i = 0; i < events.size(); ++i) {
-        builder.add(events[i], days[i]);
-      }
-    }
-    const auto block = builder.finish();
-    ByteWriter bytes;
-    data::encode(block, bytes);
+    bytes.clear();
+    data::encode_yelt_slice(yelt, lo, hi, bytes);
     writer.append(bytes.buffer());
   }
   const auto chunks = writer.chunks_written();
@@ -38,40 +29,16 @@ std::size_t save_yelt_chunked(const data::YearEventLossTable& yelt, const std::s
 StreamingResult run_aggregate_streaming(const finance::Portfolio& portfolio,
                                         const std::string& chunked_yelt_path,
                                         const EngineConfig& config) {
-  RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
-  RISKAN_REQUIRE(config.backend != Backend::DeviceSim,
-                 "streaming mode supports Sequential/Threaded backends");
-
-  Stopwatch watch;
-  data::ChunkedFileReader reader(chunked_yelt_path);
+  data::ChunkedFileSource source(chunked_yelt_path);
 
   StreamingResult result;
-  result.blocks = reader.chunk_count();
+  static_cast<EngineResult&>(result) = run_aggregate_analysis(portfolio, source, config);
 
-  std::vector<Money> losses;
-  TrialId trial_base = 0;
-
-  for (std::size_t c = 0; c < reader.chunk_count(); ++c) {
-    const auto chunk = reader.chunk(c);
-    result.bytes_read += chunk.size();
-    result.peak_block_bytes = std::max(result.peak_block_bytes, chunk.size());
-
-    ByteReader bytes(chunk);
-    const auto block = data::decode_yelt(bytes);
-
-    EngineConfig block_config = config;
-    block_config.trial_base = trial_base;
-    block_config.compute_oep = false;
-    block_config.keep_contract_ylts = false;
-    const auto block_result = run_aggregate_analysis(portfolio, block, block_config);
-
-    const auto block_losses = block_result.portfolio_ylt.losses();
-    losses.insert(losses.end(), block_losses.begin(), block_losses.end());
-    trial_base += block.trials();
-  }
-
-  result.portfolio_ylt = data::YearLossTable(std::move(losses), "portfolio-streamed");
-  result.seconds = watch.seconds();
+  const data::ChunkedFileSourceStats& stats = source.stats();
+  result.bytes_read = stats.bytes_read;
+  result.blocks = stats.blocks_delivered;
+  result.peak_block_bytes = stats.peak_block_bytes;
+  result.prefetch_wait_seconds = stats.wait_seconds;
   return result;
 }
 

@@ -1,19 +1,29 @@
 #include "data/chunked_file.hpp"
 
+#include <algorithm>
+
 #include "util/require.hpp"
 
 namespace riskan::data {
 
 namespace {
-constexpr std::uint32_t kChunkMagic = 0x43484B31;  // "CHK1"
-}
+constexpr std::uint32_t kChunkMagicV1 = 0x43484B31;  // "CHK1" — sizes-only directory
+constexpr std::uint32_t kChunkMagicV2 = 0x43484B32;  // "CHK2" — size + crc32 per chunk
+constexpr std::size_t kFooterBytes = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+}  // namespace
 
-ChunkedFileWriter::ChunkedFileWriter(std::string path) : path_(std::move(path)) {}
+ChunkedFileWriter::ChunkedFileWriter(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::binary | std::ios::trunc) {
+  RISKAN_REQUIRE(out_.good(), "cannot open chunked file for writing: " + path_);
+}
 
 std::size_t ChunkedFileWriter::append(std::span<const std::byte> chunk) {
   RISKAN_REQUIRE(!finished_, "append after finish");
-  body_.insert(body_.end(), chunk.begin(), chunk.end());
+  out_.write(reinterpret_cast<const char*>(chunk.data()),
+             static_cast<std::streamsize>(chunk.size()));
+  RISKAN_ENSURE(out_.good(), "chunk write failed: " + path_);
   sizes_.push_back(chunk.size());
+  crcs_.push_back(crc32(chunk));
   return sizes_.size() - 1;
 }
 
@@ -21,18 +31,23 @@ void ChunkedFileWriter::finish() {
   RISKAN_REQUIRE(!finished_, "double finish");
   finished_ = true;
 
-  ByteWriter footer;
-  const std::uint64_t dir_offset = body_.size();
-  footer.u64(sizes_.size());
+  std::uint64_t dir_offset = 0;
   for (const auto size : sizes_) {
-    footer.u64(size);
+    dir_offset += size;
   }
-  footer.u32(kChunkMagic);
-  footer.u64(dir_offset);
 
-  std::vector<std::byte> file = std::move(body_);
-  file.insert(file.end(), footer.buffer().begin(), footer.buffer().end());
-  write_file(path_, file);
+  ByteWriter footer;
+  footer.u64(sizes_.size());
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    footer.u64(sizes_[i]);
+    footer.u32(crcs_[i]);
+  }
+  footer.u32(kChunkMagicV2);
+  footer.u64(dir_offset);
+  out_.write(reinterpret_cast<const char*>(footer.buffer().data()),
+             static_cast<std::streamsize>(footer.size()));
+  out_.close();
+  RISKAN_ENSURE(!out_.fail(), "directory write failed: " + path_);
 }
 
 ChunkedFileWriter::~ChunkedFileWriter() {
@@ -45,19 +60,31 @@ ChunkedFileWriter::~ChunkedFileWriter() {
   }
 }
 
-ChunkedFileReader::ChunkedFileReader(const std::string& path) : data_(read_file(path)) {
-  RISKAN_REQUIRE(data_.size() >= sizeof(std::uint32_t) + sizeof(std::uint64_t),
-                 "chunked file too small: " + path);
+ChunkedFileReader::ChunkedFileReader(const std::string& path)
+    : path_(path), in_(path, std::ios::binary | std::ios::ate) {
+  RISKAN_REQUIRE(in_.good(), "cannot open chunked file for reading: " + path_);
+  file_bytes_ = static_cast<std::size_t>(in_.tellg());
+  RISKAN_REQUIRE(file_bytes_ >= kFooterBytes, "chunked file too small: " + path_);
 
-  // Footer: last 12 bytes are magic + directory offset.
-  ByteReader tail(std::span<const std::byte>(data_).subspan(data_.size() - 12));
+  const auto footer_bytes = read_range(file_bytes_ - kFooterBytes, kFooterBytes);
+  ByteReader tail(footer_bytes);
   const auto magic = tail.u32();
-  RISKAN_REQUIRE(magic == kChunkMagic, "bad chunked-file magic: " + path);
+  RISKAN_REQUIRE(magic == kChunkMagicV1 || magic == kChunkMagicV2,
+                 "bad chunked-file magic: " + path_);
+  checksummed_ = magic == kChunkMagicV2;
+  const bool checksummed = checksummed_;
   const auto dir_offset = tail.u64();
-  RISKAN_REQUIRE(dir_offset <= data_.size() - 12, "corrupt directory offset: " + path);
+  RISKAN_REQUIRE(dir_offset <= file_bytes_ - kFooterBytes,
+                 "corrupt directory offset: " + path_);
 
-  ByteReader dir(std::span<const std::byte>(data_).subspan(dir_offset));
+  const auto dir_bytes =
+      read_range(dir_offset, file_bytes_ - kFooterBytes - static_cast<std::size_t>(dir_offset));
+  ByteReader dir(dir_bytes);
   const auto count = dir.u64();
+  const std::size_t entry_bytes =
+      sizeof(std::uint64_t) + (checksummed ? sizeof(std::uint32_t) : 0);
+  RISKAN_REQUIRE(dir.remaining() == count * entry_bytes,
+                 "directory size does not match chunk count: " + path_);
   offsets_.reserve(count);
   sizes_.reserve(count);
   std::uint64_t offset = 0;
@@ -65,14 +92,41 @@ ChunkedFileReader::ChunkedFileReader(const std::string& path) : data_(read_file(
     const auto size = dir.u64();
     offsets_.push_back(offset);
     sizes_.push_back(size);
+    if (checksummed) {
+      crcs_.push_back(dir.u32());
+    }
     offset += size;
   }
-  RISKAN_ENSURE(offset == dir_offset, "chunk sizes do not cover body: " + path);
+  RISKAN_ENSURE(offset == dir_offset, "chunk sizes do not cover body: " + path_);
 }
 
-std::span<const std::byte> ChunkedFileReader::chunk(std::size_t i) const {
+std::size_t ChunkedFileReader::chunk_size(std::size_t i) const {
+  RISKAN_REQUIRE(i < sizes_.size(), "chunk index out of range");
+  return sizes_[i];
+}
+
+std::vector<std::byte> ChunkedFileReader::read_range(std::uint64_t offset, std::size_t n) {
+  std::vector<std::byte> bytes(n);
+  in_.seekg(static_cast<std::streamoff>(offset));
+  in_.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(n));
+  RISKAN_ENSURE(in_.good() || n == 0, "chunk read failed: " + path_);
+  return bytes;
+}
+
+std::vector<std::byte> ChunkedFileReader::read_chunk(std::size_t i) {
   RISKAN_REQUIRE(i < offsets_.size(), "chunk index out of range");
-  return std::span<const std::byte>(data_).subspan(offsets_[i], sizes_[i]);
+  auto bytes = read_range(offsets_[i], sizes_[i]);
+  if (!crcs_.empty()) {
+    RISKAN_REQUIRE(crc32(bytes) == crcs_[i],
+                   "chunk checksum mismatch (corrupt chunk " + std::to_string(i) +
+                       "): " + path_);
+  }
+  return bytes;
+}
+
+std::vector<std::byte> ChunkedFileReader::read_chunk_prefix(std::size_t i, std::size_t n) {
+  RISKAN_REQUIRE(i < offsets_.size(), "chunk index out of range");
+  return read_range(offsets_[i], std::min<std::size_t>(n, sizes_[i]));
 }
 
 }  // namespace riskan::data

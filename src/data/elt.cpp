@@ -29,6 +29,22 @@ EventLossTable EventLossTable::from_rows(std::vector<EltRow> rows) {
     table.sigma_.push_back(row.sigma_loss);
     table.exposure_.push_back(row.exposure);
   }
+
+  // Dense event→row lookup, built once at table construction when the id
+  // range is compact enough (bounded blowup: at most 64 lookup slots — 256
+  // bytes — per row, or the 4096-slot floor for small tables). Catalogue
+  // ids are dense in practice; sparse/hashed id spaces fall back to find().
+  if (!table.event_ids_.empty()) {
+    const std::uint64_t span64 = static_cast<std::uint64_t>(table.event_ids_.back()) + 1;
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(4096, 64 * static_cast<std::uint64_t>(rows.size()));
+    if (span64 <= budget) {
+      table.row_lookup_.assign(static_cast<std::size_t>(span64), kNoRow);
+      for (std::size_t r = 0; r < table.event_ids_.size(); ++r) {
+        table.row_lookup_[table.event_ids_[r]] = static_cast<std::uint32_t>(r);
+      }
+    }
+  }
   return table;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -51,9 +52,21 @@ class EventLossTable {
   std::span<const Money> exposure() const noexcept { return exposure_; }
 
   /// Index of the event in the table, or npos when the event causes no loss
-  /// to this contract. O(log n) binary search.
+  /// to this contract. O(log n) binary search — the reference lookup of the
+  /// resolver-off path.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t find(EventId event) const noexcept;
+
+  /// Sentinel row in row_lookup(): the event is not in the table.
+  static constexpr std::uint32_t kNoRow = ~std::uint32_t{0};
+
+  /// Dense event→row lookup covering [0, max event id]: row_lookup()[e] is
+  /// the row of event e, or kNoRow. Built by from_rows when the id range is
+  /// dense enough to be worth the memory (max id + 1 <= max(4096, 64 x
+  /// rows)); empty otherwise, and callers fall back to find(). This is what
+  /// makes event→row resolution O(1) per occurrence — the out-of-core path
+  /// re-resolves every block, so it is resolution's hot path.
+  std::span<const std::uint32_t> row_lookup() const noexcept { return row_lookup_; }
 
   /// Row view at index (bounds-checked by contract).
   EltRow row(std::size_t index) const;
@@ -71,6 +84,7 @@ class EventLossTable {
   std::vector<Money> mean_;
   std::vector<Money> sigma_;
   std::vector<Money> exposure_;
+  std::vector<std::uint32_t> row_lookup_;  // empty when ids are too sparse
 };
 
 }  // namespace riskan::data

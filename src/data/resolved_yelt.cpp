@@ -17,15 +17,29 @@ ResolvedYelt ResolvedYelt::build(const EventLossTable& elt, const YearEventLossT
 
   const auto events = yelt.events();
   const auto ids = elt.event_ids();
+  const auto lookup = elt.row_lookup();
   auto* out = resolved.rows_.data();
 
   // Each chunk streams a contiguous slab of the events column and writes
   // the matching slab of the row column; chunk order never shows in the
-  // output, so the build is deterministic under any scheduling.
+  // output, so the build is deterministic under any scheduling. Tables
+  // with a dense id range carry an O(1) event→row lookup (the hot path —
+  // out-of-core runs resolve every block); sparse tables binary-search.
+  // Both produce identical row indices.
   resolved.hits_ = parallel_reduce<std::uint64_t>(
       0, resolved.rows_.size(), 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t found = 0;
+        if (!lookup.empty()) {
+          static_assert(EventLossTable::kNoRow == ResolvedYelt::kNoLoss);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const EventId e = events[i];
+            const std::uint32_t row = e < lookup.size() ? lookup[e] : kNoLoss;
+            out[i] = row;
+            found += row != kNoLoss ? 1 : 0;
+          }
+          return found;
+        }
         for (std::size_t i = lo; i < hi; ++i) {
           const auto it = std::lower_bound(ids.begin(), ids.end(), events[i]);
           if (it != ids.end() && *it == events[i]) {

@@ -1,5 +1,7 @@
 #include "data/serialize.hpp"
 
+#include <limits>
+
 #include "util/require.hpp"
 
 namespace riskan::data {
@@ -69,6 +71,43 @@ void encode(const YearEventLossTable& table, ByteWriter& writer) {
   for (const auto d : table.days()) {
     writer.u32(d);  // widened for alignment simplicity
   }
+}
+
+void encode_yelt_slice(const YearEventLossTable& table, TrialId lo, TrialId hi,
+                       ByteWriter& writer) {
+  RISKAN_REQUIRE(lo <= hi && hi <= table.trials(), "YELT slice range out of bounds");
+  const auto offsets = table.offsets();
+  const std::uint64_t entry_lo = offsets.empty() ? 0 : offsets[lo];
+  const std::uint64_t entry_hi = offsets.empty() ? 0 : offsets[hi];
+
+  writer.u32(kYeltMagic);
+  writer.u32(kVersion);
+  writer.u64(hi - lo);
+  writer.u64(entry_hi - entry_lo);
+  if (offsets.empty()) {
+    writer.u64(0);  // a 0-trial table still carries its terminating offset
+  } else {
+    for (TrialId t = lo; t <= hi; ++t) {
+      writer.u64(offsets[t] - entry_lo);
+    }
+  }
+  const auto events = table.events().subspan(entry_lo, entry_hi - entry_lo);
+  for (const auto e : events) {
+    writer.u32(e);
+  }
+  const auto days = table.days().subspan(entry_lo, entry_hi - entry_lo);
+  for (const auto d : days) {
+    writer.u32(d);  // widened for alignment simplicity, as in encode()
+  }
+}
+
+TrialId peek_yelt_trials(std::span<const std::byte> header) {
+  ByteReader reader(header);
+  check_header(reader, kYeltMagic, "YELT");
+  const std::uint64_t trials = reader.u64();
+  RISKAN_REQUIRE(trials <= std::numeric_limits<TrialId>::max(),
+                 "encoded YELT trial count overflows TrialId");
+  return static_cast<TrialId>(trials);
 }
 
 YearEventLossTable decode_yelt(ByteReader& reader) {

@@ -6,6 +6,8 @@
 // splits YELT files into DFS blocks. Tests round-trip every table type.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 
 #include "data/elt.hpp"
@@ -21,6 +23,19 @@ EventLossTable decode_elt(ByteReader& reader);
 
 void encode(const YearEventLossTable& table, ByteWriter& writer);
 YearEventLossTable decode_yelt(ByteReader& reader);
+
+/// Encodes trials [lo, hi) of `table` as a standalone YELT, slicing the
+/// column spans directly (offsets rebased to the slice) — byte-identical to
+/// encoding a rebuilt sub-table, without the per-trial Builder::add copy.
+/// This is how trial blocks reach chunked files and DFS splits.
+void encode_yelt_slice(const YearEventLossTable& table, TrialId lo, TrialId hi,
+                       ByteWriter& writer);
+
+/// Trial count recorded in an encoded YELT's fixed-size header (the first
+/// 16 bytes), without decoding the table — how the out-of-core TrialSource
+/// sizes its outputs before any block is decoded.
+constexpr std::size_t kYeltHeaderBytes = 16;
+TrialId peek_yelt_trials(std::span<const std::byte> header);
 
 void encode(const YearLossTable& table, ByteWriter& writer);
 YearLossTable decode_ylt(ByteReader& reader);

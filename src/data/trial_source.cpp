@@ -1,0 +1,197 @@
+#include "data/trial_source.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "data/serialize.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::data {
+
+bool InMemorySource::next(TrialBlock& block) {
+  if (served_) {
+    return false;
+  }
+  served_ = true;
+  // Aliasing shared_ptr with no owner: zero-copy, lifetime stays the
+  // caller's (the source's lifetime contract).
+  block.yelt = std::shared_ptr<const YearEventLossTable>(
+      std::shared_ptr<const YearEventLossTable>{}, yelt_);
+  block.trial_offset = 0;
+  block.index = 0;
+  block.encoded_bytes = 0;
+  return true;
+}
+
+EncodedBlockSource::EncodedBlockSource(std::span<const std::byte> encoded)
+    : encoded_bytes_(encoded.size()) {
+  ByteReader reader(encoded);
+  yelt_ = std::make_shared<const YearEventLossTable>(decode_yelt(reader));
+}
+
+bool EncodedBlockSource::next(TrialBlock& block) {
+  if (served_) {
+    return false;
+  }
+  served_ = true;
+  block.yelt = yelt_;
+  block.trial_offset = 0;
+  block.index = 0;
+  block.encoded_bytes = encoded_bytes_;
+  return true;
+}
+
+ChunkedFileSource::ChunkedFileSource(const std::string& path, Options options)
+    : reader_(path), options_(options) {
+  // Header peeks size the run before anything is decoded: per-chunk trial
+  // counts come from the fixed-size YELT headers, not from decoding.
+  chunk_trials_.reserve(reader_.chunk_count());
+  chunk_offsets_.reserve(reader_.chunk_count());
+  for (std::size_t c = 0; c < reader_.chunk_count(); ++c) {
+    const auto header = reader_.read_chunk_prefix(c, kYeltHeaderBytes);
+    const TrialId chunk_trials = peek_yelt_trials(header);
+    // The prefix peek is outside the CRC (which covers whole chunks), so
+    // bound the count by the chunk's actual bytes before sizing anything
+    // from it: the encoded layout carries trials+1 u64 offsets after the
+    // header, so a corrupted count cannot pass this and OOM the run — it
+    // fails here, or the CRC catches it at read time.
+    const std::size_t chunk_bytes = reader_.chunk_size(c);
+    RISKAN_REQUIRE(chunk_bytes >= kYeltHeaderBytes + sizeof(std::uint64_t) &&
+                       static_cast<std::uint64_t>(chunk_trials) <=
+                           (chunk_bytes - kYeltHeaderBytes) / sizeof(std::uint64_t) - 1,
+                   "chunk header trial count exceeds the chunk's size (corrupt chunk)");
+    chunk_offsets_.push_back(trials_);
+    chunk_trials_.push_back(chunk_trials);
+    trials_ += chunk_trials;
+  }
+
+  if (options_.prefetch) {
+    queue_ = std::make_unique<SpscQueue<Produced>>(
+        std::max<std::size_t>(2, options_.queue_depth));
+    prefetch_pool_ = std::make_unique<ThreadPool>(1);
+    start_producer();
+  }
+}
+
+ChunkedFileSource::~ChunkedFileSource() {
+  if (options_.prefetch) {
+    stop_producer();
+  }
+}
+
+ChunkedFileSource::Produced ChunkedFileSource::produce(std::size_t index) {
+  Produced item;
+  try {
+    Stopwatch watch;
+    const auto bytes = reader_.read_chunk(index);  // CRC-verified
+    ByteReader reader(bytes);
+    item.yelt = std::make_shared<const YearEventLossTable>(decode_yelt(reader));
+    item.bytes = bytes.size();
+    item.produce_seconds = watch.seconds();
+  } catch (...) {
+    item.error = std::current_exception();
+  }
+  return item;
+}
+
+void ChunkedFileSource::start_producer() {
+  stop_.store(false, std::memory_order_relaxed);
+  producer_done_.store(false, std::memory_order_relaxed);
+  prefetch_pool_->submit([this] {
+    const std::size_t count = reader_.chunk_count();
+    for (std::size_t c = 0; c < count && !stop_.load(std::memory_order_relaxed); ++c) {
+      Produced item = produce(c);
+      const bool had_error = item.error != nullptr;
+      // try_push consumes its argument, so retries push a fresh copy (the
+      // payload is a shared_ptr — copies are cheap). A full ring parks the
+      // thread on the cv instead of spinning through the consumer's
+      // compute.
+      while (!queue_->try_push(item)) {
+        std::unique_lock<std::mutex> lock(pipe_mutex_);
+        if (stop_.load(std::memory_order_relaxed)) {
+          producer_done_.store(true, std::memory_order_release);
+          pipe_cv_.notify_all();
+          return;
+        }
+        pipe_cv_.wait_for(lock, std::chrono::milliseconds(2));
+      }
+      pipe_cv_.notify_all();
+      if (had_error) {
+        break;  // the stream is dead past a read/decode failure
+      }
+    }
+    producer_done_.store(true, std::memory_order_release);
+    pipe_cv_.notify_all();
+  });
+}
+
+void ChunkedFileSource::stop_producer() {
+  stop_.store(true, std::memory_order_relaxed);
+  pipe_cv_.notify_all();
+  // Keep draining so a producer blocked on a full ring can make progress
+  // and observe stop_.
+  while (!producer_done_.load(std::memory_order_acquire)) {
+    while (queue_->try_pop()) {
+    }
+    pipe_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(pipe_mutex_);
+    pipe_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  while (queue_->try_pop()) {
+  }
+}
+
+bool ChunkedFileSource::next(TrialBlock& block) {
+  if (next_block_ >= chunk_trials_.size()) {
+    return false;
+  }
+  Produced item;
+  if (!options_.prefetch) {
+    item = produce(next_block_);
+  } else {
+    Stopwatch wait;
+    for (;;) {
+      if (auto popped = queue_->try_pop()) {
+        item = std::move(*popped);
+        break;
+      }
+      // Ring empty: park until the producer pushes (timed, so a missed
+      // notify costs a millisecond, never a hang).
+      std::unique_lock<std::mutex> lock(pipe_mutex_);
+      pipe_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    pipe_cv_.notify_all();  // wake a producer parked on a full ring
+    stats_.wait_seconds += wait.seconds();
+  }
+  if (item.error != nullptr) {
+    next_block_ = chunk_trials_.size();  // poison the pass
+    std::rethrow_exception(item.error);
+  }
+
+  stats_.bytes_read += item.bytes;
+  stats_.peak_block_bytes = std::max(stats_.peak_block_bytes, item.bytes);
+  stats_.produce_seconds += item.produce_seconds;
+  ++stats_.blocks_delivered;
+
+  block.yelt = std::move(item.yelt);
+  block.trial_offset = chunk_offsets_[next_block_];
+  block.index = next_block_;
+  block.encoded_bytes = item.bytes;
+  ++next_block_;
+  return true;
+}
+
+void ChunkedFileSource::reset() {
+  if (options_.prefetch) {
+    stop_producer();
+  }
+  next_block_ = 0;
+  stats_ = ChunkedFileSourceStats{};
+  if (options_.prefetch) {
+    start_producer();
+  }
+}
+
+}  // namespace riskan::data

@@ -1,6 +1,7 @@
 #include "mapreduce/aggregate_job.hpp"
 
 #include "data/serialize.hpp"
+#include "data/trial_source.hpp"
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"
 
@@ -14,18 +15,8 @@ std::size_t stage_yelt(Dfs& dfs, const data::YearEventLossTable& yelt,
   std::vector<std::vector<std::byte>> blocks;
   for (TrialId lo = 0; lo < trials; lo += config.trials_per_block) {
     const TrialId hi = std::min<TrialId>(trials, lo + config.trials_per_block);
-    data::YearEventLossTable::Builder builder(hi - lo);
-    for (TrialId t = lo; t < hi; ++t) {
-      builder.begin_trial();
-      const auto events = yelt.trial_events(t);
-      const auto days = yelt.trial_days(t);
-      for (std::size_t i = 0; i < events.size(); ++i) {
-        builder.add(events[i], days[i]);
-      }
-    }
-    const auto slice = builder.finish();
     ByteWriter writer;
-    data::encode(slice, writer);
+    data::encode_yelt_slice(yelt, lo, hi, writer);
     blocks.push_back(writer.buffer());
   }
   dfs.write_chunked(config.dfs_file, blocks);
@@ -56,11 +47,12 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
   const auto reduced = run_mapreduce<TrialId, Money>(
       result.blocks,
       [&](std::size_t split, const std::function<void(const TrialId&, const Money&)>& emit) {
-        // Map task: read the block from the DFS, rebuild the YELT slice,
-        // run the same engine kernel with the block's global trial base.
+        // Map task: wrap the DFS block in the shared block-slicing adapter
+        // (data::EncodedBlockSource decodes it through the same data plane
+        // every entry point uses) and run the engine with the block's
+        // global trial base.
         const auto bytes = dfs.read_block(config.dfs_file, split);
-        ByteReader reader(bytes);
-        const auto slice = data::decode_yelt(reader);
+        data::EncodedBlockSource source(bytes);
 
         core::EngineConfig engine;
         engine.backend = core::Backend::Sequential;
@@ -75,15 +67,14 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
         // of once per (contract, layer). Batching is resolver-intrinsic,
         // so the use_resolver=false ablation keeps the per-contract path.
         engine.batch_contracts = config.batch_contracts && config.use_resolver;
-        // The rebuilt slice is task-local, so its resolutions are too: a
-        // task-local cache still shares the pre-join across the contracts'
-        // layers without parking dead keys in the process-wide cache.
-        data::ResolverCache task_cache;
-        engine.resolver_cache = &task_cache;
+        // The decoded slice is task-local; the ephemeral source makes the
+        // engine resolve through a run-local cache automatically, still
+        // sharing the pre-join across the contracts' layers without
+        // parking dead keys in the process-wide cache.
 
-        const auto block_result = core::run_aggregate_analysis(portfolio, slice, engine);
+        const auto block_result = core::run_aggregate_analysis(portfolio, source, engine);
         const auto losses = block_result.portfolio_ylt.losses();
-        for (TrialId t = 0; t < slice.trials(); ++t) {
+        for (TrialId t = 0; t < source.trials(); ++t) {
           emit(engine.trial_base + t, losses[t]);
         }
       },

@@ -95,6 +95,7 @@ ScenarioPlan ScenarioPlan::build(const finance::Portfolio& base,
     if (m == mask_keys.size()) {
       mask_keys.push_back(&excluded);
       plan.masks_.push_back(MaskColumn::build(yelt, excluded, cfg));
+      plan.mask_excluded_.push_back(excluded);
     }
     mask_of_scenario[s] = static_cast<int>(m);
   }
@@ -218,6 +219,25 @@ ScenarioPlan ScenarioPlan::build(const finance::Portfolio& base,
                    "conditioning event is in no contract ELT of the scenario's book");
   }
   return plan;
+}
+
+void ScenarioPlan::rebind(const data::YearEventLossTable& yelt, data::ResolverCache* cache,
+                          ParallelConfig cfg) {
+  RISKAN_REQUIRE(!contracts_.empty(), "rebind before build");
+  RISKAN_REQUIRE(yelt.trials() > 0, "scenario plan needs a YELT with trials");
+
+  Stopwatch resolve_watch;
+  std::vector<const data::EventLossTable*> elts;
+  elts.reserve(contracts_.size());
+  for (const finance::Contract* contract : contracts_) {
+    elts.push_back(&contract->elt());
+  }
+  resolution_ = data::MultiResolution::build(elts, yelt, cache, cfg);
+  resolve_seconds_ = resolve_watch.seconds();
+
+  for (std::size_t m = 0; m < masks_.size(); ++m) {
+    masks_[m] = MaskColumn::build(yelt, mask_excluded_[m], cfg);
+  }
 }
 
 }  // namespace riskan::scenario

@@ -89,6 +89,14 @@ class ScenarioPlan {
                             std::span<const ScenarioSpec> specs,
                             data::ResolverCache* cache, ParallelConfig cfg = {});
 
+  /// Re-binds the plan's per-block half — resolutions and mask columns,
+  /// both trial-local — to a new YELT block, keeping the structural half
+  /// (contract universe, books, blueprints, stats), which depends only on
+  /// (book, specs). The out-of-core sweep builds once against the first
+  /// block and re-binds per block, mirroring ExecutionPlan::rebind.
+  void rebind(const data::YearEventLossTable& yelt, data::ResolverCache* cache,
+              ParallelConfig cfg = {});
+
   /// Distinct contracts across all scenarios: base book order, then added
   /// contracts in first-reference order.
   std::span<const finance::Contract* const> contracts() const noexcept {
@@ -108,6 +116,9 @@ class ScenarioPlan {
   std::vector<const finance::Contract*> contracts_;
   data::MultiResolution resolution_;
   std::vector<MaskColumn> masks_;
+  /// Deduped excluded-event sets, parallel to masks_ — what rebind()
+  /// rebuilds each mask column from.
+  std::vector<std::vector<EventId>> mask_excluded_;
   std::vector<SlotBlueprint> blueprints_;
   std::vector<std::vector<std::size_t>> scenario_books_;
   PlanStats stats_;

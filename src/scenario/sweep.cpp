@@ -8,6 +8,7 @@
 #include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
+#include "data/trial_source.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"
@@ -19,7 +20,7 @@ namespace {
 /// Per-scenario mutable state while the pass runs.
 struct ScenarioRun {
   core::EngineResult result;
-  std::vector<Money> occurrence_accum;   // yelt.entries()-sized; empty = OEP off
+  std::vector<Money> occurrence_accum;   // block-entries-sized; empty = OEP off
   std::vector<Money> conditioned_accum;  // trials-sized; empty = no conditioning
 };
 
@@ -29,9 +30,18 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
                                        const data::YearEventLossTable& yelt,
                                        std::span<const ScenarioSpec> specs,
                                        const core::EngineConfig& config) {
+  data::InMemorySource source(yelt);
+  return run_scenario_sweep(portfolio, source, specs, config);
+}
+
+ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
+                                       data::TrialSource& source,
+                                       std::span<const ScenarioSpec> specs,
+                                       const core::EngineConfig& config) {
   core::validate_engine_config(config);
   RISKAN_REQUIRE(!portfolio.empty(), "scenario sweep needs a non-empty base book");
-  RISKAN_REQUIRE(yelt.trials() > 0, "scenario sweep needs a YELT with trials");
+  const TrialId trials = source.trials();
+  RISKAN_REQUIRE(trials > 0, "scenario sweep needs a trial source with trials");
   Stopwatch watch;
 
   // Normalise validated copies; the base book is the implicit scenario 0.
@@ -49,111 +59,162 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
   const ParallelConfig par_cfg =
       sequential ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
                  : ParallelConfig{config.pool, config.trial_grain};
-  data::ResolverCache& cache =
-      config.resolver_cache ? *config.resolver_cache : data::ResolverCache::shared();
+  data::ResolverCache local_cache;
+  data::ResolverCache& cache = core::resolver_cache_for(config, source, local_cache);
 
-  const ScenarioPlan plan = ScenarioPlan::build(portfolio, yelt, all, &cache, par_cfg);
-
-  const TrialId trials = yelt.trials();
   std::vector<ScenarioRun> runs(all.size());
-  for (std::size_t s = 0; s < all.size(); ++s) {
-    ScenarioRun& run = runs[s];
-    run.result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
-    run.result.reinstatement_premium =
-        data::YearLossTable(trials, "reinstatement-premium");
-    if (config.keep_contract_ylts) {
-      const auto& book = plan.scenario_books()[s];
-      run.result.contract_ylts.reserve(book.size());
-      for (const std::size_t c : book) {
-        run.result.contract_ylts.emplace_back(
-            trials, "contract-" + std::to_string(plan.contracts()[c]->id()));
-      }
-    }
-    if (config.compute_oep) {
-      run.occurrence_accum.assign(yelt.entries(), 0.0);
-      if (all[s].conditioning) {
-        run.conditioned_accum.assign(trials, 0.0);
-      }
-    }
-    run.result.resolve_seconds = plan.resolve_seconds();
-  }
-
   // One sampler per distinct contract — shared by every scenario touching
-  // it, exactly like the resolutions.
+  // it, exactly like the resolutions. Contracts (and the blueprint list)
+  // are block-invariant: the plan re-derives them per block from the same
+  // (book, specs), so pointers and ordering repeat exactly.
   std::vector<core::SecondarySampler> samplers;
-  if (config.secondary_uncertainty) {
-    samplers.reserve(plan.contracts().size());
-    for (const finance::Contract* contract : plan.contracts()) {
-      samplers.emplace_back(contract->elt());
-    }
-  }
 
-  // Flatten the blueprints into kernel slots (buffers are sized above, so
-  // the spans taken here stay valid).
-  std::vector<core::batch::Slot> slots;
-  slots.reserve(plan.blueprints().size());
-  for (const SlotBlueprint& bp : plan.blueprints()) {
-    const auto& entry = plan.resolution().entry(bp.contract);
-    const finance::Contract& contract = *plan.contracts()[bp.contract];
-    ScenarioRun& run = runs[bp.scenario];
-
-    core::batch::Slot slot;
-    slot.hit_offsets = entry.compact->trial_offsets().data();
-    slot.seqs = entry.compact->seqs().data();
-    slot.rows = entry.compact->rows().data();
-    slot.elt = &contract.elt();
-    slot.means = contract.elt().mean_loss().data();
-    slot.sampler = config.secondary_uncertainty ? &samplers[bp.contract] : nullptr;
-    slot.contract_id = contract.id();
-    slot.layer_id = bp.layer_id;
-    slot.loss_scale = bp.loss_scale;
-    slot.mask_seq = bp.mask >= 0 ? plan.masks()[bp.mask].adjusted_seq.data() : nullptr;
-    slot.conditioned_ground_up = bp.conditioned_ground_up;
-    slot.terms = bp.terms;
-    slot.reinstatements = bp.reinstatements;
-    slot.upfront_premium = bp.upfront_premium;
-    slot.contract_losses =
-        config.keep_contract_ylts
-            ? run.result.contract_ylts[bp.contract_in_scenario].mutable_losses()
-            : std::span<Money>{};
-    slot.portfolio_losses = run.result.portfolio_ylt.mutable_losses();
-    slot.reinstatement_prem = run.result.reinstatement_premium.mutable_losses();
-    slot.occurrence_accum = config.compute_oep ? run.occurrence_accum.data() : nullptr;
-    slot.conditioned_accum =
-        run.conditioned_accum.empty() ? nullptr : run.conditioned_accum.data();
-    slots.push_back(slot);
-  }
-
-  // The one streamed pass serving every scenario, dispatched on the
-  // configured executor (DeviceSim sweeps run in simulated device blocks
-  // like any other plan — no CPU fallback).
   const Philox4x32 philox(config.seed);
-  const auto yelt_offsets = yelt.offsets();
-  const core::exec::ExecutionPlan exec_plan =
-      core::exec::ExecutionPlan::lower(slots, yelt_offsets, trials, config);
-  (void)core::exec::make_executor(config)->execute(exec_plan, philox);
+  const auto executor = core::exec::make_executor(config);
+  core::exec::ExecutionPlan exec_plan;
+  bool lowered = false;
+  std::vector<core::batch::Slot> slots;
+  ScenarioPlan plan;
+  PlanStats stats;
+  double resolve_seconds = 0.0;
 
-  // OEP finalisation and telemetry, per scenario.
-  for (std::size_t s = 0; s < all.size(); ++s) {
-    ScenarioRun& run = runs[s];
+  core::for_each_trial_block(source, config, local_cache,
+                             [&](const data::TrialBlock& block, TrialId base) {
+    const data::YearEventLossTable& yelt = *block.yelt;
+    const TrialId block_trials = yelt.trials();
+    const auto yelt_offsets = yelt.offsets();
+
+    // Planning splits like the exec layer: the structural half (books,
+    // blueprints, stats — pure functions of (book, specs)) is built once
+    // against the first block; later blocks re-bind only the trial-local
+    // half (resolutions and mask columns, whose per-block builds reproduce
+    // the monolithic columns slice for slice).
+    if (!lowered) {
+      plan = ScenarioPlan::build(portfolio, yelt, all, &cache, par_cfg);
+    } else {
+      plan.rebind(yelt, &cache, par_cfg);
+    }
+    resolve_seconds += plan.resolve_seconds();
+
+    if (!lowered) {
+      stats = plan.stats();
+      for (std::size_t s = 0; s < all.size(); ++s) {
+        ScenarioRun& run = runs[s];
+        run.result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
+        run.result.reinstatement_premium =
+            data::YearLossTable(trials, "reinstatement-premium");
+        if (config.keep_contract_ylts) {
+          const auto& book = plan.scenario_books()[s];
+          run.result.contract_ylts.reserve(book.size());
+          for (const std::size_t c : book) {
+            run.result.contract_ylts.emplace_back(
+                trials, "contract-" + std::to_string(plan.contracts()[c]->id()));
+          }
+        }
+        if (config.compute_oep) {
+          run.result.portfolio_occurrence_ylt =
+              data::YearLossTable(trials, "portfolio-oep");
+          if (all[s].conditioning) {
+            run.conditioned_accum.assign(trials, 0.0);
+          }
+        }
+      }
+      if (config.secondary_uncertainty) {
+        samplers.reserve(plan.contracts().size());
+        for (const finance::Contract* contract : plan.contracts()) {
+          samplers.emplace_back(contract->elt());
+        }
+      }
+    }
     if (config.compute_oep) {
-      run.result.portfolio_occurrence_ylt = data::YearLossTable(trials, "portfolio-oep");
-      core::batch::finalize_oep(run.result.portfolio_occurrence_ylt.mutable_losses(),
-                                run.occurrence_accum, yelt_offsets,
-                                run.conditioned_accum);
+      for (ScenarioRun& run : runs) {
+        run.occurrence_accum.assign(yelt.entries(), 0.0);
+      }
     }
-    std::uint64_t layer_count = 0;
-    for (const std::size_t c : plan.scenario_books()[s]) {
-      const std::uint64_t layers = plan.contracts()[c]->layers().size();
-      run.result.elt_lookups += plan.resolution().entry(c).compact->hits() * layers;
-      layer_count += layers;
+
+    // Flatten the blueprints into kernel slots (buffers are sized above, so
+    // the spans taken here stay valid), per-trial outputs sliced by block.
+    slots.clear();
+    slots.reserve(plan.blueprints().size());
+    for (const SlotBlueprint& bp : plan.blueprints()) {
+      const auto& entry = plan.resolution().entry(bp.contract);
+      const finance::Contract& contract = *plan.contracts()[bp.contract];
+      ScenarioRun& run = runs[bp.scenario];
+
+      core::batch::Slot slot;
+      slot.hit_offsets = entry.compact->trial_offsets().data();
+      slot.seqs = entry.compact->seqs().data();
+      slot.rows = entry.compact->rows().data();
+      slot.elt = &contract.elt();
+      slot.means = contract.elt().mean_loss().data();
+      slot.sampler = config.secondary_uncertainty ? &samplers[bp.contract] : nullptr;
+      slot.contract_id = contract.id();
+      slot.layer_id = bp.layer_id;
+      slot.loss_scale = bp.loss_scale;
+      slot.mask_seq = bp.mask >= 0 ? plan.masks()[bp.mask].adjusted_seq.data() : nullptr;
+      slot.conditioned_ground_up = bp.conditioned_ground_up;
+      slot.terms = bp.terms;
+      slot.reinstatements = bp.reinstatements;
+      slot.upfront_premium = bp.upfront_premium;
+      slot.contract_losses =
+          config.keep_contract_ylts
+              ? run.result.contract_ylts[bp.contract_in_scenario]
+                    .mutable_losses()
+                    .subspan(block.trial_offset, block_trials)
+              : std::span<Money>{};
+      slot.portfolio_losses = run.result.portfolio_ylt.mutable_losses().subspan(
+          block.trial_offset, block_trials);
+      slot.reinstatement_prem = run.result.reinstatement_premium.mutable_losses().subspan(
+          block.trial_offset, block_trials);
+      slot.occurrence_accum = config.compute_oep ? run.occurrence_accum.data() : nullptr;
+      slot.conditioned_accum = run.conditioned_accum.empty()
+                                   ? nullptr
+                                   : run.conditioned_accum.data() + block.trial_offset;
+      slots.push_back(slot);
     }
-    run.result.occurrences_processed = yelt.entries() * layer_count;
-  }
+
+    // The one streamed pass serving every scenario, dispatched on the
+    // configured executor (DeviceSim sweeps run in simulated device blocks
+    // like any other plan — no CPU fallback). Lowered once, re-bound per
+    // block.
+    if (!lowered) {
+      core::EngineConfig lower_config = config;
+      lower_config.trial_base = base;
+      exec_plan = core::exec::ExecutionPlan::lower(slots, yelt_offsets, block_trials,
+                                                   lower_config);
+      lowered = true;
+    } else {
+      exec_plan.rebind(slots, yelt_offsets, block_trials, base);
+    }
+    (void)executor->execute(exec_plan, philox);
+
+    // OEP finalisation and telemetry, per scenario per block.
+    for (std::size_t s = 0; s < all.size(); ++s) {
+      ScenarioRun& run = runs[s];
+      if (config.compute_oep) {
+        const std::span<const Money> conditioned =
+            run.conditioned_accum.empty()
+                ? std::span<const Money>{}
+                : std::span<const Money>(run.conditioned_accum)
+                      .subspan(block.trial_offset, block_trials);
+        core::batch::finalize_oep(run.result.portfolio_occurrence_ylt.mutable_losses()
+                                      .subspan(block.trial_offset, block_trials),
+                                  run.occurrence_accum, yelt_offsets, conditioned);
+      }
+      std::uint64_t layer_count = 0;
+      for (const std::size_t c : plan.scenario_books()[s]) {
+        const std::uint64_t layers = plan.contracts()[c]->layers().size();
+        run.result.elt_lookups += plan.resolution().entry(c).compact->hits() * layers;
+        layer_count += layers;
+      }
+      run.result.occurrences_processed += yelt.entries() * layer_count;
+    }
+  });
 
   const double engine_seconds = watch.seconds();
   for (ScenarioRun& run : runs) {
     run.result.seconds = engine_seconds;
+    run.result.resolve_seconds = resolve_seconds;
   }
 
   ScenarioSweepResult out;
@@ -162,7 +223,7 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
   for (std::size_t s = 1; s < runs.size(); ++s) {
     out.scenarios.push_back(std::move(runs[s].result));
   }
-  out.plan = plan.stats();
+  out.plan = stats;
   out.report = build_report(out.base, out.scenarios,
                             std::span<const ScenarioSpec>(all).subspan(1));
   out.seconds = watch.seconds();

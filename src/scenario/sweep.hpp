@@ -64,4 +64,16 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
                                        std::span<const ScenarioSpec> specs,
                                        const core::EngineConfig& config = {});
 
+/// The same sweep over any data::TrialSource — out-of-core what-if sweeps.
+/// The in-memory overload wraps its table in a one-block InMemorySource and
+/// calls this; a ChunkedFileSource streams the sweep over a book bigger
+/// than RAM. Per block, the planner re-binds the same blueprint list
+/// (masks and resolutions are rebuilt against the block, both trial-local)
+/// onto the same execution plan, so streamed sweeps are bit-identical to
+/// in-memory ones on every backend.
+ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
+                                       data::TrialSource& source,
+                                       std::span<const ScenarioSpec> specs,
+                                       const core::EngineConfig& config = {});
+
 }  // namespace riskan::scenario

@@ -1,5 +1,6 @@
 #include "util/bytes.hpp"
 
+#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -13,6 +14,25 @@ std::span<const std::byte> ByteReader::take(std::size_t n) {
   const auto out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 void write_file(const std::string& path, std::span<const std::byte> data) {

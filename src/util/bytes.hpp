@@ -85,6 +85,10 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected, table-driven) of `data` —
+/// the per-chunk integrity check of the chunked container files.
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
 /// Whole-file helpers.
 void write_file(const std::string& path, std::span<const std::byte> data);
 std::vector<std::byte> read_file(const std::string& path);

@@ -115,12 +115,15 @@ TEST(ChunkedFile, RoundTripsChunks) {
   }
   ChunkedFileReader reader(path);
   ASSERT_EQ(reader.chunk_count(), 3u);
-  ByteReader first(reader.chunk(0));
+  EXPECT_TRUE(reader.has_checksums());
+  const auto chunk0 = reader.read_chunk(0);
+  ByteReader first(chunk0);
   EXPECT_EQ(first.str(), "first chunk");
-  ByteReader second(reader.chunk(1));
+  const auto chunk1 = reader.read_chunk(1);
+  ByteReader second(chunk1);
   EXPECT_EQ(second.u64(), 0xFEEDull);
-  EXPECT_EQ(reader.chunk(2).size(), 0u);
-  EXPECT_THROW((void)reader.chunk(3), ContractViolation);
+  EXPECT_EQ(reader.read_chunk(2).size(), 0u);
+  EXPECT_THROW((void)reader.read_chunk(3), ContractViolation);
   remove_file(path);
 }
 

@@ -88,8 +88,8 @@ TEST(Robustness, ChunkedFileBodyCorruptionDetected) {
   }
   auto bytes = read_file(path);
   // Grow the directory's size entry beyond the body.
-  // Directory layout: [body][u64 count][u64 size][magic u32][u64 offset].
-  const std::size_t size_pos = bytes.size() - 12 - 8;
+  // Directory layout: [body][u64 count][u64 size][u32 crc][magic u32][u64 offset].
+  const std::size_t size_pos = bytes.size() - 12 - 12;
   bytes[size_pos] = std::byte{0xFF};
   write_file(path, bytes);
   EXPECT_THROW(ChunkedFileReader{path}, ContractViolation);
