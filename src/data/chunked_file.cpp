@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/io_error.hpp"
 #include "util/require.hpp"
 
 namespace riskan::data {
@@ -64,18 +65,23 @@ ChunkedFileReader::ChunkedFileReader(const std::string& path)
     : path_(path), in_(path, std::ios::binary | std::ios::ate) {
   RISKAN_REQUIRE(in_.good(), "cannot open chunked file for reading: " + path_);
   file_bytes_ = static_cast<std::size_t>(in_.tellg());
-  RISKAN_REQUIRE(file_bytes_ >= kFooterBytes, "chunked file too small: " + path_);
+  if (file_bytes_ < kFooterBytes) {
+    throw TruncatedFileError("chunked file too small for a footer: " + path_);
+  }
 
   const auto footer_bytes = read_range(file_bytes_ - kFooterBytes, kFooterBytes);
   ByteReader tail(footer_bytes);
   const auto magic = tail.u32();
-  RISKAN_REQUIRE(magic == kChunkMagicV1 || magic == kChunkMagicV2,
-                 "bad chunked-file magic: " + path_);
+  if (magic != kChunkMagicV1 && magic != kChunkMagicV2) {
+    throw CorruptChunkError("bad chunked-file magic: " + path_);
+  }
   checksummed_ = magic == kChunkMagicV2;
   const bool checksummed = checksummed_;
   const auto dir_offset = tail.u64();
-  RISKAN_REQUIRE(dir_offset <= file_bytes_ - kFooterBytes,
-                 "corrupt directory offset: " + path_);
+  if (dir_offset > file_bytes_ - kFooterBytes) {
+    throw TruncatedFileError("directory offset past end of file (truncated footer): " +
+                             path_);
+  }
 
   const auto dir_bytes =
       read_range(dir_offset, file_bytes_ - kFooterBytes - static_cast<std::size_t>(dir_offset));
@@ -83,8 +89,9 @@ ChunkedFileReader::ChunkedFileReader(const std::string& path)
   const auto count = dir.u64();
   const std::size_t entry_bytes =
       sizeof(std::uint64_t) + (checksummed ? sizeof(std::uint32_t) : 0);
-  RISKAN_REQUIRE(dir.remaining() == count * entry_bytes,
-                 "directory size does not match chunk count: " + path_);
+  if (dir.remaining() != count * entry_bytes) {
+    throw CorruptChunkError("directory size does not match chunk count: " + path_);
+  }
   offsets_.reserve(count);
   sizes_.reserve(count);
   std::uint64_t offset = 0;
@@ -97,7 +104,9 @@ ChunkedFileReader::ChunkedFileReader(const std::string& path)
     }
     offset += size;
   }
-  RISKAN_ENSURE(offset == dir_offset, "chunk sizes do not cover body: " + path_);
+  if (offset != dir_offset) {
+    throw CorruptChunkError("chunk sizes do not cover body: " + path_);
+  }
 }
 
 std::size_t ChunkedFileReader::chunk_size(std::size_t i) const {
@@ -109,17 +118,18 @@ std::vector<std::byte> ChunkedFileReader::read_range(std::uint64_t offset, std::
   std::vector<std::byte> bytes(n);
   in_.seekg(static_cast<std::streamoff>(offset));
   in_.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(n));
-  RISKAN_ENSURE(in_.good() || n == 0, "chunk read failed: " + path_);
+  if (!(in_.good() || n == 0)) {
+    throw TruncatedFileError("chunk read past end of file: " + path_);
+  }
   return bytes;
 }
 
 std::vector<std::byte> ChunkedFileReader::read_chunk(std::size_t i) {
   RISKAN_REQUIRE(i < offsets_.size(), "chunk index out of range");
   auto bytes = read_range(offsets_[i], sizes_[i]);
-  if (!crcs_.empty()) {
-    RISKAN_REQUIRE(crc32(bytes) == crcs_[i],
-                   "chunk checksum mismatch (corrupt chunk " + std::to_string(i) +
-                       "): " + path_);
+  if (!crcs_.empty() && crc32(bytes) != crcs_[i]) {
+    throw CorruptChunkError("chunk checksum mismatch (corrupt chunk " + std::to_string(i) +
+                            "): " + path_);
   }
   return bytes;
 }

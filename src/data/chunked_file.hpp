@@ -14,9 +14,11 @@
 // spills as it goes. The writer streams chunks straight to disk (the body is
 // never buffered whole, so files larger than RAM can be written), and each
 // chunk carries a CRC-32 the reader verifies on read: a bit flip anywhere in
-// a chunk surfaces as a ContractViolation instead of silently corrupt
-// losses. Version-1 files (magic "CHK1", sizes-only directory) are still
-// readable; they simply have no checksums to verify.
+// a chunk surfaces as a typed riskan::CorruptChunkError (and a truncated
+// footer as TruncatedFileError — util/io_error.hpp) instead of silently
+// corrupt losses, so the recovery layer can tell retryable data damage from
+// programmer ContractViolations. Version-1 files (magic "CHK1", sizes-only
+// directory) are still readable; they simply have no checksums to verify.
 #pragma once
 
 #include <cstdint>
@@ -64,7 +66,8 @@ class ChunkedFileReader {
   std::size_t chunk_size(std::size_t i) const;
 
   /// Reads chunk i from disk, verifying its CRC-32 (version-2 files);
-  /// throws ContractViolation on corruption.
+  /// throws CorruptChunkError on a checksum mismatch and
+  /// TruncatedFileError when the chunk extends past EOF.
   std::vector<std::byte> read_chunk(std::size_t i);
 
   /// First min(n, chunk size) bytes of chunk i, unverified — header peeks

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "util/io_error.hpp"
 #include "util/require.hpp"
 
 namespace riskan::data {
@@ -105,8 +106,11 @@ TrialId peek_yelt_trials(std::span<const std::byte> header) {
   ByteReader reader(header);
   check_header(reader, kYeltMagic, "YELT");
   const std::uint64_t trials = reader.u64();
-  RISKAN_REQUIRE(trials <= std::numeric_limits<TrialId>::max(),
-                 "encoded YELT trial count overflows TrialId");
+  // Header bytes always come off storage (or the wire), so an absurd count
+  // is damaged data — the typed, retryable error, not a programmer bug.
+  if (trials > std::numeric_limits<TrialId>::max()) {
+    throw CorruptChunkError("encoded YELT trial count overflows TrialId");
+  }
   return static_cast<TrialId>(trials);
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "data/serialize.hpp"
+#include "util/io_error.hpp"
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"
 
@@ -27,8 +28,21 @@ bool InMemorySource::next(TrialBlock& block) {
 
 EncodedBlockSource::EncodedBlockSource(std::span<const std::byte> encoded)
     : encoded_bytes_(encoded.size()) {
-  ByteReader reader(encoded);
-  yelt_ = std::make_shared<const YearEventLossTable>(decode_yelt(reader));
+  // A blob that fails structural decode is damaged *data*, not a broken
+  // API contract: surface it as the typed CorruptChunkError so the
+  // distribution layer can treat it as retryable (re-read the replica,
+  // re-run the block) instead of aborting like a programmer bug — and so
+  // a short or bit-flipped payload can never be silently decoded into
+  // garbage trials.
+  try {
+    ByteReader reader(encoded);
+    yelt_ = std::make_shared<const YearEventLossTable>(decode_yelt(reader));
+  } catch (const IoError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CorruptChunkError(std::string("encoded trial block failed to decode: ") +
+                            e.what());
+  }
 }
 
 bool EncodedBlockSource::next(TrialBlock& block) {
@@ -58,10 +72,13 @@ ChunkedFileSource::ChunkedFileSource(const std::string& path, Options options)
     // header, so a corrupted count cannot pass this and OOM the run — it
     // fails here, or the CRC catches it at read time.
     const std::size_t chunk_bytes = reader_.chunk_size(c);
-    RISKAN_REQUIRE(chunk_bytes >= kYeltHeaderBytes + sizeof(std::uint64_t) &&
-                       static_cast<std::uint64_t>(chunk_trials) <=
-                           (chunk_bytes - kYeltHeaderBytes) / sizeof(std::uint64_t) - 1,
-                   "chunk header trial count exceeds the chunk's size (corrupt chunk)");
+    if (!(chunk_bytes >= kYeltHeaderBytes + sizeof(std::uint64_t) &&
+          static_cast<std::uint64_t>(chunk_trials) <=
+              (chunk_bytes - kYeltHeaderBytes) / sizeof(std::uint64_t) - 1)) {
+      throw CorruptChunkError(
+          "chunk header trial count exceeds the chunk's size (corrupt chunk " +
+          std::to_string(c) + ")");
+    }
     chunk_offsets_.push_back(trials_);
     chunk_trials_.push_back(chunk_trials);
     trials_ += chunk_trials;

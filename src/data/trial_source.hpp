@@ -97,9 +97,12 @@ class InMemorySource final : public TrialSource {
   bool served_ = false;
 };
 
-/// Adapter over one encoded YELT blob — how a MapReduce map task lowers its
-/// DFS block through the same data plane as every other entry point. The
-/// blob is decoded at construction; the span need not outlive the ctor.
+/// Adapter over one encoded YELT blob — how a MapReduce map task or a
+/// dist-layer worker lowers its block through the same data plane as every
+/// other entry point. The blob is decoded at construction; the span need
+/// not outlive the ctor. A short or corrupted payload throws the typed
+/// riskan::CorruptChunkError (util/io_error.hpp) — garbage bytes can never
+/// silently decode into trials.
 class EncodedBlockSource final : public TrialSource {
  public:
   explicit EncodedBlockSource(std::span<const std::byte> encoded);

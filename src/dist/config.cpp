@@ -1,0 +1,26 @@
+#include "dist/config.hpp"
+
+#include "util/require.hpp"
+
+namespace riskan::dist {
+
+void validate_dist_config(const DistConfig& config) {
+  RISKAN_REQUIRE(config.workers <= 256,
+                 "DistConfig::workers above 256 is a configuration bug");
+  RISKAN_REQUIRE(config.lease_seconds > 0.0 && config.lease_seconds <= 3600.0,
+                 "DistConfig::lease_seconds must be in (0, 3600]");
+  RISKAN_REQUIRE(config.max_attempts >= 1 && config.max_attempts <= 1000,
+                 "DistConfig::max_attempts must be in [1, 1000]");
+  RISKAN_REQUIRE(config.backoff_initial_seconds >= 0.0,
+                 "DistConfig::backoff_initial_seconds must be >= 0");
+  RISKAN_REQUIRE(config.backoff_max_seconds >= config.backoff_initial_seconds,
+                 "DistConfig backoff bounds are inverted (max < initial)");
+  RISKAN_REQUIRE(config.backoff_max_seconds <= 3600.0,
+                 "DistConfig::backoff_max_seconds must be <= 3600");
+  RISKAN_REQUIRE(config.max_respawns <= 4096,
+                 "DistConfig::max_respawns above 4096 is a configuration bug");
+  RISKAN_REQUIRE(config.faults.stall_seconds >= 0.0,
+                 "FaultPlan::stall_seconds must be >= 0");
+}
+
+}  // namespace riskan::dist

@@ -1,0 +1,93 @@
+#include "dist/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "parallel/process.hpp"
+#include "util/bytes.hpp"
+#include "util/io_error.hpp"
+
+namespace riskan::dist {
+
+std::vector<std::byte> encode_frame(const Frame& frame) {
+  std::byte header[kFrameHeaderBytes];
+  const auto put32 = [&header](std::size_t off, std::uint32_t v) {
+    std::memcpy(header + off, &v, sizeof(v));
+  };
+  const auto put64 = [&header](std::size_t off, std::uint64_t v) {
+    std::memcpy(header + off, &v, sizeof(v));
+  };
+  put32(0, kFrameMagic);
+  put32(4, static_cast<std::uint32_t>(frame.type));
+  put64(8, frame.block_id);
+  put64(16, frame.payload.size());
+  put32(24, crc32(frame.payload));
+
+  std::vector<std::byte> out(kFrameHeaderBytes + frame.payload.size());
+  std::memcpy(out.data(), header, kFrameHeaderBytes);
+  if (!frame.payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  return out;
+}
+
+bool write_frame(int fd, const Frame& frame, double timeout_seconds) {
+  const auto bytes = encode_frame(frame);
+  return write_fully(fd, bytes, timeout_seconds);
+}
+
+FrameReadResult read_frame(int fd, Frame& frame) {
+  std::byte header[kFrameHeaderBytes];
+  switch (read_fully(fd, header, kFrameHeaderBytes)) {
+    case ReadResult::Ok:
+      break;
+    case ReadResult::CleanEof:
+      return FrameReadResult::Closed;
+    case ReadResult::TornEof:
+      throw TruncatedFileError("frame stream ended inside a frame header");
+    case ReadResult::Failed:
+      throw IoError("frame header read failed");
+  }
+
+  ByteReader reader(std::span<const std::byte>(header, kFrameHeaderBytes));
+  const std::uint32_t magic = reader.u32();
+  const std::uint32_t type = reader.u32();
+  const std::uint64_t block_id = reader.u64();
+  const std::uint64_t payload_size = reader.u64();
+  const std::uint32_t payload_crc = reader.u32();
+
+  if (magic != kFrameMagic) {
+    throw CorruptFrameError("bad frame magic 0x" + std::to_string(magic));
+  }
+  if (type < static_cast<std::uint32_t>(FrameType::Task) ||
+      type > static_cast<std::uint32_t>(FrameType::Shutdown)) {
+    throw CorruptFrameError("unknown frame type " + std::to_string(type));
+  }
+  if (payload_size > kMaxFramePayload) {
+    throw CorruptFrameError("frame payload size " + std::to_string(payload_size) +
+                            " exceeds the protocol cap");
+  }
+
+  frame.type = static_cast<FrameType>(type);
+  frame.block_id = block_id;
+  frame.payload.resize(static_cast<std::size_t>(payload_size));
+  if (payload_size > 0) {
+    switch (read_fully(fd, frame.payload.data(), frame.payload.size())) {
+      case ReadResult::Ok:
+        break;
+      case ReadResult::CleanEof:
+      case ReadResult::TornEof:
+        throw TruncatedFileError("frame stream ended inside a frame payload");
+      case ReadResult::Failed:
+        throw IoError("frame payload read failed");
+    }
+  }
+  if (crc32(frame.payload) != payload_crc) {
+    throw CorruptFrameError("frame payload CRC mismatch (block " +
+                            std::to_string(block_id) + ")");
+  }
+  return FrameReadResult::Ok;
+}
+
+}  // namespace riskan::dist

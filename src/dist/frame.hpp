@@ -1,0 +1,68 @@
+// Wire frames of the coordinator/worker protocol.
+//
+// Every message between the coordinator and a worker process is one frame:
+//
+//   [u32 magic "RDF1"][u32 type][u64 block_id][u64 payload_size]
+//   [u32 payload crc32][payload bytes]
+//
+// The CRC-32 covers the payload, mirroring ChunkedFile v2's per-chunk
+// checksum: a bit flip on the wire (or a fault-injected one) surfaces as a
+// typed CorruptFrameError at the receiver, never as silently corrupt
+// losses. A frame stream has no resynchronisation markers — once a header
+// fails validation or EOF lands mid-frame, the stream is dead and the peer
+// must be replaced; that is exactly the coordinator's kill-and-requeue
+// policy.
+//
+// Protocol (task pipe coordinator→worker, result pipe worker→coordinator):
+//   Task     c→w  payload = u64 global trial base + encoded YELT block
+//                 (data::EncodedBlockSource's format; the job's wire unit)
+//   Ack      w→c  empty; sent on task receipt — starts the lease clock
+//   Result   w→c  payload = u64 trials + trials×f64 portfolio losses
+//   Error    w→c  payload = u32-length-prefixed message; the task failed
+//                 in a way worth reporting (bad block data), worker lives
+//   Shutdown c→w  empty; worker exits cleanly
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace riskan::dist {
+
+enum class FrameType : std::uint32_t {
+  Task = 1,
+  Ack = 2,
+  Result = 3,
+  Error = 4,
+  Shutdown = 5,
+};
+
+struct Frame {
+  FrameType type = FrameType::Task;
+  std::uint64_t block_id = 0;
+  std::vector<std::byte> payload;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x52444631;  // "RDF1"
+inline constexpr std::size_t kFrameHeaderBytes = 28;
+/// Upper bound a receiver will allocate for one payload; a corrupt size
+/// field fails here instead of OOMing the process.
+inline constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 30;
+
+/// Serialises header + payload (the CRC is computed here).
+std::vector<std::byte> encode_frame(const Frame& frame);
+
+/// Writes `frame` whole, poll-guarded by `timeout_seconds` per stall.
+/// Returns false when the peer is gone or wedged (EPIPE / timeout).
+bool write_frame(int fd, const Frame& frame, double timeout_seconds);
+
+enum class FrameReadResult {
+  Ok,
+  Closed,  ///< clean EOF at a frame boundary — the peer exited normally
+};
+
+/// Blocking read of one frame. Throws CorruptFrameError on bad
+/// magic/type/size/CRC, TruncatedFileError on EOF mid-frame (a torn write
+/// from a crashed peer), IoError on a hard read error.
+FrameReadResult read_frame(int fd, Frame& frame);
+
+}  // namespace riskan::dist

@@ -1,0 +1,122 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/trial_source.hpp"
+#include "dist/frame.hpp"
+#include "parallel/process.hpp"
+#include "util/bytes.hpp"
+
+namespace riskan::dist {
+namespace {
+
+// A worker's replies are small (trials x 8 bytes); if the coordinator has
+// not drained the pipe in this long it is gone, and the worker should die
+// rather than linger as an orphan.
+constexpr double kWorkerWriteTimeout = 30.0;
+
+std::vector<std::byte> encode_result_payload(std::span<const Money> losses) {
+  ByteWriter writer;
+  writer.u64(losses.size());
+  for (const Money loss : losses) {
+    writer.f64(loss);
+  }
+  return writer.buffer();
+}
+
+std::vector<std::byte> encode_error_payload(const std::string& message) {
+  ByteWriter writer;
+  writer.str(message);
+  return writer.buffer();
+}
+
+}  // namespace
+
+[[noreturn]] void worker_main(const WorkerContext& context, int task_fd,
+                              int result_fd) {
+  int tasks_seen = 0;
+  for (;;) {
+    Frame task;
+    try {
+      if (read_frame(task_fd, task) == FrameReadResult::Closed) {
+        ::_exit(0);  // coordinator closed the task pipe: normal shutdown
+      }
+    } catch (const std::exception&) {
+      ::_exit(1);  // torn/garbled task stream: nothing sane left to do
+    }
+    if (task.type == FrameType::Shutdown) {
+      ::_exit(0);
+    }
+    if (task.type != FrameType::Task) {
+      ::_exit(1);
+    }
+    ++tasks_seen;
+
+    // Ack first: receipt of the task starts (refreshes) the lease clock on
+    // the coordinator side, separating "slow compute" from "never got it".
+    if (!write_frame(result_fd, Frame{FrameType::Ack, task.block_id, {}},
+                     kWorkerWriteTimeout)) {
+      ::_exit(1);
+    }
+
+    const auto& faults = context.faults;
+    if (faults.crash_every_task ||
+        faults.crash.fires(context.worker_index, tasks_seen)) {
+      ::_exit(42);  // injected hard crash: no reply, just EOF at the parent
+    }
+    if (faults.stall.fires(context.worker_index, tasks_seen)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(faults.stall_seconds));
+    }
+
+    Frame reply{FrameType::Result, task.block_id, {}};
+    try {
+      ByteReader reader(task.payload);
+      const auto trial_base = static_cast<TrialId>(reader.u64());
+      data::EncodedBlockSource source(reader.raw(reader.remaining()));
+      auto engine = context.engine;
+      engine.trial_base = trial_base;
+      const auto result =
+          core::run_aggregate_analysis(*context.portfolio, source, engine);
+      reply.payload = encode_result_payload(result.portfolio_ylt.losses());
+    } catch (const std::exception& e) {
+      // The block's data (or config) is bad, not the stream: report and
+      // keep serving — the coordinator decides whether to retry elsewhere.
+      reply.type = FrameType::Error;
+      reply.payload = encode_error_payload(e.what());
+    }
+
+    if (reply.type == FrameType::Result &&
+        faults.torn.fires(context.worker_index, tasks_seen)) {
+      const auto bytes = encode_frame(reply);
+      (void)write_fully(result_fd,
+                        std::span<const std::byte>(bytes).subspan(0, bytes.size() / 2),
+                        kWorkerWriteTimeout);
+      ::_exit(43);  // injected torn write: half a frame, then gone
+    }
+    if (reply.type == FrameType::Result &&
+        faults.corrupt.fires(context.worker_index, tasks_seen)) {
+      auto bytes = encode_frame(reply);
+      // Flip a payload byte after the CRC was computed — corruption the
+      // receiver's CRC check must catch.
+      bytes[kFrameHeaderBytes] ^= std::byte{0x40};
+      if (!write_fully(result_fd, bytes, kWorkerWriteTimeout)) {
+        ::_exit(1);
+      }
+      continue;
+    }
+
+    if (!write_frame(result_fd, reply, kWorkerWriteTimeout)) {
+      ::_exit(1);
+    }
+  }
+}
+
+}  // namespace riskan::dist

@@ -2,6 +2,7 @@
 
 #include "data/serialize.hpp"
 #include "data/trial_source.hpp"
+#include "dist/coordinator.hpp"
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"
 
@@ -38,6 +39,52 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
 
   const TrialId total_trials = yelt.trials();
   const TrialId per_block = config.trials_per_block;
+
+  if (config.dist.has_value()) {
+    // The job rides the multi-process transport: each DFS block becomes a
+    // leased work unit for a forked worker, and the per-trial reduce is
+    // the coordinator's assignment into the output YLT. Same blocks, same
+    // trial bases, same Sequential kernel — bit-identical to the
+    // in-process runtime below, faults and retries included.
+    core::EngineConfig engine;
+    engine.seed = config.seed;
+    engine.secondary_uncertainty = config.secondary_uncertainty;
+    engine.use_resolver = config.use_resolver;
+    engine.batch_contracts = config.batch_contracts && config.use_resolver;
+
+    std::vector<dist::BlockSpec> specs;
+    specs.reserve(result.blocks);
+    for (std::size_t i = 0; i < result.blocks; ++i) {
+      const TrialId lo = static_cast<TrialId>(i) * per_block;
+      const TrialId hi = std::min<TrialId>(total_trials, lo + per_block);
+      specs.push_back({i, lo, hi - lo});
+    }
+
+    Stopwatch job_watch;
+    auto dist_result = dist::run_distributed_aggregate(
+        portfolio, engine, specs,
+        [&](const dist::BlockSpec& spec) {
+          return dfs.read_block(config.dfs_file, static_cast<std::size_t>(spec.id));
+        },
+        *config.dist);
+    result.job_seconds = job_watch.seconds();
+
+    result.portfolio_ylt = std::move(dist_result.portfolio_ylt);
+    result.portfolio_ylt.set_label("portfolio-mapreduce");
+    result.dist_stats = dist_result.stats;
+    // Mirror the runtime's ledger into the MapReduce view: emissions and
+    // groups are per-trial as in-process; the shuffle edge is the result
+    // pipes; the retry counters are the dist layer's recovery telemetry.
+    result.mr_stats.map_emissions = total_trials;
+    result.mr_stats.shuffle_pairs = total_trials;
+    result.mr_stats.shuffle_bytes = dist_result.stats.result_bytes_received;
+    result.mr_stats.reduce_groups = total_trials;
+    result.mr_stats.blocks_retried = dist_result.stats.blocks_retried;
+    result.mr_stats.bytes_resent = dist_result.stats.bytes_resent;
+    result.mr_stats.leases_expired = dist_result.stats.leases_expired;
+    result.mr_stats.seconds = dist_result.seconds;
+    return result;
+  }
 
   Stopwatch job_watch;
   MapReduceConfig mr_config;

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/aggregate_engine.hpp"
 #include "data/yelt.hpp"
 #include "data/ylt.hpp"
+#include "dist/config.hpp"
 #include "finance/contract.hpp"
 #include "mapreduce/dfs.hpp"
 #include "mapreduce/framework.hpp"
@@ -42,11 +44,21 @@ struct AggregateJobConfig {
   /// so `use_resolver = false` (the legacy-lookup ablation) forces the
   /// per-contract path regardless of this flag.
   bool batch_contracts = true;
+  /// When set, the map phase rides the multi-process dist transport
+  /// (src/dist/coordinator.hpp): DFS blocks are leased to forked worker
+  /// processes with retry/re-queue and straggler re-execution, and the
+  /// reduce is the coordinator's per-trial assignment. Bit-identical to
+  /// the in-process runtime — faults included. nullopt = in-process
+  /// MapReduce (the default, and the only option inside map/worker
+  /// processes themselves).
+  std::optional<dist::DistConfig> dist;
 };
 
 struct AggregateJobResult {
   data::YearLossTable portfolio_ylt;
   MapReduceStats mr_stats;
+  /// Distribution-runtime telemetry; all-zero for in-process jobs.
+  dist::DistStats dist_stats;
   std::uint64_t dfs_bytes = 0;
   std::size_t blocks = 0;
   double stage_in_seconds = 0.0;  ///< splitting + DFS write

@@ -34,6 +34,12 @@ struct MapReduceStats {
   std::uint64_t shuffle_pairs = 0;     ///< pairs crossing the map->reduce edge
   std::uint64_t shuffle_bytes = 0;
   std::uint64_t reduce_groups = 0;
+  // Fault-recovery ledger, populated when the job rides the multi-process
+  // dist transport (src/dist/): zero on the in-process runtime, non-zero
+  // under injected faults (the recovery tests assert it).
+  std::uint64_t blocks_retried = 0;    ///< map blocks re-queued after a failure
+  std::uint64_t bytes_resent = 0;      ///< task bytes of those re-sends
+  std::uint64_t leases_expired = 0;    ///< leases that timed out (stragglers)
   double seconds = 0.0;
 };
 

@@ -1,0 +1,166 @@
+#include "parallel/process.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/io_error.hpp"
+
+namespace riskan {
+
+void UniqueFd::reset(int fd) noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Pipe make_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw IoError("pipe() failed: errno " + std::to_string(errno));
+  }
+  Pipe p;
+  p.read_end = UniqueFd(fds[0]);
+  p.write_end = UniqueFd(fds[1]);
+  return p;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw IoError("fcntl(O_NONBLOCK) failed: errno " + std::to_string(errno));
+  }
+}
+
+std::optional<pid_t> spawn_process(const std::function<void()>& child_body) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    // Child. Never unwind into the parent's stack and never run the
+    // parent's atexit chain (shared stdio buffers would double-flush).
+    child_body();
+    ::_exit(0);
+  }
+  return pid;
+}
+
+bool write_fully(int fd, std::span<const std::byte> data, double timeout_seconds) {
+  std::size_t written = 0;
+  const int timeout_ms = static_cast<int>(timeout_seconds * 1000.0);
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Full pipe: park on poll until the peer drains it or the deadline
+      // passes (a wedged peer must not hang the coordinator).
+      struct pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc <= 0) {
+        return false;  // timeout or poll error
+      }
+      continue;
+    }
+    return false;  // EPIPE (peer gone) or a hard error
+  }
+  return true;
+}
+
+ReadResult read_fully(int fd, std::byte* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, dst + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return got == 0 ? ReadResult::CleanEof : ReadResult::TornEof;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return ReadResult::Failed;
+  }
+  return ReadResult::Ok;
+}
+
+int poll_readable(std::span<const int> fds, double timeout_seconds,
+                  std::vector<int>& ready) {
+  ready.clear();
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) {
+    pfds.push_back({fd, POLLIN, 0});
+  }
+  const int timeout_ms = timeout_seconds < 0.0
+                             ? -1
+                             : static_cast<int>(timeout_seconds * 1000.0);
+  int rc;
+  do {
+    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) {
+    return 0;
+  }
+  for (const auto& pfd : pfds) {
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      ready.push_back(pfd.fd);
+    }
+  }
+  return static_cast<int>(ready.size());
+}
+
+bool fd_readable_now(int fd) {
+  struct pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, 0);
+  } while (rc < 0 && errno == EINTR);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+void terminate_process(pid_t pid, bool hard) {
+  if (pid > 0) {
+    ::kill(pid, hard ? SIGKILL : SIGTERM);
+  }
+}
+
+bool reap_process(pid_t pid, bool block) {
+  if (pid <= 0) {
+    return true;
+  }
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid, &status, block ? 0 : WNOHANG);
+  } while (rc < 0 && errno == EINTR);
+  // ECHILD means someone already reaped it — gone either way.
+  return rc == pid || (rc < 0 && errno == ECHILD);
+}
+
+SigpipeIgnore::SigpipeIgnore() {
+  previous_ = std::signal(SIGPIPE, SIG_IGN);
+  installed_ = previous_ != SIG_ERR;
+}
+
+SigpipeIgnore::~SigpipeIgnore() {
+  if (installed_) {
+    std::signal(SIGPIPE, previous_);
+  }
+}
+
+}  // namespace riskan

@@ -1,0 +1,122 @@
+// POSIX process primitives for the multi-process distribution layer
+// (src/dist/): fork-based worker spawning, pipes, and deadline-guarded
+// whole-buffer I/O.
+//
+// The dist runtime forks its workers instead of exec'ing a separate binary:
+// a forked child inherits the coordinator's address space, so the portfolio,
+// contract ELTs and engine configuration are already resident in the worker
+// — only trial blocks and results cross the pipe, CRC-framed
+// (src/dist/frame.hpp). Children must call only fork-safe machinery before
+// _exit: the worker loop computes on the pool-free Sequential backend and
+// never touches the shared ThreadPool or process-wide caches.
+//
+// All I/O helpers are EINTR-safe. Writes are poll-guarded with a deadline so
+// a dead or wedged peer can never hang the coordinator on a full pipe; reads
+// distinguish a clean close at a message boundary from a torn one mid-read,
+// which is exactly the signal the failure-recovery layer keys on.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace riskan {
+
+/// Owning file descriptor (close-on-destroy, move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A unidirectional pipe; read_end/write_end are both owning.
+struct Pipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+};
+
+/// Creates a pipe; throws riskan::IoError when the fd table is exhausted.
+Pipe make_pipe();
+
+/// Switches `fd` to non-blocking mode (write_fully's deadline needs EAGAIN
+/// from a full pipe, not an indefinite block).
+void set_nonblocking(int fd);
+
+/// Forks; the child runs `child_body` and then _exit(0) (never returns, and
+/// never unwinds into the caller's stack). Returns the child pid, or
+/// nullopt when fork() itself fails — the caller's cue to degrade to
+/// in-process execution.
+std::optional<pid_t> spawn_process(const std::function<void()>& child_body);
+
+/// Writes all of `data`, polling for writability with `timeout_seconds`
+/// per stall. Returns false on EPIPE / closed peer / timeout / error —
+/// never raises SIGPIPE (callers hold a SigpipeIgnore).
+bool write_fully(int fd, std::span<const std::byte> data, double timeout_seconds);
+
+enum class ReadResult {
+  Ok,        ///< all n bytes read
+  CleanEof,  ///< peer closed before the first byte — a message boundary
+  TornEof,   ///< peer closed mid-buffer — a torn write / crashed peer
+  Failed,    ///< read error
+};
+
+/// Blocking EINTR-safe read of exactly `n` bytes.
+ReadResult read_fully(int fd, std::byte* dst, std::size_t n);
+
+/// Polls `fds` for readability; fills `ready` with the readable (or
+/// hung-up) fds. Returns the number of ready fds (0 on timeout).
+int poll_readable(std::span<const int> fds, double timeout_seconds,
+                  std::vector<int>& ready);
+
+/// True when `fd` is readable or hung up right now (poll with zero timeout).
+bool fd_readable_now(int fd);
+
+/// Sends SIGTERM (or SIGKILL when `hard`) to `pid`; best-effort.
+void terminate_process(pid_t pid, bool hard);
+
+/// Reaps `pid`. Blocking when `block`; returns true once the child is gone.
+bool reap_process(pid_t pid, bool block);
+
+/// Scoped SIGPIPE suppression: a write to a crashed worker must surface as
+/// EPIPE (a recoverable event), not kill the coordinator. Restores the
+/// previous disposition on destruction.
+class SigpipeIgnore {
+ public:
+  SigpipeIgnore();
+  ~SigpipeIgnore();
+  SigpipeIgnore(const SigpipeIgnore&) = delete;
+  SigpipeIgnore& operator=(const SigpipeIgnore&) = delete;
+
+ private:
+  void (*previous_)(int) = nullptr;
+  bool installed_ = false;
+};
+
+}  // namespace riskan

@@ -1,0 +1,56 @@
+// Typed data-plane error hierarchy.
+//
+// ContractViolation (util/require.hpp) means a *programmer* broke an API
+// contract — a bug in the calling code. The errors here mean the *data*
+// went bad at rest or on the wire: a flipped bit in a chunk, a truncated
+// footer, a torn frame from a crashed worker. The distinction matters to
+// the failure-recovery layer (src/dist/): an IoError on a block is
+// retryable — re-read the replica, re-run the task on another worker —
+// while a ContractViolation must abort the job, because retrying a bug
+// yields the same bug.
+//
+//   IoError                — base: any integrity/availability failure of
+//                            stored or transmitted bytes.
+//   ├── CorruptChunkError  — bytes present but wrong: CRC-32 mismatch,
+//   │                        bad magic, a directory that contradicts the
+//   │                        body, an encoded block that fails to decode.
+//   ├── TruncatedFileError — bytes missing: short file, footer past EOF,
+//   │                        EOF inside a chunk or frame.
+//   └── CorruptFrameError  — a wire frame (src/dist/frame.hpp) failed its
+//                            magic/size/CRC checks: the stream past it is
+//                            unusable and the peer must be replaced.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace riskan {
+
+/// Base of every data-integrity/availability error. Deliberately a
+/// runtime_error (the world misbehaved), unlike ContractViolation's
+/// logic_error (the program misbehaved).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Stored or received bytes are present but fail an integrity check.
+class CorruptChunkError : public IoError {
+ public:
+  explicit CorruptChunkError(const std::string& what) : IoError(what) {}
+};
+
+/// Expected bytes are missing: truncated file, EOF mid-structure.
+class TruncatedFileError : public IoError {
+ public:
+  explicit TruncatedFileError(const std::string& what) : IoError(what) {}
+};
+
+/// A dist-layer wire frame failed its header/CRC validation; the stream it
+/// arrived on cannot be resynchronised.
+class CorruptFrameError : public IoError {
+ public:
+  explicit CorruptFrameError(const std::string& what) : IoError(what) {}
+};
+
+}  // namespace riskan

@@ -9,6 +9,7 @@
 #include "data/serialize.hpp"
 #include "data/volcano.hpp"
 #include "util/bytes.hpp"
+#include "util/io_error.hpp"
 #include "util/require.hpp"
 
 namespace riskan::data {
@@ -147,7 +148,9 @@ TEST(ChunkedFile, CorruptFileRejected) {
   garbage.u64(123);
   garbage.u64(456);
   write_file(path, garbage.buffer());
-  EXPECT_THROW(ChunkedFileReader{path}, ContractViolation);
+  // Garbage is damaged *data*, not a broken API contract: the typed
+  // IoError hierarchy keeps the two failure classes distinguishable.
+  EXPECT_THROW(ChunkedFileReader{path}, CorruptChunkError);
   remove_file(path);
 }
 

@@ -1,0 +1,326 @@
+// The distribution runtime's recovery matrix: real forked workers, real
+// pipes, injected faults — and a hard bit-identity requirement. For every
+// fault mode and worker count the final YLT must equal the single-process
+// run exactly (EXPECT_EQ on doubles, no tolerance): blocks partition the
+// trial space, each Task frame carries the block's global trial base, and
+// the reduce is per-trial assignment, so retries, re-queues and straggler
+// re-execution cannot change a single bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/aggregate_engine.hpp"
+#include "data/serialize.hpp"
+#include "data/trial_source.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/frame.hpp"
+#include "finance/contract.hpp"
+#include "mapreduce/aggregate_job.hpp"
+#include "mapreduce/dfs.hpp"
+#include "util/bytes.hpp"
+#include "util/io_error.hpp"
+#include "util/require.hpp"
+
+namespace riskan::dist {
+namespace {
+
+struct DistWorld {
+  finance::Portfolio portfolio;
+  data::YearEventLossTable yelt;
+  std::vector<std::vector<std::byte>> encoded;
+  std::vector<BlockSpec> specs;
+  std::vector<Money> reference;  ///< single-process portfolio losses
+};
+
+constexpr TrialId kTrials = 640;
+constexpr TrialId kPerBlock = 80;
+
+const DistWorld& world() {
+  static const DistWorld w = [] {
+    DistWorld built;
+    finance::PortfolioGenConfig pg;
+    pg.contracts = 3;
+    pg.catalog_events = 150;
+    pg.elt_rows = 30;
+    built.portfolio = finance::generate_portfolio(pg);
+    data::YeltGenConfig yg;
+    yg.trials = kTrials;
+    built.yelt = data::generate_yelt(150, yg);
+
+    for (TrialId lo = 0; lo < kTrials; lo += kPerBlock) {
+      const TrialId hi = std::min<TrialId>(kTrials, lo + kPerBlock);
+      ByteWriter writer;
+      data::encode_yelt_slice(built.yelt, lo, hi, writer);
+      built.specs.push_back({built.encoded.size(), lo, hi - lo});
+      built.encoded.push_back(writer.buffer());
+    }
+
+    core::EngineConfig engine;
+    engine.backend = core::Backend::Sequential;
+    engine.compute_oep = false;
+    engine.keep_contract_ylts = false;
+    const auto result =
+        core::run_aggregate_analysis(built.portfolio, built.yelt, engine);
+    const auto losses = result.portfolio_ylt.losses();
+    built.reference.assign(losses.begin(), losses.end());
+    return built;
+  }();
+  return w;
+}
+
+BlockFetcher fetcher() {
+  return [](const BlockSpec& spec) { return world().encoded[spec.id]; };
+}
+
+void expect_bit_identical(const data::YearLossTable& ylt) {
+  const auto& expected = world().reference;
+  ASSERT_EQ(ylt.trials(), expected.size());
+  for (TrialId t = 0; t < ylt.trials(); ++t) {
+    ASSERT_EQ(ylt[t], expected[t]) << "trial " << t;
+  }
+}
+
+DistResult run(const DistConfig& config) {
+  core::EngineConfig engine;  // normalised by the runtime itself
+  return run_distributed_aggregate(world().portfolio, engine, world().specs,
+                                   fetcher(), config);
+}
+
+// ---------------------------------------------------------------------------
+// The fault × worker-count recovery matrix
+// ---------------------------------------------------------------------------
+
+class DistRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Workers, DistRecovery,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}, std::size_t{8}));
+
+TEST_P(DistRecovery, NoFaultBitIdentical) {
+  DistConfig config;
+  config.workers = GetParam();
+  const auto result = run(config);
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_EQ(result.stats.blocks_total, world().specs.size());
+  EXPECT_EQ(result.stats.blocks_assigned, world().specs.size());
+  EXPECT_EQ(result.stats.blocks_retried, 0u);
+  EXPECT_EQ(result.stats.worker_deaths, 0u);
+  EXPECT_FALSE(result.stats.fell_back_in_process);
+  EXPECT_EQ(result.stats.workers_spawned, config.workers);
+}
+
+TEST_P(DistRecovery, WorkerCrashBitIdentical) {
+  DistConfig config;
+  config.workers = GetParam();
+  config.faults.crash = {0, 1};  // worker 0 dies mid-first-task
+  const auto result = run(config);
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_GE(result.stats.worker_deaths, 1u);
+  EXPECT_GE(result.stats.blocks_retried, 1u);
+  EXPECT_GE(result.stats.workers_respawned, 1u);
+  EXPECT_GE(result.stats.bytes_resent, 1u);
+  EXPECT_FALSE(result.stats.fell_back_in_process);
+}
+
+TEST_P(DistRecovery, CorruptReplyBitIdentical) {
+  DistConfig config;
+  config.workers = GetParam();
+  config.faults.corrupt = {0, 1};  // worker 0's first reply is bit-flipped
+  const auto result = run(config);
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_GE(result.stats.corrupt_frames, 1u);
+  EXPECT_GE(result.stats.blocks_retried, 1u);
+  EXPECT_GE(result.stats.worker_deaths, 1u);  // a garbled stream is culled
+}
+
+TEST_P(DistRecovery, TornReplyBitIdentical) {
+  DistConfig config;
+  config.workers = GetParam();
+  config.faults.torn = {0, 1};  // half a Result frame, then _exit
+  const auto result = run(config);
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_GE(result.stats.corrupt_frames, 1u);
+  EXPECT_GE(result.stats.blocks_retried, 1u);
+}
+
+TEST_P(DistRecovery, StalledWorkerBitIdentical) {
+  DistConfig config;
+  config.workers = GetParam();
+  config.lease_seconds = 0.25;
+  config.faults.stall = {0, 1};
+  config.faults.stall_seconds = 0.6;  // well past the lease
+  const auto result = run(config);
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_GE(result.stats.leases_expired, 1u);
+  EXPECT_GE(result.stats.blocks_retried, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Straggler semantics
+// ---------------------------------------------------------------------------
+
+// A straggler whose block was re-queued but not yet re-assigned (backoff)
+// comes back first: its late result IS the first completion and is used.
+// One block only — with more work pending, evicting the straggler to free
+// its slot would be the right call instead.
+TEST(DistStraggler, LateResultAcceptedWhenFirst) {
+  DistConfig config;
+  config.workers = 1;
+  config.lease_seconds = 0.2;
+  // Re-assignment would wait far longer than the stall, so the straggler's
+  // own result must win.
+  config.backoff_initial_seconds = 5.0;
+  config.backoff_max_seconds = 10.0;
+  config.max_respawns = 0;  // no speculative replacement either
+  config.faults.stall = {0, 1};
+  config.faults.stall_seconds = 0.45;
+  const std::span<const BlockSpec> one_block(world().specs.data(), 1);
+  core::EngineConfig engine;
+  const auto result = run_distributed_aggregate(world().portfolio, engine,
+                                                one_block, fetcher(), config);
+  ASSERT_EQ(result.portfolio_ylt.trials(), kPerBlock);
+  for (TrialId t = 0; t < kPerBlock; ++t) {
+    ASSERT_EQ(result.portfolio_ylt[t], world().reference[t]) << "trial " << t;
+  }
+  EXPECT_GE(result.stats.leases_expired, 1u);
+  EXPECT_GE(result.stats.blocks_retried, 1u);
+  // The lease expired but the block was never re-sent, and the run never
+  // degraded: the straggler itself delivered.
+  EXPECT_EQ(result.stats.bytes_resent, 0u);
+  EXPECT_EQ(result.stats.blocks_assigned, 1u);
+  EXPECT_FALSE(result.stats.fell_back_in_process);
+}
+
+// ---------------------------------------------------------------------------
+// Budgets and degradation
+// ---------------------------------------------------------------------------
+
+TEST(DistBudget, AttemptBudgetExhaustionThrowsDistError) {
+  DistConfig config;
+  config.workers = 2;
+  config.max_attempts = 3;
+  config.backoff_initial_seconds = 0.0;  // retry immediately
+  config.faults.crash_every_task = true;
+  EXPECT_THROW((void)run(config), DistError);
+}
+
+TEST(DistBudget, RespawnBudgetExhaustionFallsBackInProcess) {
+  DistConfig config;
+  config.workers = 1;
+  config.max_attempts = 1000;
+  config.max_respawns = 2;
+  config.backoff_initial_seconds = 0.0;
+  config.faults.crash_every_task = true;
+  const auto result = run(config);
+  // Every fork dies on its first task until the respawn budget is gone,
+  // then the remaining blocks run in-process — and still bit-identically.
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_TRUE(result.stats.fell_back_in_process);
+  EXPECT_EQ(result.stats.workers_respawned, 2u);
+  EXPECT_EQ(result.stats.blocks_run_in_process, world().specs.size());
+}
+
+TEST(DistFallback, SpawnFailureDegradesToInProcess) {
+  DistConfig config;
+  config.workers = 4;
+  config.faults.fail_spawn = true;
+  const auto result = run(config);
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_TRUE(result.stats.fell_back_in_process);
+  EXPECT_EQ(result.stats.workers_spawned, 0u);
+  EXPECT_EQ(result.stats.blocks_run_in_process, world().specs.size());
+}
+
+TEST(DistFallback, ZeroWorkersRunsInProcess) {
+  DistConfig config;
+  config.workers = 0;
+  const auto result = run(config);
+  expect_bit_identical(result.portfolio_ylt);
+  EXPECT_TRUE(result.stats.fell_back_in_process);
+}
+
+// ---------------------------------------------------------------------------
+// Contract checks
+// ---------------------------------------------------------------------------
+
+TEST(DistContracts, OverlappingBlocksRejected) {
+  std::vector<BlockSpec> overlapping = {{0, 0, 100}, {1, 50, 100}};
+  core::EngineConfig engine;
+  EXPECT_THROW((void)run_distributed_aggregate(
+                   world().portfolio, engine, overlapping, fetcher(), {}),
+               ContractViolation);
+}
+
+TEST(DistContracts, DuplicateBlockIdsRejected) {
+  std::vector<BlockSpec> duplicated = {{7, 0, 100}, {7, 100, 100}};
+  core::EngineConfig engine;
+  EXPECT_THROW((void)run_distributed_aggregate(
+                   world().portfolio, engine, duplicated, fetcher(), {}),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+TEST(DistFrame, RoundTripAndCorruptionDetected) {
+  Frame frame;
+  frame.type = FrameType::Result;
+  frame.block_id = 42;
+  for (int i = 0; i < 100; ++i) {
+    frame.payload.push_back(static_cast<std::byte>(i));
+  }
+  auto bytes = encode_frame(frame);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + frame.payload.size());
+  // Flipping any payload byte must break the CRC; flipping the magic must
+  // break the header. (Verified indirectly: the coordinator-side read path
+  // is exercised by the fault matrix; here we check the encoded layout.)
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.u32(), kFrameMagic);
+  EXPECT_EQ(reader.u32(), static_cast<std::uint32_t>(FrameType::Result));
+  EXPECT_EQ(reader.u64(), 42u);
+  EXPECT_EQ(reader.u64(), frame.payload.size());
+  EXPECT_EQ(reader.u32(), crc32(frame.payload));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the MapReduce job riding the dist transport
+// ---------------------------------------------------------------------------
+
+TEST(DistJob, MapReduceJobOnDistTransportBitIdenticalUnderCrash) {
+  const auto& w = world();
+
+  mapreduce::AggregateJobConfig in_process;
+  in_process.trials_per_block = kPerBlock;
+  mapreduce::DfsConfig dfs_config;
+  dfs_config.root_dir = "/tmp/riskan-dfs-dist-inproc";
+  mapreduce::Dfs dfs_a(dfs_config);
+  const auto expected =
+      mapreduce::run_aggregate_job(dfs_a, w.portfolio, w.yelt, in_process);
+
+  mapreduce::AggregateJobConfig distributed = in_process;
+  distributed.dist = DistConfig{};
+  distributed.dist->workers = 2;
+  distributed.dist->faults.crash = {1, 1};  // second worker dies on task 1
+  dfs_config.root_dir = "/tmp/riskan-dfs-dist-workers";
+  mapreduce::Dfs dfs_b(dfs_config);
+  const auto actual =
+      mapreduce::run_aggregate_job(dfs_b, w.portfolio, w.yelt, distributed);
+
+  ASSERT_EQ(actual.portfolio_ylt.trials(), expected.portfolio_ylt.trials());
+  for (TrialId t = 0; t < actual.portfolio_ylt.trials(); ++t) {
+    ASSERT_EQ(actual.portfolio_ylt[t], expected.portfolio_ylt[t]) << "trial " << t;
+  }
+  // The recovery ledger surfaces through MapReduceStats (and is non-zero
+  // under the injected fault).
+  EXPECT_GE(actual.mr_stats.blocks_retried, 1u);
+  EXPECT_GE(actual.mr_stats.bytes_resent, 1u);
+  EXPECT_GE(actual.dist_stats.worker_deaths, 1u);
+  EXPECT_EQ(expected.mr_stats.blocks_retried, 0u);
+}
+
+}  // namespace
+}  // namespace riskan::dist

@@ -7,9 +7,11 @@
 #include "core/portfolio_batch.hpp"
 #include "data/chunked_file.hpp"
 #include "data/serialize.hpp"
+#include "dist/coordinator.hpp"
 #include "finance/contract.hpp"
 #include "scenario/sweep.hpp"
 #include "util/bytes.hpp"
+#include "util/io_error.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
 
@@ -69,11 +71,19 @@ TEST(Robustness, ChunkedFileTruncationDetected) {
     writer.append(chunk.buffer());
     writer.finish();
   }
-  auto bytes = read_file(path);
-  // Drop the tail so the directory offset points past the end.
-  std::vector<std::byte> truncated(bytes.begin(), bytes.end() - 6);
-  write_file(path, truncated);
-  EXPECT_THROW(ChunkedFileReader{path}, ContractViolation);
+  const auto bytes = read_file(path);
+  // Cut the directory out while keeping the 12-byte footer intact: the
+  // directory offset now points past the end — the typed
+  // TruncatedFileError, not a programmer contract.
+  std::vector<std::byte> shrunk(bytes.begin(), bytes.begin() + 16);
+  shrunk.insert(shrunk.end(), bytes.end() - 12, bytes.end());
+  write_file(path, shrunk);
+  EXPECT_THROW(ChunkedFileReader{path}, TruncatedFileError);
+  // Chopping the tail destroys the footer itself — indistinguishable from
+  // a non-chunked file, but still a typed IoError, never silent garbage.
+  std::vector<std::byte> chopped(bytes.begin(), bytes.end() - 6);
+  write_file(path, chopped);
+  EXPECT_THROW(ChunkedFileReader{path}, IoError);
   remove_file(path);
 }
 
@@ -92,7 +102,7 @@ TEST(Robustness, ChunkedFileBodyCorruptionDetected) {
   const std::size_t size_pos = bytes.size() - 12 - 12;
   bytes[size_pos] = std::byte{0xFF};
   write_file(path, bytes);
-  EXPECT_THROW(ChunkedFileReader{path}, ContractViolation);
+  EXPECT_THROW(ChunkedFileReader{path}, CorruptChunkError);
   remove_file(path);
 }
 
@@ -242,3 +252,81 @@ TEST(EngineConfigValidation, EveryEntryPointValidates) {
 
 }  // namespace
 }  // namespace riskan::core
+
+// DistConfig cross-field validation: the distribution runtime rejects
+// nonsensical scheduling knobs before a single process forks, mirroring
+// validate_engine_config.
+namespace riskan::dist {
+namespace {
+
+TEST(DistConfigValidation, DefaultsAreValid) {
+  EXPECT_NO_THROW(validate_dist_config(DistConfig{}));
+}
+
+TEST(DistConfigValidation, RejectsAbsurdWorkerCount) {
+  DistConfig config;
+  config.workers = 257;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+}
+
+TEST(DistConfigValidation, RejectsBadLease) {
+  DistConfig config;
+  config.lease_seconds = 0.0;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+  config.lease_seconds = -1.0;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+  config.lease_seconds = 7200.0;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+}
+
+TEST(DistConfigValidation, RejectsBadAttemptBudget) {
+  DistConfig config;
+  config.max_attempts = 0;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+  config.max_attempts = 1001;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+}
+
+TEST(DistConfigValidation, RejectsInvertedBackoffBounds) {
+  DistConfig config;
+  config.backoff_initial_seconds = 2.0;
+  config.backoff_max_seconds = 1.0;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+  config.backoff_initial_seconds = -0.5;
+  config.backoff_max_seconds = 1.0;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+  config = DistConfig{};
+  config.backoff_max_seconds = 7200.0;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+}
+
+TEST(DistConfigValidation, RejectsAbsurdRespawnBudgetAndStall) {
+  DistConfig config;
+  config.max_respawns = 5000;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+  config = DistConfig{};
+  config.faults.stall_seconds = -0.1;
+  EXPECT_THROW(validate_dist_config(config), ContractViolation);
+}
+
+TEST(DistConfigValidation, EntryPointValidatesUpFront) {
+  // The coordinator validates before forking anything: a bad config is a
+  // ContractViolation even with no blocks and a null-ish fetcher.
+  finance::PortfolioGenConfig pg;
+  pg.contracts = 1;
+  pg.catalog_events = 20;
+  pg.elt_rows = 5;
+  const auto portfolio = finance::generate_portfolio(pg);
+  DistConfig config;
+  config.max_attempts = 0;
+  core::EngineConfig engine;
+  const std::vector<BlockSpec> none;
+  EXPECT_THROW((void)run_distributed_aggregate(
+                   portfolio, engine, none,
+                   [](const BlockSpec&) { return std::vector<std::byte>{}; },
+                   config),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace riskan::dist

@@ -17,6 +17,7 @@
 #include "data/trial_source.hpp"
 #include "scenario/sweep.hpp"
 #include "util/bytes.hpp"
+#include "util/io_error.hpp"
 #include "util/require.hpp"
 
 namespace riskan {
@@ -107,6 +108,39 @@ TEST(EncodedBlockSource, DecodesOneEphemeralBlock) {
     ASSERT_EQ(block.yelt->days()[i], w.yelt.days()[i]);
   }
   EXPECT_FALSE(source.next(block));
+}
+
+// The dist-layer wire contract: a damaged or short encoded block is the
+// typed CorruptChunkError at construction — garbage bytes can never
+// silently decode into trials (a retried worker would otherwise corrupt
+// the final YLT without a trace).
+TEST(EncodedBlockSource, ShortPayloadThrowsTypedError) {
+  const auto w = make_workload(1, 33);
+  ByteWriter writer;
+  data::encode(w.yelt, writer);
+  const auto& bytes = writer.buffer();
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, std::size_t{9}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_THROW(data::EncodedBlockSource{
+                     std::span<const std::byte>(bytes).subspan(0, len)},
+                 CorruptChunkError)
+        << "length " << len;
+  }
+}
+
+TEST(EncodedBlockSource, BitFlippedPayloadThrowsTypedError) {
+  const auto w = make_workload(1, 33);
+  ByteWriter writer;
+  data::encode(w.yelt, writer);
+  // Flip a bit in the magic and in the trial count: both structural fields
+  // must fail the decode loudly with the typed error.
+  for (const std::size_t pos : {std::size_t{1}, std::size_t{13}}) {
+    auto bytes = writer.buffer();
+    bytes[pos] ^= std::byte{0x10};
+    EXPECT_THROW(data::EncodedBlockSource{bytes}, CorruptChunkError)
+        << "flip at " << pos;
+  }
 }
 
 class ChunkedSourceFixture : public ::testing::TestWithParam<bool> {
@@ -218,10 +252,11 @@ TEST(ChunkedFileChecksums, BitFlipInChunkBodyRaises) {
 
   data::ChunkedFileReader reader(path);
   EXPECT_TRUE(reader.has_checksums());
-  EXPECT_THROW((void)reader.read_chunk(0), ContractViolation);
+  EXPECT_THROW((void)reader.read_chunk(0), CorruptChunkError);
 
-  // The streamed engine surfaces the corruption instead of producing a YLT.
-  EXPECT_THROW((void)core::run_aggregate_streaming(w.portfolio, path), ContractViolation);
+  // The streamed engine surfaces the corruption instead of producing a YLT,
+  // as the typed IoError (retryable data damage, not a programmer bug).
+  EXPECT_THROW((void)core::run_aggregate_streaming(w.portfolio, path), IoError);
   remove_file(path);
 }
 
@@ -240,12 +275,12 @@ TEST(ChunkedFileChecksums, CorruptHeaderTrialCountRejectedBeforeSizing) {
   auto corrupted = bytes;
   corrupted[11] = std::byte{0x7F};
   write_file(path, corrupted);
-  EXPECT_THROW(data::ChunkedFileSource{path}, ContractViolation);
+  EXPECT_THROW(data::ChunkedFileSource{path}, CorruptChunkError);
 
   corrupted = bytes;
   corrupted[14] = std::byte{0x7F};
   write_file(path, corrupted);
-  EXPECT_THROW(data::ChunkedFileSource{path}, ContractViolation);
+  EXPECT_THROW(data::ChunkedFileSource{path}, CorruptChunkError);
   remove_file(path);
 }
 
