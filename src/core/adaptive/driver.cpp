@@ -1,0 +1,108 @@
+#include "core/adaptive/driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "data/trial_source.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace riskan::core::adaptive {
+
+namespace detail {
+
+void init_result_shapes(const EngineResult& proto, TrialId trials, EngineResult& out) {
+  out.portfolio_ylt = data::YearLossTable(trials, proto.portfolio_ylt.label());
+  out.reinstatement_premium =
+      data::YearLossTable(trials, proto.reinstatement_premium.label());
+  if (!proto.portfolio_occurrence_ylt.empty()) {
+    out.portfolio_occurrence_ylt =
+        data::YearLossTable(trials, proto.portfolio_occurrence_ylt.label());
+  }
+  out.contract_ylts.reserve(proto.contract_ylts.size());
+  for (const data::YearLossTable& ylt : proto.contract_ylts) {
+    out.contract_ylts.emplace_back(trials, ylt.label());
+  }
+}
+
+namespace {
+
+void copy_span(const data::YearLossTable& from, TrialId offset, data::YearLossTable& to) {
+  RISKAN_ENSURE(offset + from.trials() <= to.trials(),
+                "adaptive block result overflows the preallocated output");
+  std::copy(from.losses().begin(), from.losses().end(),
+            to.mutable_losses().begin() + offset);
+}
+
+}  // namespace
+
+void copy_block_result(const EngineResult& block, TrialId offset, EngineResult& out) {
+  copy_span(block.portfolio_ylt, offset, out.portfolio_ylt);
+  copy_span(block.reinstatement_premium, offset, out.reinstatement_premium);
+  if (!block.portfolio_occurrence_ylt.empty()) {
+    copy_span(block.portfolio_occurrence_ylt, offset, out.portfolio_occurrence_ylt);
+  }
+  RISKAN_ENSURE(block.contract_ylts.size() == out.contract_ylts.size(),
+                "adaptive block result changed its contract set between blocks");
+  for (std::size_t c = 0; c < block.contract_ylts.size(); ++c) {
+    copy_span(block.contract_ylts[c], offset, out.contract_ylts[c]);
+  }
+  out.occurrences_processed += block.occurrences_processed;
+  out.elt_lookups += block.elt_lookups;
+  out.resolve_seconds += block.resolve_seconds;
+}
+
+void truncate_result(EngineResult& result, TrialId trials) {
+  result.portfolio_ylt.truncate(trials);
+  result.portfolio_occurrence_ylt.truncate(trials);
+  result.reinstatement_premium.truncate(trials);
+  for (data::YearLossTable& ylt : result.contract_ylts) {
+    ylt.truncate(trials);
+  }
+}
+
+}  // namespace detail
+
+EngineResult run_adaptive_aggregate(const finance::Portfolio& portfolio,
+                                    data::TrialSource& source,
+                                    const EngineConfig& config) {
+  const AdaptiveConfig& adaptive = config.adaptive;
+  RISKAN_REQUIRE(adaptive.enabled(), "adaptive driver invoked with adaptivity off");
+  validate_engine_config(config);
+  RISKAN_REQUIRE(source.trials() > 0, "trial source must contain trials");
+  Stopwatch watch;
+
+  data::ReblockedSource grid(source, adaptive.block_trials, adaptive.max_trials);
+  ConvergenceController controller(adaptive, grid.trials());
+
+  // Each grid block re-enters the plain entry point: adaptivity cleared
+  // (terminating the recursion after exactly one level) and the block's
+  // trial offset moved onto trial_base, so sampling streams — and hence
+  // every loss — match the same trials of a fixed-budget run bit for bit.
+  EngineResult out;
+  bool shaped = false;
+  data::TrialBlock block;
+  while (!controller.should_stop() && grid.next(block)) {
+    EngineConfig inner = config;
+    inner.adaptive = {};
+    inner.trial_base = config.trial_base + block.trial_offset;
+    data::SingleBlockSource one(block.yelt);
+    const EngineResult r = run_aggregate_analysis(portfolio, one, inner);
+    if (!shaped) {
+      detail::init_result_shapes(r, controller.trial_cap(), out);
+      shaped = true;
+    }
+    detail::copy_block_result(r, block.trial_offset, out);
+    controller.fold(r.portfolio_ylt.losses(),
+                    config.compute_oep ? r.portfolio_occurrence_ylt.losses()
+                                       : std::span<const Money>{});
+  }
+
+  detail::truncate_result(out, controller.trials_folded());
+  out.adaptive = controller.report();
+  out.adaptive.trials_available = source.trials();
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace riskan::core::adaptive

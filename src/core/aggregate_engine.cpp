@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/adaptive/driver.hpp"
 #include "core/exec.hpp"
 #include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
@@ -33,6 +34,12 @@ constexpr std::size_t kMaxDeviceEltChunkRows = std::size_t{1} << 30;
 }  // namespace
 
 void validate_engine_config(const EngineConfig& config) {
+  adaptive::validate_adaptive_config(config.adaptive);
+  if (config.adaptive.enabled() &&
+      (config.adaptive.metrics & adaptive::kOccurrenceMetrics) != 0) {
+    RISKAN_REQUIRE(config.compute_oep,
+                   "adaptive occurrence metrics (occ_var/occ_tvar) need compute_oep");
+  }
   RISKAN_REQUIRE(config.trial_grain <= kMaxTrialGrain,
                  "trial_grain is absurdly large (max 2^30 trials per chunk)");
   RISKAN_REQUIRE(config.device_block_dim > 0, "device block dim must be positive");
@@ -98,6 +105,13 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
   RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
   const TrialId trials = source.trials();
   RISKAN_REQUIRE(trials > 0, "trial source must contain trials");
+
+  // Adaptive stopping wraps this very entry point: the driver re-enters it
+  // per decision block with adaptivity cleared, so everything below runs
+  // unchanged — bit-identically — whether the budget is fixed or adaptive.
+  if (config.adaptive.enabled()) {
+    return adaptive::run_adaptive_aggregate(portfolio, source, config);
+  }
 
   if (config.batch_contracts) {
     return run_portfolio_batch(portfolio, source, config);

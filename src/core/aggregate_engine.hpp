@@ -47,6 +47,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/adaptive/adaptive.hpp"
 #include "data/resolved_yelt.hpp"
 #include "data/yelt.hpp"
 #include "data/ylt.hpp"
@@ -147,6 +148,13 @@ struct EngineConfig {
   /// included. Implies the resolver (`use_resolver` is ignored on this
   /// path).
   bool batch_contracts = false;
+  /// Convergence-adaptive stopping (core/adaptive): with
+  /// adaptive.target_rel_err > 0 the run consumes trials in decision
+  /// blocks, folds streaming estimators after each, and stops once the
+  /// monitored metrics' CIs close — returning the (bit-identical) prefix
+  /// of the fixed-budget run plus EngineResult::adaptive. The default
+  /// (target_rel_err = 0) disables the path entirely.
+  adaptive::AdaptiveConfig adaptive;
 };
 
 /// Validates the cross-field sanity of `config` up front with
@@ -174,6 +182,9 @@ struct EngineResult {
   /// Wall-clock spent building event→row resolutions (0 on cache hits or
   /// when use_resolver is off); included in `seconds`.
   double resolve_seconds = 0.0;
+  /// Convergence report of an adaptive run (enabled = false otherwise):
+  /// stopping trial count, stop reason, per-metric estimates and CIs.
+  adaptive::AdaptiveReport adaptive;
 };
 
 /// Runs aggregate analysis for `portfolio` over `yelt` with `config`.

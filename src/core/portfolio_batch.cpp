@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/adaptive/driver.hpp"
 #include "core/exec.hpp"
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
@@ -563,6 +564,14 @@ EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
   validate_engine_config(config);
   RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
   RISKAN_REQUIRE(source.trials() > 0, "trial source must contain trials");
+  if (config.adaptive.enabled()) {
+    // The adaptive driver re-enters run_aggregate_analysis per decision
+    // block; forcing batch_contracts keeps each block on this batched
+    // lowering (outputs are bit-identical either way).
+    EngineConfig batched = config;
+    batched.batch_contracts = true;
+    return adaptive::run_adaptive_aggregate(portfolio, source, batched);
+  }
   AnalysisRun run;
   run.portfolio = &portfolio;
   run_group({&run, 1}, source, config);

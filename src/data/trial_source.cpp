@@ -57,6 +57,103 @@ bool EncodedBlockSource::next(TrialBlock& block) {
   return true;
 }
 
+bool SingleBlockSource::next(TrialBlock& block) {
+  if (served_) {
+    return false;
+  }
+  served_ = true;
+  block.yelt = yelt_;
+  block.trial_offset = 0;
+  block.index = 0;
+  block.encoded_bytes = 0;
+  return true;
+}
+
+ReblockedSource::ReblockedSource(TrialSource& inner, TrialId block_trials,
+                                 TrialId trial_cap)
+    : inner_(&inner), block_trials_(block_trials) {
+  RISKAN_REQUIRE(block_trials > 0, "reblocked grid needs positive block_trials");
+  trials_ = inner.trials();
+  if (trial_cap > 0) {
+    trials_ = std::min(trials_, trial_cap);
+  }
+}
+
+std::size_t ReblockedSource::block_count() const {
+  return (static_cast<std::size_t>(trials_) + block_trials_ - 1) / block_trials_;
+}
+
+bool ReblockedSource::next(TrialBlock& block) {
+  if (delivered_ >= trials_) {
+    return false;
+  }
+  const TrialId want = std::min<TrialId>(block_trials_, trials_ - delivered_);
+
+  // Pull inner blocks until the grid block is covered. The inner source
+  // declares at least trials_ trials, so exhaustion here is its bug.
+  while (pending_trials_ < want) {
+    TrialBlock inner_block;
+    RISKAN_ENSURE(inner_->next(inner_block),
+                  "inner source ran out of trials before its declared count");
+    Pending p;
+    p.yelt = inner_block.yelt;
+    p.encoded_bytes = inner_block.encoded_bytes;
+    pending_trials_ += p.yelt->trials();
+    pending_.push_back(std::move(p));
+  }
+
+  std::size_t encoded = 0;
+  if (pending_.size() == 1 && pending_.front().consumed == 0 &&
+      pending_.front().yelt->trials() == want) {
+    // The inner block already lands on the grid: pass it through zero-copy.
+    block.yelt = pending_.front().yelt;
+    encoded = pending_.front().encoded_bytes;
+    pending_.clear();
+  } else {
+    // Re-slice `want` trials off the pending queue's front.
+    YearEventLossTable::Builder builder(want);
+    TrialId taken = 0;
+    while (taken < want) {
+      Pending& front = pending_.front();
+      const TrialId avail = front.yelt->trials() - front.consumed;
+      const TrialId take = std::min<TrialId>(avail, want - taken);
+      for (TrialId t = 0; t < take; ++t) {
+        const TrialId src = front.consumed + t;
+        builder.begin_trial();
+        const auto events = front.yelt->trial_events(src);
+        const auto days = front.yelt->trial_days(src);
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          builder.add(events[i], days[i]);
+        }
+      }
+      front.consumed += take;
+      taken += take;
+      // Attribute the inner block's decode cost to the grid block that
+      // finishes it (telemetry only, so first-touch vs last-touch is a
+      // wash; last-touch avoids double counting).
+      if (front.consumed == front.yelt->trials()) {
+        encoded += front.encoded_bytes;
+        pending_.erase(pending_.begin());
+      }
+    }
+    block.yelt = std::make_shared<const YearEventLossTable>(builder.finish());
+  }
+  pending_trials_ -= want;
+  block.trial_offset = delivered_;
+  block.index = index_++;
+  block.encoded_bytes = encoded;
+  delivered_ += want;
+  return true;
+}
+
+void ReblockedSource::reset() {
+  inner_->reset();
+  pending_.clear();
+  pending_trials_ = 0;
+  delivered_ = 0;
+  index_ = 0;
+}
+
 ChunkedFileSource::ChunkedFileSource(const std::string& path, Options options)
     : reader_(path), options_(options) {
   // Header peeks size the run before anything is decoded: per-chunk trial

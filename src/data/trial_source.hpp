@@ -119,6 +119,67 @@ class EncodedBlockSource final : public TrialSource {
   bool served_ = false;
 };
 
+/// One already-decoded block as a source — how the adaptive driver
+/// (core/adaptive) re-enters an entry point per decision block: each block
+/// taken from a ReblockedSource is wrapped and run through the normal
+/// TrialSource overload with the block's trial offset moved onto
+/// EngineConfig::trial_base. Marked ephemeral by default so re-entrant
+/// runs resolve through a run-local cache (the wrapped table may be a
+/// transient re-slice).
+class SingleBlockSource final : public TrialSource {
+ public:
+  explicit SingleBlockSource(std::shared_ptr<const YearEventLossTable> yelt,
+                             bool ephemeral = true)
+      : yelt_(std::move(yelt)), ephemeral_(ephemeral) {}
+
+  TrialId trials() const override { return yelt_->trials(); }
+  std::size_t block_count() const override { return 1; }
+  bool next(TrialBlock& block) override;
+  void reset() override { served_ = false; }
+  bool ephemeral_blocks() const noexcept override { return ephemeral_; }
+
+ private:
+  std::shared_ptr<const YearEventLossTable> yelt_;
+  bool ephemeral_;
+  bool served_ = false;
+};
+
+/// Re-blocks an inner source onto a fixed trial grid: blocks of exactly
+/// `block_trials` trials (short last block), optionally capped at
+/// `trial_cap` total trials. This is the adaptive controller's decision
+/// grid — convergence is checked after each grid block, and the grid is a
+/// pure function of (block_trials, trials), NOT of how the inner source
+/// happened to chunk its data, so the stopping trial count is identical
+/// whether the YELT arrives as one resident table, file chunks, or DFS
+/// blocks. Inner blocks that already land on the grid pass through
+/// zero-copy; otherwise trials are re-sliced through a Builder.
+class ReblockedSource final : public TrialSource {
+ public:
+  /// `inner` must outlive this source. trial_cap = 0 means no cap.
+  ReblockedSource(TrialSource& inner, TrialId block_trials, TrialId trial_cap = 0);
+
+  TrialId trials() const override { return trials_; }
+  std::size_t block_count() const override;
+  bool next(TrialBlock& block) override;
+  void reset() override;
+  bool ephemeral_blocks() const noexcept override { return true; }
+
+ private:
+  struct Pending {
+    std::shared_ptr<const YearEventLossTable> yelt;
+    TrialId consumed = 0;       ///< trials of this block already re-sliced
+    std::size_t encoded_bytes = 0;
+  };
+
+  TrialSource* inner_;
+  TrialId block_trials_;
+  TrialId trials_ = 0;
+  TrialId delivered_ = 0;
+  std::size_t index_ = 0;
+  std::vector<Pending> pending_;
+  TrialId pending_trials_ = 0;
+};
+
 /// Telemetry of one streamed pass (reset() zeroes it with the pass).
 struct ChunkedFileSourceStats {
   std::uint64_t bytes_read = 0;        ///< encoded bytes delivered

@@ -50,6 +50,14 @@ class YearLossTable {
   Money mean() const noexcept;
   Money max() const noexcept;
 
+  /// Drops trials past the first `trials` (adaptive early stop keeps the
+  /// converged prefix); no-op at or below the current count.
+  void truncate(TrialId trials) {
+    if (trials < this->trials()) {
+      losses_.resize(trials);
+    }
+  }
+
   std::size_t byte_size() const noexcept { return losses_.size() * sizeof(Money); }
 
  private:

@@ -6,12 +6,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "core/adaptive/adaptive.hpp"
 #include "data/trial_source.hpp"
 #include "dist/frame.hpp"
 #include "dist/worker.hpp"
@@ -61,13 +63,15 @@ class Coordinator {
  public:
   Coordinator(const finance::Portfolio& portfolio, const core::EngineConfig& engine,
               std::span<const BlockSpec> blocks, const BlockFetcher& fetch,
-              const DistConfig& config, data::YearLossTable& ylt, DistStats& stats)
+              const DistConfig& config, data::YearLossTable& ylt, DistStats& stats,
+              core::adaptive::ConvergenceController* controller)
       : portfolio_(portfolio),
         engine_(engine),
         fetch_(fetch),
         config_(config),
         ylt_(ylt),
-        stats_(stats) {
+        stats_(stats),
+        controller_(controller) {
     blocks_.reserve(blocks.size());
     for (const auto& spec : blocks) {
       BlockState state;
@@ -80,6 +84,16 @@ class Coordinator {
       by_id_.emplace(spec.id, blocks_.size());
       blocks_.push_back(state);
     }
+    // The fold frontier walks blocks in trial order regardless of where
+    // (or in what order) they complete — the adaptive determinism anchor.
+    fold_order_.resize(blocks_.size());
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      fold_order_[i] = i;
+    }
+    std::sort(fold_order_.begin(), fold_order_.end(), [&](std::size_t a, std::size_t b) {
+      return blocks_[a].spec.trial_base < blocks_[b].spec.trial_base;
+    });
+    advance_frontier();  // zero-trial blocks are born done
   }
 
   ~Coordinator() {
@@ -419,7 +433,54 @@ class Coordinator {
     block.done = true;
     block.queued = false;
     ++done_;
+    advance_frontier();
     return true;
+  }
+
+  /// Folds every completed block at the trial-order frontier into the
+  /// convergence controller, and cancels the remaining blocks the moment
+  /// it reports stop. Landing order cannot reach the controller: only the
+  /// frontier position does, so the stopping trial count is identical for
+  /// any worker count, retry history or straggler schedule.
+  void advance_frontier() {
+    if (controller_ == nullptr) {
+      return;
+    }
+    while (frontier_ < fold_order_.size()) {
+      if (controller_->should_stop()) {
+        cancel_remaining();
+        return;
+      }
+      BlockState& block = blocks_[fold_order_[frontier_]];
+      if (!block.done) {
+        return;
+      }
+      if (block.spec.trials > 0) {
+        controller_->fold(
+            ylt_.losses().subspan(block.spec.trial_base, block.spec.trials), {});
+      }
+      ++frontier_;
+    }
+    if (controller_->should_stop()) {
+      cancel_remaining();
+    }
+  }
+
+  /// Convergence reached: blocks past the frontier will never be folded.
+  /// Un-done ones leave the queue as cancelled; in-flight leases are left
+  /// to land as discarded duplicates (or die with shutdown).
+  void cancel_remaining() {
+    for (std::size_t i = frontier_; i < fold_order_.size(); ++i) {
+      BlockState& block = blocks_[fold_order_[i]];
+      if (block.done) {
+        continue;
+      }
+      block.done = true;
+      block.queued = false;
+      ++done_;
+      ++stats_.blocks_cancelled;
+    }
+    frontier_ = fold_order_.size();
   }
 
   void release_worker(WorkerProc& worker, std::uint64_t block_id) {
@@ -520,7 +581,12 @@ class Coordinator {
 
   void fallback_in_process() {
     stats_.fell_back_in_process = true;
-    for (auto& block : blocks_) {
+    // Trial order, not spec order: the adaptive frontier folds (and may
+    // cancel) as each block lands, so the fallback stops at exactly the
+    // same trial as a fully-distributed run. Non-adaptive runs complete
+    // every block either way — per-trial assignment is order-blind.
+    for (const std::size_t index : fold_order_) {
+      BlockState& block = blocks_[index];
       if (block.done) {
         continue;
       }
@@ -540,6 +606,7 @@ class Coordinator {
       block.queued = false;
       ++done_;
       ++stats_.blocks_run_in_process;
+      advance_frontier();
     }
   }
 
@@ -550,8 +617,12 @@ class Coordinator {
   data::YearLossTable& ylt_;
   DistStats& stats_;
 
+  core::adaptive::ConvergenceController* controller_;  ///< null = fixed budget
+
   std::vector<BlockState> blocks_;
   std::unordered_map<std::uint64_t, std::size_t> by_id_;
+  std::vector<std::size_t> fold_order_;  ///< block indices in trial order
+  std::size_t frontier_ = 0;             ///< next fold_order_ entry to fold
   std::vector<WorkerProc> workers_;
   std::size_t done_ = 0;
   std::size_t spawned_total_ = 0;
@@ -572,7 +643,9 @@ DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
   // Workers compute on the pool-free Sequential backend (fork-safe by
   // contract: no shared pool, no process-wide caches) and return only the
   // portfolio view — per-contract YLTs and OEP stay a single-process
-  // feature for now.
+  // feature for now. Adaptivity is the coordinator's job, never a
+  // worker's: a worker stopping early on its own slice would break the
+  // bit-identity of the folded prefix.
   core::EngineConfig worker_engine = engine;
   worker_engine.backend = core::Backend::Sequential;
   worker_engine.pool = nullptr;
@@ -580,10 +653,21 @@ DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
   worker_engine.keep_contract_ylts = false;
   worker_engine.device_info = nullptr;
   worker_engine.resolver_cache = nullptr;
+  worker_engine.adaptive = {};
   core::validate_engine_config(worker_engine);
 
+  const bool adaptive_on = engine.adaptive.enabled();
+  core::adaptive::validate_adaptive_config(engine.adaptive);
+  if (adaptive_on) {
+    RISKAN_REQUIRE((engine.adaptive.metrics & core::adaptive::kOccurrenceMetrics) == 0,
+                   "distributed adaptive runs monitor aggregate metrics only "
+                   "(workers return the aggregate YLT, not the OEP sample)");
+  }
+
   // Bit-identity rests on blocks partitioning the trial space disjointly —
-  // overlapping blocks would race for the same output trials.
+  // overlapping blocks would race for the same output trials. An adaptive
+  // run additionally needs the partition contiguous from trial 0: the fold
+  // frontier's "prefix of the trial space" must be exactly that.
   TrialId total_trials = 0;
   {
     std::unordered_set<std::uint64_t> ids;
@@ -599,6 +683,20 @@ DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
       RISKAN_REQUIRE(ranges[i].first >= ranges[i - 1].first + ranges[i - 1].second,
                      "BlockSpecs overlap in trial space");
     }
+    if (adaptive_on) {
+      RISKAN_REQUIRE(ranges.empty() || ranges.front().first == 0,
+                     "adaptive distributed runs need blocks starting at trial 0");
+      for (std::size_t i = 1; i < ranges.size(); ++i) {
+        RISKAN_REQUIRE(ranges[i].first == ranges[i - 1].first + ranges[i - 1].second,
+                       "adaptive distributed runs need a gap-free block partition");
+      }
+    }
+  }
+
+  std::optional<core::adaptive::ConvergenceController> controller;
+  if (adaptive_on) {
+    RISKAN_REQUIRE(total_trials > 0, "adaptive distributed runs need trials");
+    controller.emplace(engine.adaptive, total_trials);
   }
 
   DistResult out;
@@ -611,8 +709,13 @@ DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
 
   const double start = monotonic_seconds();
   Coordinator coordinator(portfolio, worker_engine, blocks, fetch, config,
-                          out.portfolio_ylt, out.stats);
+                          out.portfolio_ylt, out.stats,
+                          controller.has_value() ? &*controller : nullptr);
   coordinator.run();
+  if (controller.has_value()) {
+    out.portfolio_ylt.truncate(controller->trials_folded());
+    out.adaptive = controller->report();
+  }
   out.seconds = monotonic_seconds() - start;
   return out;
 }

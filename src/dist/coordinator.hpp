@@ -55,9 +55,12 @@ using BlockFetcher =
 
 struct DistResult {
   /// Per-trial portfolio loss over all blocks — bit-identical to the
-  /// single-process run of the same trials.
+  /// single-process run of the same trials. On an adaptive run, truncated
+  /// to the stopping trial count.
   data::YearLossTable portfolio_ylt;
   DistStats stats;
+  /// Convergence report of an adaptive run (enabled = false otherwise).
+  core::adaptive::AdaptiveReport adaptive;
   double seconds = 0.0;
 };
 
@@ -68,6 +71,18 @@ struct DistResult {
 /// trial_base. Throws ContractViolation on invalid configs, DistError when
 /// a block exhausts its attempt budget, and propagates IoError from
 /// `fetch`.
+///
+/// engine.adaptive turns on convergence-adaptive stopping: completed
+/// blocks are folded strictly in trial order (a frontier over the block
+/// partition — completion order, worker count and retries cannot reorder
+/// the fold), and once the monitored metrics converge the remaining blocks
+/// are cancelled instead of leased. The decision grid is the block
+/// partition itself (adaptive.block_trials is ignored here), so the
+/// stopping trial count is a pure function of (seed, config, partition) —
+/// bit-identical across 1..N workers, in-process fallback included.
+/// Requires a contiguous partition starting at trial 0 and rejects
+/// occurrence metrics (workers return the aggregate YLT only); adaptivity
+/// is stripped from the worker engine.
 DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
                                      const core::EngineConfig& engine,
                                      std::span<const BlockSpec> blocks,

@@ -1,5 +1,7 @@
 #include "mapreduce/aggregate_job.hpp"
 
+#include <algorithm>
+
 #include "data/serialize.hpp"
 #include "data/trial_source.hpp"
 #include "dist/coordinator.hpp"
@@ -40,17 +42,29 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
   const TrialId total_trials = yelt.trials();
   const TrialId per_block = config.trials_per_block;
 
+  core::adaptive::validate_adaptive_config(config.adaptive);
+  if (config.adaptive.enabled()) {
+    RISKAN_REQUIRE(
+        (config.adaptive.metrics & core::adaptive::kOccurrenceMetrics) == 0,
+        "adaptive MapReduce jobs monitor aggregate metrics only "
+        "(map tasks emit the aggregate view, not the OEP sample)");
+  }
+
   if (config.dist.has_value()) {
     // The job rides the multi-process transport: each DFS block becomes a
     // leased work unit for a forked worker, and the per-trial reduce is
     // the coordinator's assignment into the output YLT. Same blocks, same
     // trial bases, same Sequential kernel — bit-identical to the
-    // in-process runtime below, faults and retries included.
+    // in-process runtime below, faults and retries included. The adaptive
+    // config rides along whole: the coordinator folds completed blocks at
+    // a trial-order frontier and cancels leases on convergence, stopping
+    // at the same trial as the in-process fold below.
     core::EngineConfig engine;
     engine.seed = config.seed;
     engine.secondary_uncertainty = config.secondary_uncertainty;
     engine.use_resolver = config.use_resolver;
     engine.batch_contracts = config.batch_contracts && config.use_resolver;
+    engine.adaptive = config.adaptive;
 
     std::vector<dist::BlockSpec> specs;
     specs.reserve(result.blocks);
@@ -69,20 +83,67 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
         *config.dist);
     result.job_seconds = job_watch.seconds();
 
+    const TrialId produced = dist_result.portfolio_ylt.trials();
     result.portfolio_ylt = std::move(dist_result.portfolio_ylt);
     result.portfolio_ylt.set_label("portfolio-mapreduce");
     result.dist_stats = dist_result.stats;
+    result.adaptive_report = dist_result.adaptive;
     // Mirror the runtime's ledger into the MapReduce view: emissions and
-    // groups are per-trial as in-process; the shuffle edge is the result
-    // pipes; the retry counters are the dist layer's recovery telemetry.
-    result.mr_stats.map_emissions = total_trials;
-    result.mr_stats.shuffle_pairs = total_trials;
+    // groups are per-trial as in-process (adaptive runs count the folded
+    // prefix); the shuffle edge is the result pipes; the retry counters
+    // are the dist layer's recovery telemetry.
+    result.mr_stats.map_emissions = produced;
+    result.mr_stats.shuffle_pairs = produced;
     result.mr_stats.shuffle_bytes = dist_result.stats.result_bytes_received;
-    result.mr_stats.reduce_groups = total_trials;
+    result.mr_stats.reduce_groups = produced;
     result.mr_stats.blocks_retried = dist_result.stats.blocks_retried;
     result.mr_stats.bytes_resent = dist_result.stats.bytes_resent;
     result.mr_stats.leases_expired = dist_result.stats.leases_expired;
     result.mr_stats.seconds = dist_result.seconds;
+    return result;
+  }
+
+  if (config.adaptive.enabled()) {
+    // Adaptive in-process job: map tasks run sequentially in split order —
+    // each split IS one decision block (trials_per_block is the grid;
+    // adaptive.block_trials is ignored) — folding each output into the
+    // controller and stopping the schedule once it converges. The shuffle
+    // collapses to per-trial assignment (splits partition the trial
+    // space), mirroring the dist coordinator's reduce; its trial-order
+    // fold frontier makes a dist run of the same job stop at the
+    // identical trial.
+    Stopwatch adaptive_watch;
+    core::adaptive::ConvergenceController controller(config.adaptive, total_trials);
+    data::YearLossTable ylt(total_trials, "portfolio-mapreduce");
+    for (std::size_t split = 0; split < result.blocks && !controller.should_stop();
+         ++split) {
+      const auto bytes = dfs.read_block(config.dfs_file, split);
+      data::EncodedBlockSource source(bytes);
+
+      core::EngineConfig engine;
+      engine.backend = core::Backend::Sequential;
+      engine.seed = config.seed;
+      engine.secondary_uncertainty = config.secondary_uncertainty;
+      engine.compute_oep = false;
+      engine.keep_contract_ylts = false;
+      engine.trial_base = static_cast<TrialId>(split) * per_block;
+      engine.use_resolver = config.use_resolver;
+      engine.batch_contracts = config.batch_contracts && config.use_resolver;
+
+      const auto block_result = core::run_aggregate_analysis(portfolio, source, engine);
+      const auto losses = block_result.portfolio_ylt.losses();
+      std::copy(losses.begin(), losses.end(),
+                ylt.mutable_losses().begin() + engine.trial_base);
+      controller.fold(losses, {});
+      result.mr_stats.map_emissions += losses.size();
+    }
+    ylt.truncate(controller.trials_folded());
+    result.portfolio_ylt = std::move(ylt);
+    result.adaptive_report = controller.report();
+    result.mr_stats.shuffle_pairs = result.mr_stats.map_emissions;
+    result.mr_stats.reduce_groups = controller.trials_folded();
+    result.job_seconds = adaptive_watch.seconds();
+    result.mr_stats.seconds = result.job_seconds;
     return result;
   }
 

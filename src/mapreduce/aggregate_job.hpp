@@ -52,10 +52,22 @@ struct AggregateJobConfig {
   /// MapReduce (the default, and the only option inside map/worker
   /// processes themselves).
   std::optional<dist::DistConfig> dist;
+  /// Convergence-adaptive stopping (core/adaptive): with target_rel_err >
+  /// 0 the job folds map outputs in split order and stops scheduling
+  /// splits once the monitored metrics' CIs close, truncating the output
+  /// YLT to the stopping trial. The decision grid is the DFS block
+  /// partition itself — adaptive.block_trials is ignored; trials_per_block
+  /// is the grid — so in-process and dist runs (any worker count) stop at
+  /// the same trial. Occurrence metrics are rejected (map tasks emit the
+  /// aggregate view only).
+  core::adaptive::AdaptiveConfig adaptive;
 };
 
 struct AggregateJobResult {
+  /// Truncated to the stopping trial on an adaptive run.
   data::YearLossTable portfolio_ylt;
+  /// Convergence report of an adaptive run (enabled = false otherwise).
+  core::adaptive::AdaptiveReport adaptive_report;
   MapReduceStats mr_stats;
   /// Distribution-runtime telemetry; all-zero for in-process jobs.
   dist::DistStats dist_stats;

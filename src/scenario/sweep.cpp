@@ -4,6 +4,7 @@
 #include <limits>
 #include <string>
 
+#include "core/adaptive/driver.hpp"
 #include "core/exec.hpp"
 #include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
@@ -24,6 +25,75 @@ struct ScenarioRun {
   std::vector<Money> conditioned_accum;  // trials-sized; empty = no conditioning
 };
 
+/// Adaptive sweep: the core/adaptive block driver's loop, driving the
+/// non-adaptive sweep per decision block. Convergence is judged on the
+/// BASE book's metrics (the reference every delta is against); all
+/// scenarios stop at the same trial, keeping the report's deltas aligned.
+ScenarioSweepResult run_adaptive_sweep(const finance::Portfolio& portfolio,
+                                       data::TrialSource& source,
+                                       std::span<const ScenarioSpec> specs,
+                                       const core::EngineConfig& config) {
+  namespace adaptive = core::adaptive;
+  const adaptive::AdaptiveConfig& ad = config.adaptive;
+  Stopwatch watch;
+
+  data::ReblockedSource grid(source, ad.block_trials, ad.max_trials);
+  adaptive::ConvergenceController controller(ad, grid.trials());
+
+  ScenarioSweepResult out;
+  bool shaped = false;
+  data::TrialBlock block;
+  while (!controller.should_stop() && grid.next(block)) {
+    core::EngineConfig inner = config;
+    inner.adaptive = {};
+    inner.trial_base = config.trial_base + block.trial_offset;
+    data::SingleBlockSource one(block.yelt);
+    ScenarioSweepResult r = run_scenario_sweep(portfolio, one, specs, inner);
+    if (!shaped) {
+      adaptive::detail::init_result_shapes(r.base, controller.trial_cap(), out.base);
+      out.scenarios.resize(r.scenarios.size());
+      for (std::size_t s = 0; s < r.scenarios.size(); ++s) {
+        adaptive::detail::init_result_shapes(r.scenarios[s], controller.trial_cap(),
+                                             out.scenarios[s]);
+      }
+      out.plan = r.plan;
+      shaped = true;
+    }
+    adaptive::detail::copy_block_result(r.base, block.trial_offset, out.base);
+    RISKAN_ENSURE(r.scenarios.size() == out.scenarios.size(),
+                  "adaptive sweep block changed its scenario count");
+    for (std::size_t s = 0; s < r.scenarios.size(); ++s) {
+      adaptive::detail::copy_block_result(r.scenarios[s], block.trial_offset,
+                                          out.scenarios[s]);
+    }
+    controller.fold(r.base.portfolio_ylt.losses(),
+                    config.compute_oep ? r.base.portfolio_occurrence_ylt.losses()
+                                       : std::span<const Money>{});
+  }
+
+  const TrialId stop = controller.trials_folded();
+  adaptive::detail::truncate_result(out.base, stop);
+  for (core::EngineResult& scenario : out.scenarios) {
+    adaptive::detail::truncate_result(scenario, stop);
+  }
+  out.base.adaptive = controller.report();
+  out.base.adaptive.trials_available = source.trials();
+
+  // Rebuild the report over the converged prefix with the same normalised
+  // specs the per-block sweeps used.
+  std::vector<ScenarioSpec> validated(specs.begin(), specs.end());
+  for (ScenarioSpec& spec : validated) {
+    spec.validate();
+  }
+  out.report = build_report(out.base, out.scenarios, validated);
+  out.seconds = watch.seconds();
+  for (core::EngineResult& scenario : out.scenarios) {
+    scenario.seconds = out.seconds;
+  }
+  out.base.seconds = out.seconds;
+  return out;
+}
+
 }  // namespace
 
 ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
@@ -42,6 +112,13 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
   RISKAN_REQUIRE(!portfolio.empty(), "scenario sweep needs a non-empty base book");
   const TrialId trials = source.trials();
   RISKAN_REQUIRE(trials > 0, "scenario sweep needs a trial source with trials");
+
+  // Adaptive stopping wraps this entry point exactly like the aggregate
+  // engine's: the driver re-enters it per decision block with adaptivity
+  // cleared, so the pass below runs unchanged either way.
+  if (config.adaptive.enabled()) {
+    return run_adaptive_sweep(portfolio, source, specs, config);
+  }
   Stopwatch watch;
 
   // Normalise validated copies; the base book is the implicit scenario 0.

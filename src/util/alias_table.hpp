@@ -23,11 +23,13 @@ class AliasTable {
   /// Samples an index proportional to its weight.
   template <typename Rng>
   std::size_t sample(Rng& rng) const {
-    __extension__ using Uint128 = unsigned __int128;
+    // (Named to avoid shadowing util/distributions.hpp's Uint128 in TUs
+    // that include both.)
+    __extension__ using WideMul = unsigned __int128;
     const std::uint64_t word = rng();
     // Top bits pick the column, remaining bits the coin.
     const std::size_t column =
-        static_cast<std::size_t>((static_cast<Uint128>(word) * prob_.size()) >> 64);
+        static_cast<std::size_t>((static_cast<WideMul>(word) * prob_.size()) >> 64);
     const double coin = to_unit_double(rng());
     return coin < prob_[column] ? column : alias_[column];
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/require.hpp"
 
@@ -202,8 +203,11 @@ double P2Quantile::value() const noexcept {
   if (count_ == 0) {
     return 0.0;
   }
-  if (count_ < 5) {
-    // Exact quantile over the few samples seen so far.
+  if (count_ <= 5) {
+    // Exact quantile over the few samples seen so far. The <= is load-
+    // bearing: at exactly 5 samples the markers are still the sorted
+    // sample, and returning heights_[2] (the median marker) regardless of
+    // p — the pre-fix behaviour — was a cliff at p near 0 or 1.
     double copy[5];
     std::copy(heights_, heights_ + count_, copy);
     std::sort(copy, copy + count_);
@@ -215,6 +219,70 @@ double P2Quantile::value() const noexcept {
     return copy[idx] + (h - static_cast<double>(idx)) * (copy[idx + 1] - copy[idx]);
   }
   return heights_[2];
+}
+
+double normal_quantile(double p) {
+  RISKAN_REQUIRE(p > 0.0 && p < 1.0, "normal quantile level must lie in (0,1)");
+  // Acklam's rational approximation with the canonical coefficients.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double students_t_quantile(double p, double dof) {
+  RISKAN_REQUIRE(p > 0.0 && p < 1.0, "t quantile level must lie in (0,1)");
+  RISKAN_REQUIRE(dof >= 1.0, "t quantile needs at least 1 degree of freedom");
+  if (dof == 1.0) {
+    // Cauchy.
+    constexpr double pi = 3.14159265358979323846;
+    return std::tan(pi * (p - 0.5));
+  }
+  if (dof == 2.0) {
+    return (2.0 * p - 1.0) / std::sqrt(2.0 * p * (1.0 - p));
+  }
+  // Cornish–Fisher expansion about the normal quantile (Abramowitz &
+  // Stegun 26.7.5, through the 1/dof^3 term).
+  const double z = normal_quantile(p);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double v = dof;
+  return z + (z3 + z) / (4.0 * v) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v) +
+         (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * v * v * v);
+}
+
+double BatchMeans::half_width(double confidence) const {
+  RISKAN_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence level must lie in (0,1)");
+  if (stats_.count() < 2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double n = static_cast<double>(stats_.count());
+  const double t = students_t_quantile(0.5 + confidence / 2.0, n - 1.0);
+  return t * std::sqrt(stats_.sample_variance() / n);
 }
 
 }  // namespace riskan

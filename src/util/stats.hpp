@@ -78,7 +78,8 @@ class P2Quantile {
   explicit P2Quantile(double p);
 
   void add(double x) noexcept;
-  /// Current estimate; exact until 5 samples have been seen.
+  /// Current estimate; exact through the first 5 samples (the markers ARE
+  /// the sorted sample until the 6th arrival starts moving them).
   double value() const noexcept;
   std::uint64_t count() const noexcept { return count_; }
 
@@ -89,6 +90,39 @@ class P2Quantile {
   double positions_[5] = {};
   double desired_[5] = {};
   double increments_[5] = {};
+};
+
+/// Standard normal quantile (inverse CDF), Acklam's rational approximation
+/// (relative error < 1.2e-9 over (0,1)).
+double normal_quantile(double p);
+
+/// Student-t quantile at probability `p` with `dof` degrees of freedom.
+/// Exact closed forms for dof 1 and 2; a Cornish–Fisher expansion of the
+/// normal quantile above that (within ~1% of tabulated values at dof >= 3,
+/// converging quickly with dof) — plenty for confidence-interval
+/// construction, which is its one job here.
+double students_t_quantile(double p, double dof);
+
+/// Batch-means confidence intervals for a streaming estimator: feed one
+/// value per batch (a trial block's sample metric) and read a Student-t
+/// interval for the underlying mean. Batches of equal size over an i.i.d.
+/// stream make the batch values i.i.d. themselves, so the t interval is
+/// valid for nonlinear metrics (quantiles, tail means) where per-sample
+/// CLT machinery is not — the classic MC simulation-output technique, and
+/// the stopping oracle of core/adaptive.
+class BatchMeans {
+ public:
+  void add(double batch_value) noexcept { stats_.add(batch_value); }
+
+  std::uint64_t batches() const noexcept { return stats_.count(); }
+  double mean() const noexcept { return stats_.mean(); }
+
+  /// Two-sided CI half-width at `confidence` (e.g. 0.95); +infinity until
+  /// 2 batches exist (no variance estimate yet).
+  double half_width(double confidence) const;
+
+ private:
+  OnlineStats stats_;
 };
 
 }  // namespace riskan

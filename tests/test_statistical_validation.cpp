@@ -6,8 +6,11 @@
 // disabled here).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "catmod/analytic_ep.hpp"
 #include "catmod/event_catalog.hpp"
 #include "catmod/yelt_bridge.hpp"
 #include "core/aggregate_engine.hpp"
@@ -153,6 +156,126 @@ TEST(ChainValidation, AnnualLossVarianceMatchesCompoundPoisson) {
   }
   // Var = Lambda * E[X^2] = sum rate_e * mean_e^2 for the compound sum.
   EXPECT_NEAR(stats.variance() / second_moment_rate, 1.0, 0.20);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive statistical acceptance — the CIs must mean what they claim
+// ---------------------------------------------------------------------------
+//
+// The adaptive controller stops when its batch-means intervals close under
+// target; these tests hold those intervals to their statistical promise
+// against closed forms: the mean against the pure premium, the occurrence
+// VaR against the analytic exceedance curve's inverse. Each repetition is
+// a fixed seed, so the suite is deterministic — the binomial tolerance
+// (coverage misses allowed across repetitions) prices the fact that a c%
+// CI is ALLOWED to miss (1-c)% of the time, not flakiness.
+
+core::adaptive::AdaptiveConfig acceptance_config() {
+  core::adaptive::AdaptiveConfig ad;
+  ad.target_rel_err = 0.15;
+  ad.confidence = 0.90;
+  ad.tail_level = 0.90;
+  ad.block_trials = 500;
+  ad.min_trials = 2'000;
+  ad.min_batches = 4;
+  ad.metrics = core::adaptive::kMean | core::adaptive::kVar | core::adaptive::kTvar |
+               core::adaptive::kOccVar;
+  return ad;
+}
+
+TEST(AdaptiveAcceptance, ReportedCisCoverTheClosedForms) {
+  const auto chain = build_chain(515);
+  // True occurrence VaR at tail level q = loss with analytic return period
+  // 1 / (1 - q): the closed-form inverse of P(max occ loss > x).
+  const double tail = acceptance_config().tail_level;
+  const Money true_occ_var =
+      catmod::analytic_oep_loss_at(chain.catalog, chain.elt, 1.0 / (1.0 - tail));
+  ASSERT_GT(true_occ_var, 0.0);
+
+  constexpr int kReps = 20;
+  int mean_covered = 0;
+  int occ_var_covered = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    catmod::CatalogYeltConfig yc;
+    yc.trials = 16'000;
+    yc.seed = 7'000 + static_cast<std::uint64_t>(rep) * 31;
+    const auto yelt = catmod::simulate_yelt(chain.catalog, yc);
+
+    core::EngineConfig config;
+    config.backend = core::Backend::Sequential;
+    config.secondary_uncertainty = false;
+    config.compute_oep = true;
+    config.keep_contract_ylts = false;
+    config.adaptive = acceptance_config();
+    const auto result = core::run_aggregate_analysis(chain.portfolio, yelt, config);
+    ASSERT_TRUE(result.adaptive.enabled);
+
+    const auto& mean = result.adaptive.estimate(core::adaptive::kMean);
+    if (std::abs(mean.estimate - chain.pure_premium) <= mean.half_width) {
+      ++mean_covered;
+    }
+    const auto& occ_var = result.adaptive.estimate(core::adaptive::kOccVar);
+    if (std::abs(occ_var.estimate - true_occ_var) <= occ_var.half_width) {
+      ++occ_var_covered;
+    }
+  }
+
+  // 90% intervals over 20 repetitions: P(X <= 13 | p = 0.9) ~ 0.002, so
+  // demanding 14 covers catches broken CIs without failing honest ones.
+  // The occurrence VaR gets one extra miss of slack: the loss distribution
+  // is atomic (600 event means, secondary off) while the analytic inverse
+  // interpolates between atoms.
+  EXPECT_GE(mean_covered, 14) << "mean CI coverage " << mean_covered << "/" << kReps;
+  EXPECT_GE(occ_var_covered, 13)
+      << "occ VaR CI coverage " << occ_var_covered << "/" << kReps;
+}
+
+TEST(AdaptiveAcceptance, StopsEarlyWithTailMetricsNearTheFullRun) {
+  // The headline trade: a fraction of the trials, the same tail metrics.
+  // Per seed, the adaptive stopping prefix's VaR/TVaR must sit within
+  // twice the target relative error of the full fixed-budget run's, while
+  // consuming at most 3/4 of the budget.
+  const auto chain = build_chain(616);
+  const double tail = acceptance_config().tail_level;
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    catmod::CatalogYeltConfig yc;
+    yc.trials = 16'000;
+    yc.seed = seed;
+    const auto yelt = catmod::simulate_yelt(chain.catalog, yc);
+
+    core::EngineConfig fixed;
+    fixed.backend = core::Backend::Sequential;
+    fixed.secondary_uncertainty = false;
+    fixed.compute_oep = false;
+    fixed.keep_contract_ylts = false;
+    core::EngineConfig adaptive = fixed;
+    adaptive.adaptive = acceptance_config();
+    adaptive.adaptive.metrics =
+        core::adaptive::kMean | core::adaptive::kVar | core::adaptive::kTvar;
+
+    const auto full = core::run_aggregate_analysis(chain.portfolio, yelt, fixed);
+    const auto early = core::run_aggregate_analysis(chain.portfolio, yelt, adaptive);
+
+    ASSERT_EQ(early.adaptive.stop_reason, core::adaptive::StopReason::Converged)
+        << "seed " << seed;
+    EXPECT_LE(early.adaptive.trials_run, 12'000u) << "seed " << seed;
+
+    std::vector<double> full_losses(full.portfolio_ylt.losses().begin(),
+                                    full.portfolio_ylt.losses().end());
+    std::vector<double> early_losses(early.portfolio_ylt.losses().begin(),
+                                     early.portfolio_ylt.losses().end());
+    std::sort(full_losses.begin(), full_losses.end());
+    std::sort(early_losses.begin(), early_losses.end());
+
+    const double tolerance = 2.0 * adaptive.adaptive.target_rel_err;
+    EXPECT_NEAR(quantile_sorted(early_losses, tail) / quantile_sorted(full_losses, tail),
+                1.0, tolerance)
+        << "VaR drift at seed " << seed;
+    EXPECT_NEAR(
+        tail_mean_above(early_losses, tail) / tail_mean_above(full_losses, tail), 1.0,
+        tolerance)
+        << "TVaR drift at seed " << seed;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // quantiles against oracles, tail means, histogram, P2 streaming quantiles.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -214,6 +215,152 @@ TEST(P2Quantile, HeavyTailStillReasonable) {
 TEST(P2Quantile, RejectsDegenerateLevels) {
   EXPECT_THROW(P2Quantile(0.0), ContractViolation);
   EXPECT_THROW(P2Quantile(1.0), ContractViolation);
+}
+
+TEST(P2Quantile, ExactAtFiveSamplesEvenNearTheEdges) {
+  // Through the 5th sample the markers ARE the sorted sample, so the
+  // estimate must be the exact type-7 quantile — including extreme levels,
+  // where an off-by-one in the marker init shows up immediately.
+  for (const double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    P2Quantile est(p);
+    for (const double x : {3.0, 1.0, 5.0, 2.0, 4.0}) {
+      est.add(x);
+    }
+    const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(est.value(), quantile_sorted(sorted, p)) << "p = " << p;
+  }
+}
+
+TEST(P2Quantile, ConstantStreamIsExact) {
+  P2Quantile est(0.9);
+  for (int i = 0; i < 10'000; ++i) {
+    est.add(7.25);
+  }
+  EXPECT_DOUBLE_EQ(est.value(), 7.25);
+}
+
+TEST(P2Quantile, SortedStreamsStayNearTheOracle) {
+  // Monotone arrival order is adversarial for marker-based estimators:
+  // every new sample lands at the same end. The estimate should still
+  // track the true quantile of the uniform grid closely.
+  for (const bool descending : {false, true}) {
+    std::vector<double> values(20'000);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<double>(i);
+    }
+    if (descending) {
+      std::reverse(values.begin(), values.end());
+    }
+    for (const double p : {0.1, 0.5, 0.9}) {
+      P2Quantile est(p);
+      for (const double x : values) {
+        est.add(x);
+      }
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      const double exact = quantile_sorted(sorted, p);
+      const double span = sorted.back() - sorted.front();
+      EXPECT_NEAR(est.value(), exact, 0.05 * span)
+          << "p = " << p << " descending = " << descending;
+    }
+  }
+}
+
+TEST(P2Quantile, DuplicateLadenStreamStaysWithinRange) {
+  // A two-valued stream starves the interior markers of distinct heights;
+  // the estimate must still stay inside the sample range.
+  P2Quantile est(0.75);
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 50'000; ++i) {
+    est.add(to_unit_double(rng()) < 0.9 ? 0.0 : 100.0);
+  }
+  EXPECT_GE(est.value(), 0.0);
+  EXPECT_LE(est.value(), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Normal / Student-t quantiles — the CI machinery of core/adaptive
+// ---------------------------------------------------------------------------
+
+TEST(NormalQuantile, MatchesTabulatedValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829303548901, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.95), 1.644853626951473, 1e-8);
+  EXPECT_DOUBLE_EQ(normal_quantile(0.5), 0.0);
+}
+
+TEST(NormalQuantile, IsAntisymmetricAroundTheMedian) {
+  for (const double p : {0.6, 0.9, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantile, RejectsDegenerateLevels) {
+  EXPECT_THROW(normal_quantile(0.0), ContractViolation);
+  EXPECT_THROW(normal_quantile(1.0), ContractViolation);
+}
+
+TEST(StudentsTQuantile, ClosedFormsAtOneAndTwoDof) {
+  // dof 1 is Cauchy, dof 2 has an algebraic inverse — both exact.
+  EXPECT_NEAR(students_t_quantile(0.975, 1.0), 12.706204736174694, 1e-9);
+  EXPECT_NEAR(students_t_quantile(0.975, 2.0), 4.302652729911275, 1e-9);
+  EXPECT_NEAR(students_t_quantile(0.9, 1.0), 3.077683537175253, 1e-9);
+}
+
+TEST(StudentsTQuantile, TracksTablesAtModerateDof) {
+  // Cornish–Fisher territory: ~1% of the tabulated two-sided 95% points.
+  EXPECT_NEAR(students_t_quantile(0.975, 10.0), 2.228, 0.03);
+  EXPECT_NEAR(students_t_quantile(0.975, 30.0), 2.042, 0.02);
+  EXPECT_NEAR(students_t_quantile(0.975, 120.0), 1.980, 0.01);
+}
+
+TEST(StudentsTQuantile, ApproachesTheNormalAsDofGrows) {
+  EXPECT_NEAR(students_t_quantile(0.975, 1e6), normal_quantile(0.975), 1e-4);
+}
+
+TEST(StudentsTQuantile, RejectsDegenerateInputs) {
+  EXPECT_THROW(students_t_quantile(0.0, 10.0), ContractViolation);
+  EXPECT_THROW(students_t_quantile(0.975, 0.5), ContractViolation);
+}
+
+TEST(BatchMeans, HalfWidthIsInfiniteUntilTwoBatches) {
+  BatchMeans batches;
+  EXPECT_TRUE(std::isinf(batches.half_width(0.95)));
+  batches.add(1.0);
+  EXPECT_TRUE(std::isinf(batches.half_width(0.95)));
+  batches.add(2.0);
+  EXPECT_TRUE(std::isfinite(batches.half_width(0.95)));
+  EXPECT_DOUBLE_EQ(batches.mean(), 1.5);
+}
+
+TEST(BatchMeans, MatchesTheHandComputedTInterval) {
+  BatchMeans batches;
+  for (const double x : {10.0, 12.0, 14.0, 16.0}) {
+    batches.add(x);
+  }
+  // s = sqrt(20/3), hw = t_{0.975,3} * s / sqrt(4).
+  const double s = std::sqrt(20.0 / 3.0);
+  const double expect = students_t_quantile(0.975, 3.0) * s / 2.0;
+  EXPECT_NEAR(batches.half_width(0.95), expect, 1e-12);
+}
+
+TEST(BatchMeans, HalfWidthShrinksAsBatchesAccumulate) {
+  // More i.i.d. batch values => tighter interval, monotonically across
+  // 4 -> 16 -> 64 batches for this seeded stream.
+  Xoshiro256ss rng(42);
+  BatchMeans batches;
+  std::vector<double> widths;
+  std::uint64_t next_check = 4;
+  for (int i = 1; i <= 64; ++i) {
+    batches.add(to_unit_double(rng()));
+    if (static_cast<std::uint64_t>(i) == next_check) {
+      widths.push_back(batches.half_width(0.95));
+      next_check *= 4;
+    }
+  }
+  ASSERT_EQ(widths.size(), 3u);
+  EXPECT_LT(widths[1], widths[0]);
+  EXPECT_LT(widths[2], widths[1]);
 }
 
 }  // namespace
