@@ -17,7 +17,7 @@
 #include "catmod/pipeline.hpp"
 #include "core/aggregate_engine.hpp"
 #include "core/bootstrap.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 using namespace riskan;
 
@@ -106,9 +106,9 @@ int main() {
     for (const std::uint32_t reps : {50u, 200u, 800u}) {
       core::BootstrapConfig bc;
       bc.replicates = reps;
-      Stopwatch watch;
+      obs::Timer watch("bench.a1.bootstrap");
       const auto ci = core::bootstrap_pml(result.portfolio_ylt, 250.0, bc);
-      table.add_row({std::to_string(reps), format_seconds(watch.seconds()),
+      table.add_row({std::to_string(reps), format_seconds(watch.stop()),
                      format_fixed(ci.width() / ci.point * 100.0, 1) + "%"});
     }
     std::cout << "\n(4) bootstrap replicate count (YLT of " << trials << " trials)\n";

@@ -20,7 +20,7 @@
 #include "core/aggregate_engine.hpp"
 #include "core/portfolio_batch.hpp"
 #include "data/resolved_yelt.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 using namespace riskan;
 
@@ -33,9 +33,9 @@ template <typename Run>
 double best_seconds(int reps, const Run& run) {
   double best = -1.0;
   for (int r = 0; r < reps; ++r) {
-    Stopwatch watch;
+    obs::Timer watch("bench.rep");
     run();
-    const double s = watch.seconds();
+    const double s = watch.stop();
     if (best < 0.0 || s < best) {
       best = s;
     }

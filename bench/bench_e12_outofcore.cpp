@@ -39,7 +39,7 @@
 #include "core/portfolio_batch.hpp"
 #include "core/streaming.hpp"
 #include "data/trial_source.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 using namespace riskan;
 
@@ -49,9 +49,9 @@ template <typename Run>
 double best_seconds(int reps, const Run& run) {
   double best = -1.0;
   for (int r = 0; r < reps; ++r) {
-    Stopwatch watch;
+    obs::Timer watch("bench.rep");
     run();
-    const double s = watch.seconds();
+    const double s = watch.stop();
     if (best < 0.0 || s < best) {
       best = s;
     }
@@ -75,9 +75,9 @@ StreamedTiming best_streamed(int reps, const std::string& path, bool prefetch,
     data::ChunkedFileSource::Options opts;
     opts.prefetch = prefetch;
     data::ChunkedFileSource source(path, opts);
-    Stopwatch watch;
+    obs::Timer watch("bench.rep");
     core::run_portfolio_batch(portfolio, source, config);
-    const double s = watch.seconds();
+    const double s = watch.stop();
     if (best.seconds < 0.0 || s < best.seconds) {
       best.seconds = s;
       best.stats = source.stats();

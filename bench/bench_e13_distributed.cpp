@@ -39,7 +39,6 @@
 #include "dist/coordinator.hpp"
 #include "mapreduce/aggregate_job.hpp"
 #include "util/bytes.hpp"
-#include "util/stopwatch.hpp"
 
 using namespace riskan;
 

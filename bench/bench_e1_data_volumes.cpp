@@ -18,7 +18,7 @@
 #include "data/yellt.hpp"
 #include "util/format.hpp"
 #include "util/report.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 using namespace riskan;
 
@@ -67,7 +67,7 @@ int main() {
   const data::YelltStream stream(workload.yelt, elts,
                                  static_cast<LocationId>(sizing.locations));
 
-  Stopwatch watch;
+  obs::Timer watch("bench.e1.stream");
   const auto yellt_entries = stream.count_entries();
   std::uint64_t streamed = 0;
   Money total_loss = 0.0;
@@ -75,7 +75,7 @@ int main() {
     ++streamed;
     total_loss += rec.loss;
   });
-  const double stream_seconds = watch.seconds();
+  const double stream_seconds = watch.stop();
 
   std::uint64_t elt_entries = 0;
   std::uint64_t elt_bytes = 0;

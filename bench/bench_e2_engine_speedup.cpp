@@ -18,7 +18,6 @@
 
 #include "bench/common.hpp"
 #include "core/aggregate_engine.hpp"
-#include "util/stopwatch.hpp"
 
 using namespace riskan;
 

@@ -13,7 +13,6 @@
 
 #include "bench/common.hpp"
 #include "core/pricer.hpp"
-#include "util/stopwatch.hpp"
 
 using namespace riskan;
 

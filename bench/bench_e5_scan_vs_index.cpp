@@ -21,7 +21,7 @@
 #include "bench/common.hpp"
 #include "data/scan.hpp"
 #include "data/volcano.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 using namespace riskan;
 
@@ -48,12 +48,12 @@ int main() {
   {
     const data::RowYelt row_yelt(yelt);
     const data::RowElt row_elt(elt);
-    Stopwatch watch;
+    obs::Timer watch("bench.e5.volcano");
     auto scan = std::make_unique<data::YeltScanOp>(row_yelt);
     auto join = std::make_unique<data::IndexJoinOp>(std::move(scan), row_elt);
     data::HashAggOp agg(std::move(join), 0, 1);
     const auto groups = data::run_group_query(agg);
-    const double seconds = watch.seconds();
+    const double seconds = watch.stop();
     if (groups.empty()) {
       return 1;
     }
@@ -64,7 +64,7 @@ int main() {
   {
     const data::RowElt row_elt(elt);
     std::vector<Money> per_trial(yelt.trials(), 0.0);
-    Stopwatch watch;
+    obs::Timer watch("bench.e5.index_probes");
     const auto offsets = yelt.offsets();
     const auto events = yelt.events();
     for (TrialId t = 0; t < yelt.trials(); ++t) {
@@ -75,25 +75,25 @@ int main() {
       }
     }
     results.emplace_back("hash-index probes (random access, no iterators)",
-                         watch.seconds());
+                         watch.stop());
   }
 
   // Columnar + binary search.
   {
-    Stopwatch watch;
+    obs::Timer watch("bench.e5.columnar_sorted");
     const auto per_trial = data::scan_aggregate_sorted(yelt, elt);
     (void)per_trial;
-    results.emplace_back("columnar scan + sorted ELT (engine path)", watch.seconds());
+    results.emplace_back("columnar scan + sorted ELT (engine path)", watch.stop());
   }
 
   // Columnar + dense LUT.
   {
     const auto lut = data::build_dense_loss_lut(elt, catalog);
-    Stopwatch watch;
+    obs::Timer watch("bench.e5.columnar_lut");
     const auto per_trial = data::scan_aggregate_dense(yelt, lut);
     (void)per_trial;
     results.emplace_back("columnar scan + dense LUT (in-memory analytics)",
-                         watch.seconds());
+                         watch.stop());
   }
 
   for (const auto& [name, seconds] : results) {

@@ -16,7 +16,7 @@
 #include "core/metrics.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 using namespace riskan;
 
@@ -35,22 +35,22 @@ int main() {
         ylt[t] = std::pow(to_unit_double_open(rng()), -0.7) - 1.0;  // heavy tail
       }
 
-      Stopwatch w1;
+      obs::Timer w1("bench.e9.summarise");
       const auto summary = core::summarise(ylt);
-      const double t_summary = w1.seconds();
+      const double t_summary = w1.stop();
 
-      Stopwatch w2;
+      obs::Timer w2("bench.e9.exceedance_curve");
       const auto rps = core::standard_return_periods();
       const auto curve = core::exceedance_curve(ylt, rps);
-      const double t_curve = w2.seconds();
+      const double t_curve = w2.stop();
       (void)curve;
 
-      Stopwatch w3;
+      obs::Timer w3("bench.e9.p2_quantile");
       P2Quantile p2(0.99);
       for (const double loss : ylt.losses()) {
         p2.add(loss);
       }
-      const double t_p2 = w3.seconds();
+      const double t_p2 = w3.stop();
       const double err = std::abs(p2.value() - summary.var_99) /
                          (std::abs(summary.var_99) + 1e-12);
 

@@ -17,7 +17,7 @@
 #include "scenario/sweep.hpp"
 #include "util/format.hpp"
 #include "util/report.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 using namespace riskan;
 
@@ -35,7 +35,7 @@ int main() {
   for (EventId e = 0; e < book.catalog_events; ++e) {
     all_events[e] = e;
   }
-  Stopwatch watch;
+  obs::Timer watch("example.post_event");
   const auto worst = analyzer.worst_events(all_events, 5);
   std::cout << "realistic disaster scenarios (full-catalogue sweep, "
             << format_seconds(watch.seconds()) << ")\n";

@@ -6,15 +6,15 @@
 #include "catmod/financial.hpp"
 #include "catmod/spatial_index.hpp"
 #include "catmod/vulnerability.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::catmod {
 
 data::EventLossTable run_cat_model(const EventCatalog& catalog,
                                    const ExposureDatabase& exposure,
                                    const PipelineConfig& config, PipelineStats* stats) {
-  Stopwatch watch;
+  obs::Timer watch("catmod.pipeline");
   const auto& events = catalog.events();
   const auto& sites = exposure.sites();
 
@@ -86,7 +86,7 @@ data::EventLossTable run_cat_model(const EventCatalog& catalog,
     stats->event_exposure_pairs = pairs_evaluated.load();
     stats->pairs_with_loss = pairs_with_loss.load();
     stats->elt_rows = kept.size();
-    stats->seconds = watch.seconds();
+    stats->seconds = watch.stop();
   }
   return data::EventLossTable::from_rows(std::move(kept));
 }

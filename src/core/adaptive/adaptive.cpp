@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace riskan::core::adaptive {
@@ -146,6 +147,23 @@ void ConvergenceController::fold(std::span<const Money> aggregate,
   }
   folded_ += take;
   ++blocks_;
+
+  // Controller telemetry: each fold counts, and the first fold that tips
+  // the run into converged marks the stop decision on the timeline.
+  static const obs::Counter folds =
+      obs::MetricsRegistry::global().counter("adaptive.blocks_folded");
+  static const obs::Counter trials =
+      obs::MetricsRegistry::global().counter("adaptive.trials_folded");
+  folds.add();
+  trials.add(static_cast<double>(take));
+  if (!stop_marked_ && should_stop()) {
+    stop_marked_ = true;
+    static const obs::Counter stops =
+        obs::MetricsRegistry::global().counter("adaptive.stop_decisions");
+    stops.add();
+    static const std::uint32_t stop_event = obs::span_id("adaptive.stop");
+    obs::trace_instant(stop_event);
+  }
 }
 
 MetricEstimate ConvergenceController::estimate_of(const MetricTrack& track) const {

@@ -162,6 +162,7 @@ class ConvergenceController {
   TrialId min_trials_ = 0;
   TrialId folded_ = 0;
   std::uint64_t blocks_ = 0;
+  bool stop_marked_ = false;  ///< obs: the stop decision is traced once
 
   std::vector<MetricTrack> tracks_;  ///< monitored metrics, Metric bit order
   OnlineStats stream_stats_;         ///< full-stream aggregate moments

@@ -4,8 +4,8 @@
 #include <utility>
 
 #include "data/trial_source.hpp"
+#include "obs/obs.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::core::adaptive {
 
@@ -70,7 +70,11 @@ EngineResult run_adaptive_aggregate(const finance::Portfolio& portfolio,
   RISKAN_REQUIRE(adaptive.enabled(), "adaptive driver invoked with adaptivity off");
   validate_engine_config(config);
   RISKAN_REQUIRE(source.trials() > 0, "trial source must contain trials");
-  Stopwatch watch;
+  // The adaptive driver is the outermost scope of its run: the per-block
+  // re-entries below carry a cleared obs config, so their spans/counters
+  // accumulate into THIS scope's window instead of starting nested ones.
+  obs::RunObsScope obs_scope(config.obs);
+  obs::Timer timer("adaptive.run");
 
   data::ReblockedSource grid(source, adaptive.block_trials, adaptive.max_trials);
   ConvergenceController controller(adaptive, grid.trials());
@@ -85,6 +89,7 @@ EngineResult run_adaptive_aggregate(const finance::Portfolio& portfolio,
   while (!controller.should_stop() && grid.next(block)) {
     EngineConfig inner = config;
     inner.adaptive = {};
+    inner.obs = {};
     inner.trial_base = config.trial_base + block.trial_offset;
     data::SingleBlockSource one(block.yelt);
     const EngineResult r = run_aggregate_analysis(portfolio, one, inner);
@@ -101,7 +106,8 @@ EngineResult run_adaptive_aggregate(const finance::Portfolio& portfolio,
   detail::truncate_result(out, controller.trials_folded());
   out.adaptive = controller.report();
   out.adaptive.trials_available = source.trials();
-  out.seconds = watch.seconds();
+  out.seconds = timer.stop();
+  out.obs_report = obs_scope.finish();
   return out;
 }
 

@@ -9,13 +9,13 @@
 #include "core/portfolio_batch.hpp"
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/alias_table.hpp"
 #include "util/distributions.hpp"
 #include "util/prng.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::core::adaptive {
 
@@ -220,7 +220,7 @@ StratifiedResult run_stratified_mean(const finance::Portfolio& portfolio,
   validate_stratified_config(config);
   RISKAN_REQUIRE(!portfolio.empty(), "portfolio must contain contracts");
   RISKAN_REQUIRE(yelt.trials() > 0, "stratified sampling needs trials");
-  Stopwatch watch;
+  obs::Timer watch("adaptive.stratified_run");
 
   const TrialId trials = yelt.trials();
   StrataPartition part = StrataPartition::build(yelt, config.strata);
@@ -393,7 +393,7 @@ StratifiedResult run_stratified_mean(const finance::Portfolio& portfolio,
     s.mean = stats[h].mean();
     s.variance = stats[h].sample_variance();
   }
-  result.seconds = watch.seconds();
+  result.seconds = watch.stop();
   return result;
 }
 

@@ -9,9 +9,9 @@
 #include "core/secondary.hpp"
 #include "data/trial_source.hpp"
 #include "finance/terms.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::core {
 
@@ -34,6 +34,7 @@ constexpr std::size_t kMaxDeviceEltChunkRows = std::size_t{1} << 30;
 }  // namespace
 
 void validate_engine_config(const EngineConfig& config) {
+  obs::validate_obs_config(config.obs);
   adaptive::validate_adaptive_config(config.adaptive);
   if (config.adaptive.enabled() &&
       (config.adaptive.metrics & adaptive::kOccurrenceMetrics) != 0) {
@@ -128,7 +129,15 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
   // special case); per-trial accumulators are sliced by block, and the
   // block's trial offset rides the sampling stream base, so a streamed run
   // is bit-identical to the monolithic one.
-  Stopwatch watch;
+  obs::RunObsScope obs_scope(config.obs);
+  obs::Timer timer("engine.per_contract_run");
+  static const obs::Counter runs_counter =
+      obs::MetricsRegistry::global().counter("engine.runs");
+  static const obs::Histogram block_hist =
+      obs::MetricsRegistry::global().histogram("engine.block_seconds");
+  static const obs::Histogram resolve_hist =
+      obs::MetricsRegistry::global().histogram("engine.resolve_seconds");
+  runs_counter.add();
 
   EngineResult result;
   result.portfolio_ylt = data::YearLossTable(trials, "portfolio");
@@ -168,6 +177,7 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
   std::vector<Money> occurrence_accum;
   for_each_trial_block(source, config, local_cache,
                        [&](const data::TrialBlock& block, TrialId base) {
+    obs::Timer block_timer("engine.block");
     const data::YearEventLossTable& yelt = *block.yelt;
     const TrialId block_trials = yelt.trials();
     const auto yelt_offsets = yelt.offsets();
@@ -187,13 +197,15 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
       // it from pool workers (submitting and blocking there can deadlock).
       std::shared_ptr<const data::ResolvedYelt> resolved;
       if (config.use_resolver) {
-        Stopwatch resolve_watch;
+        obs::Timer resolve_timer("engine.resolve");
         const ParallelConfig resolve_cfg =
             config.backend == Backend::Sequential
                 ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
                 : ParallelConfig{config.pool, 0};
         resolved = cache.get_or_build(contract.elt(), yelt, resolve_cfg);
-        result.resolve_seconds += resolve_watch.seconds();
+        const double resolve_s = resolve_timer.stop();
+        result.resolve_seconds += resolve_s;
+        resolve_hist.observe(resolve_s);
       }
 
       for (const auto& layer : contract.layers()) {
@@ -245,10 +257,12 @@ EngineResult run_aggregate_analysis(const finance::Portfolio& portfolio,
                           occurrence_accum, yelt_offsets, {});
     }
     result.occurrences_processed += yelt.entries() * layer_count;
+    block_hist.observe(block_timer.stop());
   });
 
-  result.seconds = watch.seconds();
+  result.seconds = timer.stop();
   result.elt_lookups = lookups;
+  result.obs_report = obs_scope.finish();
   // Accumulated under DeviceSim only, mirroring the executor's counter
   // accumulation so host/modeled scopes stay matched across runs.
   if (config.backend == Backend::DeviceSim && config.device_info != nullptr) {

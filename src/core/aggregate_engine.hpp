@@ -52,6 +52,7 @@
 #include "data/yelt.hpp"
 #include "data/ylt.hpp"
 #include "finance/contract.hpp"
+#include "obs/obs.hpp"
 #include "parallel/device.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -155,6 +156,13 @@ struct EngineConfig {
   /// of the fixed-budget run plus EngineResult::adaptive. The default
   /// (target_rel_err = 0) disables the path entirely.
   adaptive::AdaptiveConfig adaptive;
+  /// Per-run observability (src/obs/): end-of-run metrics report and/or
+  /// chrome-trace export. Zero-initialized = off; the always-on global
+  /// registry and RISKAN_TRACE/RISKAN_OBS env controls work regardless.
+  /// Exactly one scope — the outermost entry point — observes a run:
+  /// delegating paths (adaptive driver re-entry, batch lowering, dist
+  /// workers) clear this on their inner configs.
+  obs::ObsConfig obs;
 };
 
 /// Validates the cross-field sanity of `config` up front with
@@ -185,6 +193,9 @@ struct EngineResult {
   /// Convergence report of an adaptive run (enabled = false otherwise):
   /// stopping trial count, stop reason, per-metric estimates and CIs.
   adaptive::AdaptiveReport adaptive;
+  /// End-of-run observability report (EngineConfig::obs.collect_report /
+  /// report_path); nullptr when not requested.
+  std::shared_ptr<const obs::ObsReport> obs_report;
 };
 
 /// Runs aggregate analysis for `portfolio` over `yelt` with `config`.

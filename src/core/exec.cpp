@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/secondary.hpp"
+#include "obs/obs.hpp"
 #include "parallel/device.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
@@ -12,6 +13,20 @@
 namespace riskan::core::exec {
 
 namespace {
+
+/// Per-backend dispatch telemetry: one execution count plus one duration
+/// histogram per executor kind, all in the global registry (near-zero cost
+/// when obs is disabled). The Timer doubles as the trace span emitter.
+struct ExecObs {
+  obs::Counter executions;
+  obs::Histogram seconds;
+
+  explicit ExecObs(const char* backend)
+      : executions(obs::MetricsRegistry::global().counter(std::string("exec.") + backend +
+                                                          ".executions")),
+        seconds(obs::MetricsRegistry::global().histogram(std::string("exec.") + backend +
+                                                         ".seconds")) {}
+};
 
 bool same_source(const ExecutionPlan::Source& src, const batch::Slot& s) noexcept {
   return src.gather == s.gather && src.elt == s.elt && src.hit_offsets == s.hit_offsets &&
@@ -134,9 +149,15 @@ void plan_device_chunks(ExecutionPlan& plan, const EngineConfig& config) {
 class SequentialExecutor final : public Executor {
  public:
   std::uint64_t execute(const ExecutionPlan& plan, const Philox4x32& philox) override {
+    static const ExecObs metrics("sequential");
+    obs::Timer timer("exec.sequential");
     std::vector<Money> scratch(plan.max_group_size);
-    return batch::process_trials(plan.slots, plan.groups, plan.yelt_offsets, philox,
-                                 plan.secondary, plan.trial_base, 0, plan.trials, scratch);
+    const std::uint64_t found =
+        batch::process_trials(plan.slots, plan.groups, plan.yelt_offsets, philox,
+                              plan.secondary, plan.trial_base, 0, plan.trials, scratch);
+    metrics.executions.add();
+    metrics.seconds.observe(timer.stop());
+    return found;
   }
 };
 
@@ -145,7 +166,9 @@ class ThreadedExecutor final : public Executor {
   ThreadedExecutor(ThreadPool* pool, std::size_t grain) : pool_(pool), grain_(grain) {}
 
   std::uint64_t execute(const ExecutionPlan& plan, const Philox4x32& philox) override {
-    return parallel_reduce<std::uint64_t>(
+    static const ExecObs metrics("threaded");
+    obs::Timer timer("exec.threaded");
+    const std::uint64_t found = parallel_reduce<std::uint64_t>(
         0, plan.trials, 0,
         [&](std::size_t lo, std::size_t hi) {
           std::vector<Money> scratch(plan.max_group_size);
@@ -156,6 +179,9 @@ class ThreadedExecutor final : public Executor {
         },
         [](std::uint64_t a, std::uint64_t b) { return a + b; },
         ParallelConfig{pool_, grain_});
+    metrics.executions.add();
+    metrics.seconds.observe(timer.stop());
+    return found;
   }
 
  private:
@@ -196,6 +222,8 @@ const T* rebase(const T* staged, std::uint64_t base) noexcept {
 
 std::uint64_t DeviceSimExecutor::execute(const ExecutionPlan& plan,
                                          const Philox4x32& philox) {
+  static const ExecObs metrics("devicesim");
+  obs::Timer exec_timer("exec.devicesim");
   const TrialId trials = plan.trials;
   const int block_dim = block_dim_;
   const int grid_dim = static_cast<int>((static_cast<std::uint64_t>(trials) + block_dim - 1) /
@@ -465,6 +493,8 @@ std::uint64_t DeviceSimExecutor::execute(const ExecutionPlan& plan,
       }
     }
   }
+  metrics.executions.add();
+  metrics.seconds.observe(exec_timer.stop());
   return lookups;
 }
 

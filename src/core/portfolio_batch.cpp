@@ -9,9 +9,9 @@
 #include "data/resolved_yelt.hpp"
 #include "data/trial_source.hpp"
 #include "finance/terms.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::core::batch {
 
@@ -340,7 +340,12 @@ struct AnalysisRun {
 /// in-memory run is the one-block special case.
 void run_group(std::span<AnalysisRun> group, data::TrialSource& source,
                const EngineConfig& config) {
-  Stopwatch watch;
+  obs::Timer timer("batch.run_group");
+  static const obs::Counter group_runs =
+      obs::MetricsRegistry::global().counter("batch.group_runs");
+  static const obs::Histogram resolve_hist =
+      obs::MetricsRegistry::global().histogram("batch.resolve_seconds");
+  group_runs.add();
   const TrialId trials = source.trials();
   const bool sequential = config.backend == Backend::Sequential;
   // Sequential must stay off the pool (single-thread contract; MapReduce
@@ -395,14 +400,16 @@ void run_group(std::span<AnalysisRun> group, data::TrialSource& source,
     // cache, then hit-compacted for the gather kernel.
     for (AnalysisRun& run : group) {
       const finance::Portfolio& portfolio = *run.portfolio;
-      Stopwatch resolve_watch;
+      obs::Timer resolve_timer("batch.resolve");
       std::vector<const data::EventLossTable*> elts;
       elts.reserve(portfolio.size());
       for (const auto& contract : portfolio.contracts()) {
         elts.push_back(&contract.elt());
       }
       run.resolution = data::MultiResolution::build(elts, yelt, &cache, par_cfg);
-      run.result.resolve_seconds += resolve_watch.seconds();
+      const double resolve_s = resolve_timer.stop();
+      run.result.resolve_seconds += resolve_s;
+      resolve_hist.observe(resolve_s);
       if (config.compute_oep) {
         run.occurrence_accum.assign(yelt.entries(), 0.0);
       }
@@ -480,7 +487,7 @@ void run_group(std::span<AnalysisRun> group, data::TrialSource& source,
 
   // The pass is shared, so each analysis reports the group's wall-clock —
   // the time it actually took to produce its result.
-  const double seconds = watch.seconds();
+  const double seconds = timer.stop();
   for (AnalysisRun& run : group) {
     run.result.seconds = seconds;
   }
@@ -517,6 +524,9 @@ std::size_t PortfolioBatchRunner::group_count() const noexcept {
 }
 
 std::vector<EngineResult> PortfolioBatchRunner::run() const {
+  // One observation window for the whole batch; the shared report is
+  // attached to every result (the pass is shared, so is its telemetry).
+  obs::RunObsScope obs_scope(config_.obs);
   std::vector<EngineResult> results(analyses_.size());
 
   // Group analyses by YELT identity (in-run pointer identity — referents
@@ -540,12 +550,20 @@ std::vector<EngineResult> PortfolioBatchRunner::run() const {
     groups[g].push_back(std::move(run));
   }
 
+  // The groups must not re-observe inside this window: run_group takes the
+  // config as-is, so clear obs on the copy handed down.
+  EngineConfig inner = config_;
+  inner.obs = {};
   for (std::size_t g = 0; g < groups.size(); ++g) {
     data::InMemorySource source(*group_yelts[g]);
-    run_group(groups[g], source, config_);
+    run_group(groups[g], source, inner);
     for (AnalysisRun& run : groups[g]) {
       results[run.result_index] = std::move(run.result);
     }
+  }
+  const auto report = obs_scope.finish();
+  for (EngineResult& result : results) {
+    result.obs_report = report;
   }
   return results;
 }
@@ -572,9 +590,13 @@ EngineResult run_portfolio_batch(const finance::Portfolio& portfolio,
     batched.batch_contracts = true;
     return adaptive::run_adaptive_aggregate(portfolio, source, batched);
   }
+  obs::RunObsScope obs_scope(config.obs);
   AnalysisRun run;
   run.portfolio = &portfolio;
-  run_group({&run, 1}, source, config);
+  EngineConfig inner = config;
+  inner.obs = {};
+  run_group({&run, 1}, source, inner);
+  run.result.obs_report = obs_scope.finish();
   return std::move(run.result);
 }
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::core {
 
@@ -13,10 +13,10 @@ RealTimePricer::RealTimePricer(const data::YearEventLossTable& yelt, EngineConfi
 
 PricingQuote RealTimePricer::price(const finance::Contract& contract,
                                    const finance::Layer& layer) const {
-  Stopwatch watch;
+  obs::Timer watch("pricer.quote");
   const auto losses = run_layer(contract, layer, yelt_, config_);
   PricingQuote quote;
-  quote.seconds = watch.seconds();
+  quote.seconds = watch.stop();
   quote.trials = yelt_.trials();
   quote.loss_stats = finance::summarise_losses(losses);
   quote.technical_premium = finance::technical_premium(quote.loss_stats, pricing_);

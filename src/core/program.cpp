@@ -5,8 +5,8 @@
 
 #include "core/secondary.hpp"
 #include "finance/terms.hpp"
+#include "obs/obs.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::core {
 
@@ -14,7 +14,7 @@ ProgramResult run_program(const finance::Contract& contract,
                           const data::YearEventLossTable& yelt,
                           const ProgramConfig& config) {
   RISKAN_REQUIRE(yelt.trials() > 0, "YELT must contain trials");
-  Stopwatch watch;
+  obs::Timer watch("program.run");
 
   const auto& layers = contract.layers();
   const auto& elt = contract.elt();
@@ -89,7 +89,7 @@ ProgramResult run_program(const finance::Contract& contract,
     result.retained_ylt[t] = gross_year - recovered_year;
   }
 
-  result.seconds = watch.seconds();
+  result.seconds = watch.stop();
   return result;
 }
 

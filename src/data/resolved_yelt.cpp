@@ -3,9 +3,34 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace riskan::data {
+
+namespace {
+
+/// Process-wide resolver telemetry: every ResolverCache instance (shared,
+/// run-local, ephemeral) reports into the same counters, so the obs report
+/// shows the run's total hit/miss/build picture regardless of which cache
+/// served it.
+obs::Counter resolver_hits() {
+  static const obs::Counter c = obs::MetricsRegistry::global().counter("resolver.hits");
+  return c;
+}
+
+obs::Counter resolver_misses() {
+  static const obs::Counter c = obs::MetricsRegistry::global().counter("resolver.misses");
+  return c;
+}
+
+obs::Histogram resolver_build_seconds() {
+  static const obs::Histogram h =
+      obs::MetricsRegistry::global().histogram("resolver.build_seconds");
+  return h;
+}
+
+}  // namespace
 
 ResolvedYelt ResolvedYelt::build(const EventLossTable& elt, const YearEventLossTable& yelt,
                                  ParallelConfig cfg) {
@@ -215,15 +240,19 @@ std::shared_ptr<const ResolvedYelt> ResolverCache::get_or_build(
     for (const Entry& entry : entries_) {
       if (entry.key == key) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        resolver_hits().add();
         return entry.resolved;
       }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  resolver_misses().add();
 
   // Build outside the lock: a concurrent miss on the same key builds a
   // duplicate (equivalent) resolution rather than serialising the pool.
+  obs::Timer build_timer("resolver.build");
   auto built = std::make_shared<const ResolvedYelt>(ResolvedYelt::build(elt, yelt, cfg));
+  resolver_build_seconds().observe(build_timer.stop());
 
   std::lock_guard lock(mutex_);
   return insert_locked(key, std::move(built), nullptr).resolved;
@@ -238,6 +267,7 @@ ResolverCache::CompactEntry ResolverCache::get_or_build_compact(
     for (const Entry& entry : entries_) {
       if (entry.key == key) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        resolver_hits().add();
         if (entry.compact) {
           return {entry.resolved, entry.compact};
         }
@@ -248,7 +278,10 @@ ResolverCache::CompactEntry ResolverCache::get_or_build_compact(
   }
   if (!resolved) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    resolver_misses().add();
+    obs::Timer build_timer("resolver.build");
     resolved = std::make_shared<const ResolvedYelt>(ResolvedYelt::build(elt, yelt, cfg));
+    resolver_build_seconds().observe(build_timer.stop());
   }
   auto compact = std::make_shared<const CompactResolvedYelt>(
       CompactResolvedYelt::build(*resolved, yelt, cfg));

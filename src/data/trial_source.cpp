@@ -5,11 +5,37 @@
 #include <utility>
 
 #include "data/serialize.hpp"
+#include "obs/obs.hpp"
 #include "util/io_error.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::data {
+
+namespace {
+
+/// Prefetch-pipeline telemetry: a consumer pop that found the ring ready
+/// is an overlap win (the read+decode cost was fully hidden behind
+/// compute); one that had to park is a stall, with the stall time in a
+/// histogram. The wins/stalls ratio is the headline "is the pipeline
+/// keeping up" signal for trace triage.
+struct DataObs {
+  obs::Counter overlap_wins =
+      obs::MetricsRegistry::global().counter("data.prefetch_overlap_wins");
+  obs::Counter stalls = obs::MetricsRegistry::global().counter("data.prefetch_stalls");
+  obs::Histogram stall_seconds =
+      obs::MetricsRegistry::global().histogram("data.prefetch_stall_seconds");
+  obs::Counter bytes_read = obs::MetricsRegistry::global().counter("data.bytes_read");
+  obs::Counter blocks = obs::MetricsRegistry::global().counter("data.blocks_delivered");
+  obs::Histogram produce_seconds =
+      obs::MetricsRegistry::global().histogram("data.produce_seconds");
+};
+
+const DataObs& data_obs() {
+  static const DataObs metrics;
+  return metrics;
+}
+
+}  // namespace
 
 bool InMemorySource::next(TrialBlock& block) {
   if (served_) {
@@ -198,12 +224,13 @@ ChunkedFileSource::~ChunkedFileSource() {
 ChunkedFileSource::Produced ChunkedFileSource::produce(std::size_t index) {
   Produced item;
   try {
-    Stopwatch watch;
+    obs::Timer timer("data.produce");
     const auto bytes = reader_.read_chunk(index);  // CRC-verified
     ByteReader reader(bytes);
     item.yelt = std::make_shared<const YearEventLossTable>(decode_yelt(reader));
     item.bytes = bytes.size();
-    item.produce_seconds = watch.seconds();
+    item.produce_seconds = timer.stop();
+    data_obs().produce_seconds.observe(item.produce_seconds);
   } catch (...) {
     item.error = std::current_exception();
   }
@@ -214,6 +241,7 @@ void ChunkedFileSource::start_producer() {
   stop_.store(false, std::memory_order_relaxed);
   producer_done_.store(false, std::memory_order_relaxed);
   prefetch_pool_->submit([this] {
+    obs::set_trace_thread_name("prefetch");
     const std::size_t count = reader_.chunk_count();
     for (std::size_t c = 0; c < count && !stop_.load(std::memory_order_relaxed); ++c) {
       Produced item = produce(c);
@@ -265,19 +293,30 @@ bool ChunkedFileSource::next(TrialBlock& block) {
   if (!options_.prefetch) {
     item = produce(next_block_);
   } else {
-    Stopwatch wait;
-    for (;;) {
-      if (auto popped = queue_->try_pop()) {
-        item = std::move(*popped);
-        break;
+    // First pop attempt classifies the block: ready now = the pipeline hid
+    // the whole read+decode behind compute (overlap win); empty = the
+    // consumer stalls until the producer catches up.
+    if (auto popped = queue_->try_pop()) {
+      item = std::move(*popped);
+      data_obs().overlap_wins.add();
+    } else {
+      obs::Timer wait("data.prefetch_stall");
+      for (;;) {
+        if (auto retry = queue_->try_pop()) {
+          item = std::move(*retry);
+          break;
+        }
+        // Ring empty: park until the producer pushes (timed, so a missed
+        // notify costs a millisecond, never a hang).
+        std::unique_lock<std::mutex> lock(pipe_mutex_);
+        pipe_cv_.wait_for(lock, std::chrono::milliseconds(1));
       }
-      // Ring empty: park until the producer pushes (timed, so a missed
-      // notify costs a millisecond, never a hang).
-      std::unique_lock<std::mutex> lock(pipe_mutex_);
-      pipe_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      const double stalled = wait.stop();
+      stats_.wait_seconds += stalled;
+      data_obs().stalls.add();
+      data_obs().stall_seconds.observe(stalled);
     }
     pipe_cv_.notify_all();  // wake a producer parked on a full ring
-    stats_.wait_seconds += wait.seconds();
   }
   if (item.error != nullptr) {
     next_block_ = chunk_trials_.size();  // poison the pass
@@ -288,6 +327,8 @@ bool ChunkedFileSource::next(TrialBlock& block) {
   stats_.peak_block_bytes = std::max(stats_.peak_block_bytes, item.bytes);
   stats_.produce_seconds += item.produce_seconds;
   ++stats_.blocks_delivered;
+  data_obs().bytes_read.add(static_cast<double>(item.bytes));
+  data_obs().blocks.add();
 
   block.yelt = std::move(item.yelt);
   block.trial_offset = chunk_offsets_[next_block_];

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::dfa {
 
@@ -17,7 +17,7 @@ DfaEngine::DfaEngine(std::vector<std::unique_ptr<RiskSource>> sources, DfaConfig
 
 DfaResult DfaEngine::run(const data::YearLossTable& cat_ylt) const {
   RISKAN_REQUIRE(!cat_ylt.empty(), "catastrophe YLT is empty");
-  Stopwatch watch;
+  obs::Timer watch("dfa.run");
 
   const TrialId trials = cat_ylt.trials();
   const std::size_t dims = sources_.size() + 1;  // cat occupies dimension 0
@@ -86,7 +86,7 @@ DfaResult DfaEngine::run(const data::YearLossTable& cat_ylt) const {
   result.economic_capital =
       result.enterprise_summary.var_99_6 - result.enterprise_summary.mean_annual_loss;
 
-  result.seconds = watch.seconds();
+  result.seconds = watch.stop();
   // Each trial logically touches one Money per dimension plus the combined
   // output — the unit of the paper's "terabytes" arithmetic.
   result.ylt_bytes_touched =

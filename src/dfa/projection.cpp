@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::dfa {
 
@@ -22,7 +22,7 @@ MultiYearProjection::MultiYearProjection(std::vector<std::unique_ptr<RiskSource>
 
 ProjectionResult MultiYearProjection::run(const data::YearLossTable& cat_ylt) const {
   RISKAN_REQUIRE(!cat_ylt.empty(), "catastrophe YLT is empty");
-  Stopwatch watch;
+  obs::Timer watch("dfa.projection");
 
   const int horizon = config_.horizon_years;
   const std::uint32_t paths = config_.paths;
@@ -113,7 +113,7 @@ ProjectionResult MultiYearProjection::run(const data::YearLossTable& cat_ylt) co
     result.capital_quantiles.push_back(qs);
   }
 
-  result.seconds = watch.seconds();
+  result.seconds = watch.stop();
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "data/trial_source.hpp"
 #include "dist/frame.hpp"
 #include "dist/worker.hpp"
+#include "obs/obs.hpp"
 #include "parallel/process.hpp"
 #include "util/bytes.hpp"
 #include "util/io_error.hpp"
@@ -34,6 +35,50 @@ double monotonic_seconds() {
 /// A straggler that has outlived this many leases past its expiry is
 /// hopeless and gets killed even when no slot is needed.
 constexpr double kStragglerGraceLeases = 3.0;
+
+/// Marks a scheduling event on a worker's trace lane ("i" instant in the
+/// chrome trace; no-op when tracing is off).
+void mark_worker_event(const char* name, int worker_index) {
+  obs::trace_instant(obs::span_id(name),
+                     static_cast<std::uint32_t>(worker_index) + 1, /*tid=*/0);
+}
+
+/// Publishes a finished run's robustness ledger into the global registry
+/// under the "dist." prefix — DistStats stays the per-run view, the
+/// registry accumulates across runs.
+void publish_dist_stats(const DistStats& s) {
+  auto& reg = obs::MetricsRegistry::global();
+  static const obs::Counter runs = reg.counter("dist.runs");
+  static const obs::Counter spawned = reg.counter("dist.workers_spawned");
+  static const obs::Counter respawned = reg.counter("dist.workers_respawned");
+  static const obs::Counter deaths = reg.counter("dist.worker_deaths");
+  static const obs::Counter assigned = reg.counter("dist.blocks_assigned");
+  static const obs::Counter retried = reg.counter("dist.blocks_retried");
+  static const obs::Counter expired = reg.counter("dist.leases_expired");
+  static const obs::Counter corrupt = reg.counter("dist.corrupt_frames");
+  static const obs::Counter errors = reg.counter("dist.worker_errors");
+  static const obs::Counter duplicates = reg.counter("dist.duplicates_discarded");
+  static const obs::Counter cancelled = reg.counter("dist.blocks_cancelled");
+  static const obs::Counter task_bytes = reg.counter("dist.task_bytes_sent");
+  static const obs::Counter resent = reg.counter("dist.bytes_resent");
+  static const obs::Counter result_bytes = reg.counter("dist.result_bytes_received");
+  static const obs::Counter in_process = reg.counter("dist.blocks_run_in_process");
+  runs.add();
+  spawned.add(static_cast<double>(s.workers_spawned));
+  respawned.add(static_cast<double>(s.workers_respawned));
+  deaths.add(static_cast<double>(s.worker_deaths));
+  assigned.add(static_cast<double>(s.blocks_assigned));
+  retried.add(static_cast<double>(s.blocks_retried));
+  expired.add(static_cast<double>(s.leases_expired));
+  corrupt.add(static_cast<double>(s.corrupt_frames));
+  errors.add(static_cast<double>(s.worker_errors));
+  duplicates.add(static_cast<double>(s.duplicates_discarded));
+  cancelled.add(static_cast<double>(s.blocks_cancelled));
+  task_bytes.add(static_cast<double>(s.task_bytes_sent));
+  resent.add(static_cast<double>(s.bytes_resent));
+  result_bytes.add(static_cast<double>(s.result_bytes_received));
+  in_process.add(static_cast<double>(s.blocks_run_in_process));
+}
 
 enum class WorkerState { Idle, Busy, Straggling };
 
@@ -264,6 +309,8 @@ class Coordinator {
       return;  // completed elsewhere, or already back in the queue
     }
     ++stats_.blocks_retried;
+    static const std::uint32_t requeue_event = obs::span_id("dist.block_requeued");
+    obs::trace_instant(requeue_event);
     if (block->attempts >= config_.max_attempts) {
       throw DistError("block " + std::to_string(id) + " failed on all " +
                       std::to_string(block->attempts) +
@@ -327,6 +374,7 @@ class Coordinator {
     worker.block = block.spec.id;
     worker.has_block = true;
     worker.deadline = now + config_.lease_seconds;
+    mark_worker_event("dist.lease_grant", worker.index);
   }
 
   void wait_and_drain(double now) {
@@ -399,6 +447,26 @@ class Coordinator {
         ++stats_.worker_errors;
         release_worker(worker, frame.block_id);
         fail_block(frame.block_id);
+        return;
+      }
+      case FrameType::Spans: {
+        // Telemetry forwarded from the worker: re-stamp each span with the
+        // sender's lane and land it in this process's ring. A malformed
+        // payload is a protocol breach like any other corrupt frame.
+        try {
+          auto spans = decode_spans_payload(frame.payload);
+          obs::TraceBuffer& trace = obs::TraceBuffer::global();
+          if (trace.active()) {
+            const auto lane = static_cast<std::uint32_t>(worker.index) + 1;
+            for (auto& span : spans) {
+              span.lane = lane;
+              trace.record_collected(span);
+            }
+          }
+        } catch (const IoError&) {
+          ++stats_.corrupt_frames;
+          kill_worker(worker, /*requeue=*/true);
+        }
         return;
       }
       default:
@@ -497,6 +565,7 @@ class Coordinator {
         ++stats_.leases_expired;
         worker.state = WorkerState::Straggling;
         worker.expired_at = now;
+        mark_worker_event("dist.lease_expired", worker.index);
         // Straggler re-execution: the block goes back in the queue while
         // the slow worker keeps running — whichever finishes first wins.
         fail_block(worker.block);
@@ -517,6 +586,7 @@ class Coordinator {
       }
       if (now - worker.expired_at >
           kStragglerGraceLeases * config_.lease_seconds) {
+        mark_worker_event("dist.straggler_killed", worker.index);
         kill_worker(worker, /*requeue=*/true);
         continue;
       }
@@ -528,6 +598,7 @@ class Coordinator {
     // longest-overdue straggler so the queue can move.
     if (!any_progress && oldest != nullptr && !can_spawn() &&
         pick_block(now) != nullptr) {
+      mark_worker_event("dist.straggler_killed", oldest->index);
       kill_worker(*oldest, /*requeue=*/true);
     }
   }
@@ -654,6 +725,10 @@ DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
   worker_engine.device_info = nullptr;
   worker_engine.resolver_cache = nullptr;
   worker_engine.adaptive = {};
+  // Workers never open observability windows of their own: their spans ride
+  // the Spans frames into the coordinator's ring, and metrics reports are
+  // the outermost entry point's job.
+  worker_engine.obs = {};
   core::validate_engine_config(worker_engine);
 
   const bool adaptive_on = engine.adaptive.enabled();
@@ -707,7 +782,7 @@ DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
   // scheduling event), not kill the coordinator process.
   SigpipeIgnore sigpipe_guard;
 
-  const double start = monotonic_seconds();
+  obs::Timer timer("dist.run");
   Coordinator coordinator(portfolio, worker_engine, blocks, fetch, config,
                           out.portfolio_ylt, out.stats,
                           controller.has_value() ? &*controller : nullptr);
@@ -716,7 +791,8 @@ DistResult run_distributed_aggregate(const finance::Portfolio& portfolio,
     out.portfolio_ylt.truncate(controller->trials_folded());
     out.adaptive = controller->report();
   }
-  out.seconds = monotonic_seconds() - start;
+  out.seconds = timer.stop();
+  publish_dist_stats(out.stats);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "dist/frame.hpp"
 
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "parallel/process.hpp"
@@ -61,7 +62,7 @@ FrameReadResult read_frame(int fd, Frame& frame) {
     throw CorruptFrameError("bad frame magic 0x" + std::to_string(magic));
   }
   if (type < static_cast<std::uint32_t>(FrameType::Task) ||
-      type > static_cast<std::uint32_t>(FrameType::Shutdown)) {
+      type > static_cast<std::uint32_t>(FrameType::Spans)) {
     throw CorruptFrameError("unknown frame type " + std::to_string(type));
   }
   if (payload_size > kMaxFramePayload) {
@@ -88,6 +89,54 @@ FrameReadResult read_frame(int fd, Frame& frame) {
                             std::to_string(block_id) + ")");
   }
   return FrameReadResult::Ok;
+}
+
+std::vector<std::byte> encode_spans_payload(
+    const std::vector<obs::CollectedSpan>& spans) {
+  ByteWriter writer;
+  writer.u64(spans.size());
+  for (const obs::CollectedSpan& span : spans) {
+    writer.str(span.name);
+    writer.u64(span.tid);
+    writer.u64(span.start_ns);
+    writer.u64(span.dur_ns);
+  }
+  return writer.buffer();
+}
+
+std::vector<obs::CollectedSpan> decode_spans_payload(
+    std::span<const std::byte> payload) {
+  try {
+    ByteReader reader(payload);
+    const std::uint64_t count = reader.u64();
+    // Each span needs at least its fixed fields; a corrupt count fails here
+    // instead of driving a huge reserve.
+    constexpr std::uint64_t kMinSpanBytes = 4 + 3 * 8;
+    if (count > payload.size() / kMinSpanBytes + 1) {
+      throw CorruptFrameError("spans payload count is implausible");
+    }
+    std::vector<obs::CollectedSpan> spans;
+    spans.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      obs::CollectedSpan span;
+      span.name = reader.str();
+      span.tid = reader.u64();
+      span.start_ns = reader.u64();
+      span.dur_ns = reader.u64();
+      span.instant = span.dur_ns == 0;
+      spans.push_back(std::move(span));
+    }
+    if (!reader.done()) {
+      throw CorruptFrameError("spans payload has trailing bytes");
+    }
+    return spans;
+  } catch (const CorruptFrameError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // ByteReader reads past the end as ContractViolation — at this layer
+    // that is a malformed frame, not a caller bug.
+    throw CorruptFrameError(std::string("malformed spans payload: ") + e.what());
+  }
 }
 
 }  // namespace riskan::dist

@@ -21,10 +21,20 @@
 //   Error    w→c  payload = u32-length-prefixed message; the task failed
 //                 in a way worth reporting (bad block data), worker lives
 //   Shutdown c→w  empty; worker exits cleanly
+//   Spans    w→c  payload = u64 count + count × (u32-length-prefixed name,
+//                 u64 tid, u64 start_ns, u64 dur_ns); observability spans
+//                 recorded in the worker since its last drain, sent just
+//                 before the task's reply when tracing is active. Names
+//                 travel as strings because intern ids diverge across
+//                 fork. Purely telemetric: losing (or duplicating) a Spans
+//                 frame cannot change any result bit.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace riskan::dist {
 
@@ -34,6 +44,7 @@ enum class FrameType : std::uint32_t {
   Result = 3,
   Error = 4,
   Shutdown = 5,
+  Spans = 6,
 };
 
 struct Frame {
@@ -64,5 +75,16 @@ enum class FrameReadResult {
 /// magic/type/size/CRC, TruncatedFileError on EOF mid-frame (a torn write
 /// from a crashed peer), IoError on a hard read error.
 FrameReadResult read_frame(int fd, Frame& frame);
+
+/// Encodes observability spans as a Spans frame payload (names travel as
+/// strings — intern ids diverge across fork; lanes are assigned by the
+/// receiver from its worker table, so the wire carries none).
+std::vector<std::byte> encode_spans_payload(
+    const std::vector<obs::CollectedSpan>& spans);
+
+/// Decodes a Spans payload. Throws CorruptFrameError on a malformed
+/// payload — the receiver treats it exactly like any other corrupt frame.
+std::vector<obs::CollectedSpan> decode_spans_payload(
+    std::span<const std::byte> payload);
 
 }  // namespace riskan::dist

@@ -11,6 +11,7 @@
 
 #include "data/trial_source.hpp"
 #include "dist/frame.hpp"
+#include "obs/trace.hpp"
 #include "parallel/process.hpp"
 #include "util/bytes.hpp"
 
@@ -41,6 +42,17 @@ std::vector<std::byte> encode_error_payload(const std::string& message) {
 
 [[noreturn]] void worker_main(const WorkerContext& context, int task_fd,
                               int result_fd) {
+  // The fork copied the coordinator's trace ring wholesale. Drop the
+  // inherited events (they are the parent's to export) but keep the active
+  // flag: from here on the ring holds only this worker's spans, drained
+  // incrementally and forwarded as Spans frames. Workers exit via _exit, so
+  // the parent's atexit export never fires in a child.
+  obs::TraceBuffer& trace = obs::TraceBuffer::global();
+  if (trace.active()) {
+    trace.reset();
+  }
+  std::size_t span_cursor = 0;
+
   int tasks_seen = 0;
   for (;;) {
     Frame task;
@@ -78,6 +90,7 @@ std::vector<std::byte> encode_error_payload(const std::string& message) {
 
     Frame reply{FrameType::Result, task.block_id, {}};
     try {
+      RISKAN_SPAN("dist.worker_task");
       ByteReader reader(task.payload);
       const auto trial_base = static_cast<TrialId>(reader.u64());
       data::EncodedBlockSource source(reader.raw(reader.remaining()));
@@ -91,6 +104,20 @@ std::vector<std::byte> encode_error_payload(const std::string& message) {
       // keep serving — the coordinator decides whether to retry elsewhere.
       reply.type = FrameType::Error;
       reply.payload = encode_error_payload(e.what());
+    }
+
+    // Forward the spans this task recorded before its reply: the
+    // coordinator stamps them with this worker's lane. Telemetry only —
+    // dropping the frame (a dying worker) cannot change a result bit.
+    if (trace.active()) {
+      const auto spans = trace.collect(span_cursor, &span_cursor);
+      if (!spans.empty() &&
+          !write_frame(result_fd,
+                       Frame{FrameType::Spans, task.block_id,
+                             encode_spans_payload(spans)},
+                       kWorkerWriteTimeout)) {
+        ::_exit(1);
+      }
     }
 
     if (reply.type == FrameType::Result &&

@@ -5,8 +5,8 @@
 #include "data/serialize.hpp"
 #include "data/trial_source.hpp"
 #include "dist/coordinator.hpp"
+#include "obs/obs.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::mapreduce {
 
@@ -29,13 +29,17 @@ std::size_t stage_yelt(Dfs& dfs, const data::YearEventLossTable& yelt,
 AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfolio,
                                      const data::YearEventLossTable& yelt,
                                      const AggregateJobConfig& config) {
+  obs::validate_obs_config(config.obs);
   AggregateJobResult result;
+  // One observability window covers the whole job; map tasks and dist
+  // workers run with obs cleared so nothing nests.
+  obs::RunObsScope obs_scope(config.obs);
 
-  Stopwatch stage_watch;
+  obs::Timer stage_watch("mr.stage_in");
   if (!dfs.exists(config.dfs_file)) {
     stage_yelt(dfs, yelt, config);
   }
-  result.stage_in_seconds = stage_watch.seconds();
+  result.stage_in_seconds = stage_watch.stop();
   result.blocks = dfs.block_count(config.dfs_file);
   result.dfs_bytes = dfs.physical_bytes();
 
@@ -74,14 +78,14 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
       specs.push_back({i, lo, hi - lo});
     }
 
-    Stopwatch job_watch;
+    obs::Timer job_watch("mr.job");
     auto dist_result = dist::run_distributed_aggregate(
         portfolio, engine, specs,
         [&](const dist::BlockSpec& spec) {
           return dfs.read_block(config.dfs_file, static_cast<std::size_t>(spec.id));
         },
         *config.dist);
-    result.job_seconds = job_watch.seconds();
+    result.job_seconds = job_watch.stop();
 
     const TrialId produced = dist_result.portfolio_ylt.trials();
     result.portfolio_ylt = std::move(dist_result.portfolio_ylt);
@@ -100,6 +104,8 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
     result.mr_stats.bytes_resent = dist_result.stats.bytes_resent;
     result.mr_stats.leases_expired = dist_result.stats.leases_expired;
     result.mr_stats.seconds = dist_result.seconds;
+    publish_mapreduce_stats(result.mr_stats);
+    result.obs_report = obs_scope.finish();
     return result;
   }
 
@@ -112,7 +118,7 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
     // space), mirroring the dist coordinator's reduce; its trial-order
     // fold frontier makes a dist run of the same job stop at the
     // identical trial.
-    Stopwatch adaptive_watch;
+    obs::Timer adaptive_watch("mr.job");
     core::adaptive::ConvergenceController controller(config.adaptive, total_trials);
     data::YearLossTable ylt(total_trials, "portfolio-mapreduce");
     for (std::size_t split = 0; split < result.blocks && !controller.should_stop();
@@ -142,12 +148,14 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
     result.adaptive_report = controller.report();
     result.mr_stats.shuffle_pairs = result.mr_stats.map_emissions;
     result.mr_stats.reduce_groups = controller.trials_folded();
-    result.job_seconds = adaptive_watch.seconds();
+    result.job_seconds = adaptive_watch.stop();
     result.mr_stats.seconds = result.job_seconds;
+    publish_mapreduce_stats(result.mr_stats);
+    result.obs_report = obs_scope.finish();
     return result;
   }
 
-  Stopwatch job_watch;
+  obs::Timer job_watch("mr.job");
   MapReduceConfig mr_config;
   mr_config.reducers = config.reducers;
   mr_config.pool = config.pool;
@@ -187,7 +195,7 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
         }
       },
       [](const Money& a, const Money& b) { return a + b; }, mr_config, &result.mr_stats);
-  result.job_seconds = job_watch.seconds();
+  result.job_seconds = job_watch.stop();
 
   data::YearLossTable ylt(total_trials, "portfolio-mapreduce");
   for (const auto& [trial, loss] : reduced) {
@@ -195,6 +203,7 @@ AggregateJobResult run_aggregate_job(Dfs& dfs, const finance::Portfolio& portfol
     ylt[trial] = loss;
   }
   result.portfolio_ylt = std::move(ylt);
+  result.obs_report = obs_scope.finish();
   return result;
 }
 

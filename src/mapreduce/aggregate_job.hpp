@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/aggregate_engine.hpp"
@@ -61,6 +62,10 @@ struct AggregateJobConfig {
   /// the same trial. Occurrence metrics are rejected (map tasks emit the
   /// aggregate view only).
   core::adaptive::AdaptiveConfig adaptive;
+  /// End-of-run observability (metrics report / chrome trace) for the whole
+  /// job — stage-in, map, shuffle and reduce ride one window. Map tasks and
+  /// dist workers never open nested windows of their own.
+  obs::ObsConfig obs;
 };
 
 struct AggregateJobResult {
@@ -75,6 +80,8 @@ struct AggregateJobResult {
   std::size_t blocks = 0;
   double stage_in_seconds = 0.0;  ///< splitting + DFS write
   double job_seconds = 0.0;       ///< map + shuffle + reduce
+  /// End-of-run observability report when AggregateJobConfig::obs asked.
+  std::shared_ptr<const obs::ObsReport> obs_report;
 };
 
 /// Stages `yelt` into `dfs` as trial-range blocks.

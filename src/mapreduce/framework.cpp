@@ -1,0 +1,27 @@
+#include "mapreduce/framework.hpp"
+
+#include "obs/registry.hpp"
+
+namespace riskan::mapreduce {
+
+void publish_mapreduce_stats(const MapReduceStats& stats) {
+  auto& reg = obs::MetricsRegistry::global();
+  static const obs::Counter jobs = reg.counter("mr.jobs");
+  static const obs::Counter emissions = reg.counter("mr.map_emissions");
+  static const obs::Counter shuffle_pairs = reg.counter("mr.shuffle_pairs");
+  static const obs::Counter shuffle_bytes = reg.counter("mr.shuffle_bytes");
+  static const obs::Counter reduce_groups = reg.counter("mr.reduce_groups");
+  static const obs::Counter blocks_retried = reg.counter("mr.blocks_retried");
+  static const obs::Counter bytes_resent = reg.counter("mr.bytes_resent");
+  static const obs::Counter leases_expired = reg.counter("mr.leases_expired");
+  jobs.add();
+  emissions.add(static_cast<double>(stats.map_emissions));
+  shuffle_pairs.add(static_cast<double>(stats.shuffle_pairs));
+  shuffle_bytes.add(static_cast<double>(stats.shuffle_bytes));
+  reduce_groups.add(static_cast<double>(stats.reduce_groups));
+  blocks_retried.add(static_cast<double>(stats.blocks_retried));
+  bytes_resent.add(static_cast<double>(stats.bytes_resent));
+  leases_expired.add(static_cast<double>(stats.leases_expired));
+}
+
+}  // namespace riskan::mapreduce

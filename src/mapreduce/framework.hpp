@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/require.hpp"
@@ -42,6 +43,11 @@ struct MapReduceStats {
   std::uint64_t leases_expired = 0;    ///< leases that timed out (stragglers)
   double seconds = 0.0;
 };
+
+/// Publishes a finished job's ledger into the global obs registry under the
+/// "mr." prefix. MapReduceStats stays the per-job view; the registry is the
+/// engine-wide accumulation across jobs (near-zero cost when obs is off).
+void publish_mapreduce_stats(const MapReduceStats& stats);
 
 /// Runs MapReduce over `splits`.
 ///
@@ -77,6 +83,7 @@ std::map<K, V> run_mapreduce(
       0, splits,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t split = lo; split < hi; ++split) {
+          RISKAN_SPAN("mr.map_task");
           // Per-task local buffers (the map-side combine).
           std::map<K, V> local;
           std::uint64_t local_emissions = 0;
@@ -127,6 +134,7 @@ std::map<K, V> run_mapreduce(
     stats->shuffle_pairs = shuffle_pairs;
     stats->shuffle_bytes = shuffle_pairs * (sizeof(K) + sizeof(V));
     stats->reduce_groups = groups;
+    publish_mapreduce_stats(*stats);
   }
   return result;
 }

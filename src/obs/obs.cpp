@@ -1,0 +1,130 @@
+#include "obs/obs.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/io_error.hpp"
+#include "util/require.hpp"
+
+namespace riskan::obs {
+
+namespace {
+
+/// A path is writable up front iff its directory exists and permits
+/// creation — probed by opening for append (created-then-empty files are
+/// removed again). Validation-time probing keeps trace/report failures at
+/// config time instead of after a long run.
+bool path_writable(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return false;
+  }
+  // Only remove what the probe itself created (an empty file).
+  const bool created_empty = std::ftell(f) == 0;
+  std::fclose(f);
+  if (created_empty) {
+    std::remove(path.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+void validate_obs_config(const ObsConfig& config) {
+  for (std::size_t i = 0; i < config.histogram_bounds.size(); ++i) {
+    RISKAN_REQUIRE(std::isfinite(config.histogram_bounds[i]),
+                   "obs.histogram_bounds must be finite");
+    RISKAN_REQUIRE(i == 0 || config.histogram_bounds[i] > config.histogram_bounds[i - 1],
+                   "obs.histogram_bounds must be strictly increasing");
+  }
+  if (!config.trace_path.empty()) {
+    RISKAN_REQUIRE(path_writable(config.trace_path),
+                   "obs.trace_path is not writable: " + config.trace_path);
+  }
+  if (!config.report_path.empty()) {
+    RISKAN_REQUIRE(path_writable(config.report_path),
+                   "obs.report_path is not writable: " + config.report_path);
+  }
+}
+
+std::string ObsReport::to_json() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"seconds\":" << seconds << ",\"spans\":{\"recorded\":" << spans_recorded
+      << ",\"dropped\":" << spans_dropped << "},\"metrics\":" << metrics.to_json() << "}";
+  return out.str();
+}
+
+RunObsScope::RunObsScope(const ObsConfig& config) : config_(config) {
+  if (!config_.any()) {
+    return;
+  }
+  observing_ = true;
+  if (!config_.trace_path.empty() && !TraceBuffer::global().active()) {
+    start_global_trace();
+    started_trace_ = true;
+  }
+  if (config_.collect_report || !config_.report_path.empty()) {
+    before_ = MetricsRegistry::global().snapshot();
+  }
+  spans_before_ = TraceBuffer::global().size();
+  dropped_before_ = TraceBuffer::global().dropped();
+  watch_.reset();
+}
+
+RunObsScope::~RunObsScope() {
+  // A run that threw still restores the trace state it flipped on; the
+  // export/report happen only through finish().
+  if (observing_ && !finished_ && started_trace_) {
+    TraceBuffer::global().set_active(false);
+  }
+}
+
+std::shared_ptr<const ObsReport> RunObsScope::finish() {
+  if (!observing_ || finished_) {
+    return nullptr;
+  }
+  finished_ = true;
+  const double elapsed = watch_.seconds();
+
+  std::shared_ptr<ObsReport> report;
+  if (config_.collect_report || !config_.report_path.empty()) {
+    report = std::make_shared<ObsReport>();
+    report->metrics =
+        RegistrySnapshot::delta(before_, MetricsRegistry::global().snapshot());
+    report->seconds = elapsed;
+  }
+
+  TraceBuffer& buffer = TraceBuffer::global();
+  const std::size_t spans_now = buffer.size();
+  const std::uint64_t dropped_now = buffer.dropped();
+  if (report != nullptr) {
+    report->spans_recorded =
+        spans_now >= spans_before_ ? spans_now - spans_before_ : spans_now;
+    report->spans_dropped =
+        dropped_now >= dropped_before_ ? dropped_now - dropped_before_ : dropped_now;
+  }
+
+  if (!config_.trace_path.empty()) {
+    export_global_trace(config_.trace_path);
+    if (started_trace_) {
+      buffer.set_active(false);
+    }
+  }
+  if (!config_.report_path.empty() && report != nullptr) {
+    const std::string json = report->to_json();
+    std::FILE* f = std::fopen(config_.report_path.c_str(), "wb");
+    if (f == nullptr) {
+      throw IoError("cannot open obs report file: " + config_.report_path);
+    }
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int close_rc = std::fclose(f);
+    if (written != json.size() || close_rc != 0) {
+      throw IoError("short write exporting obs report to: " + config_.report_path);
+    }
+  }
+  return report;
+}
+
+}  // namespace riskan::obs

@@ -1,0 +1,412 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace riskan::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("RISKAN_OBS");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}()};
+
+void append_json_number(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "0";  // JSON has no inf/nan; only reachable via user-fed gauges
+    return;
+  }
+  out.precision(17);
+  out << v;
+}
+
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t idx = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+std::span<const double> default_seconds_bounds() noexcept {
+  // Powers of two from 1 µs to 64 s: wide enough for any engine stage,
+  // narrow enough (27 edges) that the bucket walk stays trivial.
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double edge = 1e-6; edge <= 64.0; edge *= 2.0) {
+      b.push_back(edge);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+double HistogramValue::quantile(double q) const {
+  RISKAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (count == 0) {
+    return 0.0;
+  }
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Bucket b spans (lower, upper]; interpolate by in-bucket position.
+      double lower = b == 0 ? min : bounds[b - 1];
+      double upper = b < bounds.size() ? bounds[b] : max;
+      lower = std::max(lower, min);
+      upper = std::min(upper, max);
+      if (upper <= lower) {
+        return lower;
+      }
+      const double pos =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(pos, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+const CounterValue* RegistrySnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const GaugeValue* RegistrySnapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+const HistogramValue* RegistrySnapshot::histogram(std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+double RegistrySnapshot::counter_value(std::string_view name) const noexcept {
+  const CounterValue* c = counter(name);
+  return c == nullptr ? 0.0 : c->value;
+}
+
+RegistrySnapshot RegistrySnapshot::delta(const RegistrySnapshot& before,
+                                         const RegistrySnapshot& after) {
+  RegistrySnapshot out;
+  out.counters.reserve(after.counters.size());
+  for (const auto& a : after.counters) {
+    const CounterValue* b = before.counter(a.name);
+    out.counters.push_back(
+        {a.name, std::max(0.0, a.value - (b == nullptr ? 0.0 : b->value))});
+  }
+  out.gauges = after.gauges;
+  out.histograms.reserve(after.histograms.size());
+  for (const auto& a : after.histograms) {
+    const HistogramValue* b = before.histogram(a.name);
+    HistogramValue h = a;
+    if (b != nullptr && b->bounds == a.bounds) {
+      for (std::size_t i = 0; i < h.counts.size() && i < b->counts.size(); ++i) {
+        h.counts[i] = h.counts[i] >= b->counts[i] ? h.counts[i] - b->counts[i] : 0;
+      }
+      h.count = h.count >= b->count ? h.count - b->count : 0;
+      h.sum = std::max(0.0, h.sum - b->sum);
+      // min/max keep `after`'s values — whole-run extremes are still
+      // informative for the window and exact windows aren't recoverable
+      // from folded extremes.
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    append_json_string(out, counters[i].name);
+    out << ":";
+    append_json_number(out, counters[i].value);
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    append_json_string(out, gauges[i].name);
+    out << ":";
+    append_json_number(out, gauges[i].value);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i != 0) {
+      out << ",";
+    }
+    append_json_string(out, h.name);
+    out << ":{\"count\":" << h.count << ",\"sum\":";
+    append_json_number(out, h.sum);
+    out << ",\"min\":";
+    append_json_number(out, h.count == 0 ? 0.0 : h.min);
+    out << ",\"max\":";
+    append_json_number(out, h.count == 0 ? 0.0 : h.max);
+    out << ",\"mean\":";
+    append_json_number(out, h.mean());
+    out << ",\"p50\":";
+    append_json_number(out, h.p50());
+    out << ",\"p95\":";
+    append_json_number(out, h.p95());
+    out << ",\"p99\":";
+    append_json_number(out, h.p99());
+    out << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) {
+        out << ",";
+      }
+      out << h.counts[b];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(std::string_view name) {
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  RISKAN_REQUIRE(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    RISKAN_REQUIRE(e->kind == Kind::Counter,
+                   "metric registered with a different kind: " + std::string(name));
+    return Counter(e->counter.get(), this);
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = Kind::Counter;
+  entry->counter = std::make_unique<detail::CounterStorage>();
+  Counter handle(entry->counter.get(), this);
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  RISKAN_REQUIRE(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    RISKAN_REQUIRE(e->kind == Kind::Gauge,
+                   "metric registered with a different kind: " + std::string(name));
+    return Gauge(e->gauge.get(), this);
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = Kind::Gauge;
+  entry->gauge = std::make_unique<detail::GaugeStorage>();
+  Gauge handle(entry->gauge.get(), this);
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, std::span<const double> bounds) {
+  RISKAN_REQUIRE(!name.empty(), "metric name must be non-empty");
+  if (bounds.empty()) {
+    bounds = default_seconds_bounds();
+  }
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    RISKAN_REQUIRE(std::isfinite(bounds[i]), "histogram bounds must be finite");
+    RISKAN_REQUIRE(i == 0 || bounds[i] > bounds[i - 1],
+                   "histogram bounds must be strictly increasing");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    RISKAN_REQUIRE(e->kind == Kind::Histogram,
+                   "metric registered with a different kind: " + std::string(name));
+    RISKAN_REQUIRE(std::equal(bounds.begin(), bounds.end(), e->histogram->bounds.begin(),
+                              e->histogram->bounds.end()),
+                   "histogram re-registered with different bounds: " + std::string(name));
+    return Histogram(e->histogram.get(), this);
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = Kind::Histogram;
+  entry->histogram = std::make_unique<detail::HistogramStorage>();
+  entry->histogram->bounds.assign(bounds.begin(), bounds.end());
+  const std::size_t buckets = bounds.size() + 1;
+  for (auto& shard : entry->histogram->shards) {
+    shard.counts = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+  Histogram handle(entry->histogram.get(), this);
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::Counter: {
+        double total = 0.0;
+        for (const auto& cell : e->counter->cells) {
+          total += cell.value.load(std::memory_order_relaxed);
+        }
+        snap.counters.push_back({e->name, total});
+        break;
+      }
+      case Kind::Gauge:
+        snap.gauges.push_back({e->name, e->gauge->value.load(std::memory_order_relaxed)});
+        break;
+      case Kind::Histogram: {
+        const auto& storage = *e->histogram;
+        HistogramValue h;
+        h.name = e->name;
+        h.bounds = storage.bounds;
+        h.counts.assign(storage.bounds.size() + 1, 0);
+        double hmin = std::numeric_limits<double>::infinity();
+        double hmax = -std::numeric_limits<double>::infinity();
+        for (const auto& shard : storage.shards) {
+          for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            h.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+          }
+          h.count += shard.count.load(std::memory_order_relaxed);
+          h.sum += shard.sum.load(std::memory_order_relaxed);
+          hmin = std::min(hmin, shard.min.load(std::memory_order_relaxed));
+          hmax = std::max(hmax, shard.max.load(std::memory_order_relaxed));
+        }
+        h.min = h.count == 0 ? 0.0 : hmin;
+        h.max = h.count == 0 ? 0.0 : hmax;
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::fold_into(MetricsRegistry& target, const std::string& prefix) const {
+  const RegistrySnapshot snap = snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.value != 0.0) {
+      target.counter(prefix + c.name).add(c.value);
+    }
+  }
+  for (const auto& g : snap.gauges) {
+    target.gauge(prefix + g.name).set(g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) {
+      continue;
+    }
+    // Re-observing bucket midpoints would distort sum/min/max; fold the
+    // raw shard contents instead so the target's folded view is exact.
+    Histogram handle = target.histogram(prefix + h.name, h.bounds);
+    if (!handle.valid() || !target.armed()) {
+      continue;
+    }
+    auto& shard = handle.storage_->shards[detail::shard_index()];
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      shard.counts[b].fetch_add(h.counts[b], std::memory_order_relaxed);
+    }
+    shard.count.fetch_add(h.count, std::memory_order_relaxed);
+    detail::atomic_add(shard.sum, h.sum);
+    detail::atomic_min(shard.min, h.min);
+    detail::atomic_max(shard.max, h.max);
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::Counter:
+        for (auto& cell : e->counter->cells) {
+          cell.value.store(0.0, std::memory_order_relaxed);
+        }
+        break;
+      case Kind::Gauge:
+        e->gauge->value.store(0.0, std::memory_order_relaxed);
+        break;
+      case Kind::Histogram:
+        for (auto& shard : e->histogram->shards) {
+          for (std::size_t b = 0; b < e->histogram->bounds.size() + 1; ++b) {
+            shard.counts[b].store(0, std::memory_order_relaxed);
+          }
+          shard.count.store(0, std::memory_order_relaxed);
+          shard.sum.store(0.0, std::memory_order_relaxed);
+          shard.min.store(std::numeric_limits<double>::infinity(),
+                          std::memory_order_relaxed);
+          shard.max.store(-std::numeric_limits<double>::infinity(),
+                          std::memory_order_relaxed);
+        }
+        break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry(/*honor_global_toggle=*/true);
+  return *registry;
+}
+
+}  // namespace riskan::obs

@@ -1,0 +1,319 @@
+// Metrics registry — the process-wide source of truth for engine counters.
+//
+// Every layer of the engine (resolver cache, data plane, executors, dist
+// runtime, adaptive controller, scenario planner) publishes its telemetry
+// as named metrics in a MetricsRegistry instead of hand-maintained stat
+// structs. Three kinds:
+//
+//   Counter   — monotonically added doubles ("exec.executions",
+//               "dist.blocks_retried", "data.bytes_read").
+//   Gauge     — last-write-wins level ("dist.blocks_total").
+//   Histogram — fixed upper-edge buckets with count/sum/min/max and
+//               p50/p95/p99 extraction by in-bucket linear interpolation
+//               ("exec.execute_seconds").
+//
+// The hot path is lock-free: each metric's storage is split into kShards
+// per-thread slots (a thread owns one shard for its lifetime; writes are
+// relaxed atomic adds to its own slot, so concurrent writers never contend
+// on a cache line except past kShards threads). Reads fold the shards —
+// snapshot() is the only place values meet. Registration (name → handle)
+// takes a mutex, is idempotent per (name, kind), and is expected to happen
+// once per call site (static handle), never per operation.
+//
+// When observability is disabled (set_enabled(false) or RISKAN_OBS=0),
+// every handle operation on the global registry reduces to one relaxed
+// atomic load and a predicted branch — near-zero cost, no allocation, no
+// stores. Run-scoped registries (e.g. the dist coordinator's stats ledger)
+// are always armed: they ARE the stats mechanism, not optional telemetry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace riskan::obs {
+
+/// Process-wide master switch for the *global* registry and trace buffer.
+/// Initialised from the environment: RISKAN_OBS=0 disables.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Per-thread shard slots per metric. Threads beyond kShards share slots
+/// (atomics keep that correct, merely contended).
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+
+/// Stable per-thread shard index in [0, kShards).
+std::size_t shard_index() noexcept;
+
+inline void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+/// One shard slot, cache-line-isolated so concurrent writers on different
+/// shards never false-share.
+struct alignas(64) CounterCell {
+  std::atomic<double> value{0.0};
+};
+
+struct CounterStorage {
+  std::array<CounterCell, kShards> cells;
+};
+
+struct GaugeStorage {
+  std::atomic<double> value{0.0};
+};
+
+struct alignas(64) HistogramShard {
+  /// bounds.size() + 1 buckets: (-inf, b0], (b0, b1], ..., (b_last, +inf).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+struct HistogramStorage {
+  std::vector<double> bounds;  ///< strictly increasing upper bucket edges
+  std::array<HistogramShard, kShards> shards;
+};
+
+}  // namespace detail
+
+class MetricsRegistry;
+
+/// Cheap, trivially-copyable handle to a registered counter. A
+/// default-constructed handle is inert (all operations no-op).
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(double v = 1.0) const noexcept;
+  /// Handle-is-registered check (NOT the enabled state).
+  bool valid() const noexcept { return storage_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(detail::CounterStorage* storage, const MetricsRegistry* owner) noexcept
+      : storage_(storage), owner_(owner) {}
+
+  detail::CounterStorage* storage_ = nullptr;
+  const MetricsRegistry* owner_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) const noexcept;
+  bool valid() const noexcept { return storage_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(detail::GaugeStorage* storage, const MetricsRegistry* owner) noexcept
+      : storage_(storage), owner_(owner) {}
+
+  detail::GaugeStorage* storage_ = nullptr;
+  const MetricsRegistry* owner_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(double v) const noexcept;
+  bool valid() const noexcept { return storage_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(detail::HistogramStorage* storage, const MetricsRegistry* owner) noexcept
+      : storage_(storage), owner_(owner) {}
+
+  detail::HistogramStorage* storage_ = nullptr;
+  const MetricsRegistry* owner_ = nullptr;
+};
+
+/// Folded read of one counter at snapshot time.
+struct CounterValue {
+  std::string name;
+  double value = 0.0;
+};
+
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Folded read of one histogram, with percentile extraction.
+struct HistogramValue {
+  std::string name;
+  std::vector<double> bounds;           ///< upper edges (bounds.size()+1 buckets)
+  std::vector<std::uint64_t> counts;    ///< per-bucket observation counts
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+
+  double mean() const noexcept { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Quantile by cumulative bucket walk with linear interpolation inside
+  /// the landing bucket; the open first/last buckets are clamped to the
+  /// observed min/max. Exact when a bucket holds one distinct value;
+  /// otherwise within one bucket's width. q in [0, 1].
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+};
+
+/// Point-in-time folded view of a registry.
+struct RegistrySnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// nullptr when the metric is absent.
+  const CounterValue* counter(std::string_view name) const noexcept;
+  const GaugeValue* gauge(std::string_view name) const noexcept;
+  const HistogramValue* histogram(std::string_view name) const noexcept;
+  /// 0 when absent — the common "how many so far" read.
+  double counter_value(std::string_view name) const noexcept;
+
+  /// after − before: counters and histogram counts/sums subtract (clamped
+  /// at 0 for robustness against resets); gauges and histogram min/max
+  /// take `after`'s values; metrics absent from `before` pass through.
+  static RegistrySnapshot delta(const RegistrySnapshot& before,
+                                const RegistrySnapshot& after);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, min, max, p50, p95, p99, buckets: [...]}}}.
+  std::string to_json() const;
+};
+
+/// Default histogram edges for durations in seconds: powers of two from
+/// 1 µs to ~64 s (27 edges, 28 buckets).
+std::span<const double> default_seconds_bounds() noexcept;
+
+class MetricsRegistry {
+ public:
+  /// `honor_global_toggle` couples this registry's hot path to
+  /// obs::enabled(); run-scoped stat registries pass false (always armed).
+  explicit MetricsRegistry(bool honor_global_toggle = false)
+      : honor_global_(honor_global_toggle) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or looks up) a metric by name. Idempotent for the same
+  /// (name, kind); a kind clash or a histogram bounds clash is a
+  /// ContractViolation — one name, one meaning.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  /// `bounds` must be strictly increasing and finite; empty selects
+  /// default_seconds_bounds().
+  Histogram histogram(std::string_view name, std::span<const double> bounds = {});
+
+  bool armed() const noexcept { return !honor_global_ || enabled(); }
+
+  /// Folds all shards into a consistent-enough view (each metric is folded
+  /// atomically per slot; cross-metric skew is possible under concurrent
+  /// writers, as with any live metrics read).
+  RegistrySnapshot snapshot() const;
+
+  /// Adds this registry's folded counter values and histogram contents
+  /// into `target` (registering names on demand, with `prefix` prepended).
+  /// Gauges are set last-write-wins. Used to fold a run-scoped stats
+  /// ledger into the process-wide registry at end of run.
+  void fold_into(MetricsRegistry& target, const std::string& prefix = "") const;
+
+  /// Zeroes every metric's shards (registrations survive).
+  void reset();
+
+  /// The process-wide registry every layer's instrumentation lands in.
+  static MetricsRegistry& global();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  enum class Kind { Counter, Gauge, Histogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::unique_ptr<detail::CounterStorage> counter;
+    std::unique_ptr<detail::GaugeStorage> gauge;
+    std::unique_ptr<detail::HistogramStorage> histogram;
+  };
+
+  Entry* find_locked(std::string_view name);
+
+  bool honor_global_;
+  mutable std::mutex mutex_;
+  /// Entries are stable: push_back only, storage behind unique_ptr, so
+  /// handles (raw storage pointers) stay valid for the registry lifetime.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+// ---- inline hot paths ------------------------------------------------------
+
+inline void Counter::add(double v) const noexcept {
+  if (storage_ == nullptr || !owner_->armed()) {
+    return;
+  }
+  detail::atomic_add(storage_->cells[detail::shard_index()].value, v);
+}
+
+inline void Gauge::set(double v) const noexcept {
+  if (storage_ == nullptr || !owner_->armed()) {
+    return;
+  }
+  storage_->value.store(v, std::memory_order_relaxed);
+}
+
+inline void Histogram::observe(double v) const noexcept {
+  if (storage_ == nullptr || !owner_->armed()) {
+    return;
+  }
+  auto& shard = storage_->shards[detail::shard_index()];
+  // Branchless-ish upper_bound over the (small) edge vector.
+  const auto& bounds = storage_->bounds;
+  std::size_t bucket = 0;
+  while (bucket < bounds.size() && v > bounds[bucket]) {
+    ++bucket;
+  }
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(shard.sum, v);
+  detail::atomic_min(shard.min, v);
+  detail::atomic_max(shard.max, v);
+}
+
+}  // namespace riskan::obs

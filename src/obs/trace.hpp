@@ -1,0 +1,184 @@
+// Scoped span tracing with chrome://tracing export.
+//
+// A Span is an RAII scope: construction records the start time, destruction
+// (or explicit stop()) appends one event to a fixed-capacity ring buffer.
+// Events carry a lane (process-level attribution: 0 = this process, 1+k =
+// forked dist worker k, whose spans arrive over the pipe protocol as
+// FrameType::Spans), a thread id, an interned name, and nanosecond
+// timestamps against a process-wide steady_clock epoch. The epoch is
+// captured at first use and inherited through fork(), so coordinator and
+// worker spans share a timebase and line up in one timeline.
+//
+// The hot path is one atomic fetch_add to reserve a slot plus plain stores;
+// a per-slot release/acquire ready flag makes concurrent export safe (an
+// unfinished slot is simply skipped). When the buffer fills, new events are
+// dropped and counted — tracing never blocks the engine.
+//
+// Export is the chrome://tracing JSON array format ("X" complete events,
+// "i" instant events, process/thread name metadata), loadable in
+// chrome://tracing or https://ui.perfetto.dev. Enable with
+// `RISKAN_TRACE=<file>` (export at process exit) or per-run via
+// `ObsConfig::trace_path` (export at end of run).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace riskan::obs {
+
+/// One finished span or instant event, as stored in the ring.
+struct TraceEvent {
+  std::uint32_t name_id = 0;  ///< intern id; resolve via TraceBuffer
+  std::uint32_t lane = 0;     ///< 0 = this process, 1+k = dist worker k
+  std::uint64_t tid = 0;      ///< thread attribution within the lane
+  std::uint64_t start_ns = 0; ///< since process trace epoch
+  std::uint64_t dur_ns = 0;   ///< 0 ⇒ instant event
+};
+
+/// A decoded event with its name materialized — the export/wire unit.
+struct CollectedSpan {
+  std::string name;
+  std::uint32_t lane = 0;
+  std::uint64_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  bool instant = false;
+};
+
+class TraceBuffer {
+ public:
+  /// Default ~64k events (~2 MiB) — enough for a full bench run.
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  bool active() const noexcept { return active_.load(std::memory_order_relaxed); }
+  void set_active(bool on) noexcept { active_.store(on, std::memory_order_relaxed); }
+
+  /// Interns `name`, returns a stable id for record(). Takes a mutex —
+  /// call once per site (static local), not per event.
+  std::uint32_t intern(std::string_view name);
+
+  /// Appends a finished span (dur_ns > 0) or instant event (dur_ns == 0).
+  /// Lock-free; drops (and counts) when the ring is full or inactive.
+  void record(std::uint32_t name_id, std::uint32_t lane, std::uint64_t tid,
+              std::uint64_t start_ns, std::uint64_t dur_ns) noexcept;
+
+  /// Appends an already-collected span (dist forwarding ingestion path:
+  /// the name arrives as a string because intern ids diverge across
+  /// processes).
+  void record_collected(const CollectedSpan& span);
+
+  /// Snapshot of all completed events at or after `from_index`, names
+  /// resolved. Safe concurrent with writers. Sets `next_index` (when
+  /// non-null) to the cursor to pass next time for an incremental drain.
+  std::vector<CollectedSpan> collect(std::size_t from_index = 0,
+                                     std::size_t* next_index = nullptr) const;
+
+  std::uint64_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
+  std::size_t size() const noexcept;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Clears events and drop count (interned names survive). Not safe
+  /// concurrent with writers — call between runs / after fork.
+  void reset();
+
+  /// Process-wide buffer, default-inactive unless RISKAN_TRACE is set
+  /// (which also registers an atexit export to that path). Forked dist
+  /// workers inherit it; the worker loop resets it and forwards spans
+  /// explicitly — workers exit via _exit so the atexit export never
+  /// fires in children.
+  static TraceBuffer& global();
+
+ private:
+  struct Slot {
+    TraceEvent event;
+    std::atomic<std::uint8_t> ready{0};
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> active_{false};
+
+  mutable std::mutex names_mutex_;
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+  std::vector<std::string> names_;
+};
+
+/// Nanoseconds since the process trace epoch (steady_clock, captured at
+/// first use; survives fork so parent/child timestamps are comparable).
+std::uint64_t trace_now_ns() noexcept;
+
+/// Stable per-thread id for span attribution (small dense ints, not OS
+/// tids, so chrome trace lanes stay compact).
+std::uint64_t trace_thread_id() noexcept;
+
+/// Labels the calling thread in exported traces (e.g. "prefetch").
+void set_trace_thread_name(std::string_view name);
+
+/// RAII span against the global buffer. Construction is a no-op when
+/// tracing is inactive. `name` must outlive the program (string literal) —
+/// it is interned once per call site via a static id cache keyed by
+/// pointer; pass dynamic names through Span(id) with an explicit intern.
+class Span {
+ public:
+  explicit Span(std::uint32_t name_id) noexcept;
+  ~Span() { stop(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span now (idempotent).
+  void stop() noexcept;
+
+ private:
+  std::uint32_t name_id_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool live_ = false;
+};
+
+/// Records an instant event ("i" in the chrome trace) on the global
+/// buffer; no-op when inactive.
+void trace_instant(std::uint32_t name_id) noexcept;
+void trace_instant(std::uint32_t name_id, std::uint32_t lane,
+                   std::uint64_t tid) noexcept;
+
+/// Interns `name` in the global buffer once and caches the id in a
+/// function-local static — the intended way to make span/instant ids.
+/// Usage:  static const auto id = obs::span_id("exec.execute");
+std::uint32_t span_id(std::string_view name);
+
+/// Serializes spans as a chrome://tracing JSON document. Lane 0 is
+/// "engine", lane 1+k is "worker k"; thread-name metadata rows come from
+/// `thread_names` (tid → label) and apply to lane 0.
+std::string chrome_trace_json(
+    const std::vector<CollectedSpan>& spans,
+    const std::vector<std::pair<std::uint64_t, std::string>>& thread_names = {});
+
+/// Collects the global buffer and writes chrome_trace_json to `path`.
+/// Throws IoError on failure.
+void export_global_trace(const std::string& path);
+
+/// Starts global tracing (activates the buffer after a reset).
+void start_global_trace();
+
+// ---- macro sugar -----------------------------------------------------------
+// RISKAN_SPAN("name") — one RAII span for the enclosing scope; the id is
+// interned once (function-local static), the Span itself is a no-op when
+// tracing is inactive.
+
+#define RISKAN_OBS_CONCAT_INNER(a, b) a##b
+#define RISKAN_OBS_CONCAT(a, b) RISKAN_OBS_CONCAT_INNER(a, b)
+#define RISKAN_SPAN(name_literal)                                             \
+  static const std::uint32_t RISKAN_OBS_CONCAT(riskan_span_id_, __LINE__) =   \
+      ::riskan::obs::span_id(name_literal);                                   \
+  ::riskan::obs::Span RISKAN_OBS_CONCAT(riskan_span_, __LINE__)(              \
+      RISKAN_OBS_CONCAT(riskan_span_id_, __LINE__))
+
+}  // namespace riskan::obs

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan {
 
@@ -39,7 +39,7 @@ LaunchStats Device::launch_impl(int grid_dim, int block_dim,
 
   std::vector<DeviceCounters> per_block(static_cast<std::size_t>(grid_dim));
 
-  Stopwatch watch;
+  obs::Timer watch("device.launch");
   const std::size_t shared_bytes = spec_.shared_mem_per_block;
   parallel_for(
       0, static_cast<std::size_t>(grid_dim),
@@ -51,7 +51,7 @@ LaunchStats Device::launch_impl(int grid_dim, int block_dim,
         }
       },
       ParallelConfig{pool_, /*grain=*/1});
-  stats.host_seconds = watch.seconds();
+  stats.host_seconds = watch.stop();
 
   for (const auto& counters : per_block) {
     stats.counters += counters;

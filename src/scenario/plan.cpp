@@ -2,10 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::scenario {
+
+namespace {
+
+/// Publishes the planner's dedupe savings to the global registry: how many
+/// resolutions and masks the sharing avoided, per plan build.
+void publish_plan_stats(const PlanStats& stats) {
+  static const obs::Counter plans =
+      obs::MetricsRegistry::global().counter("scenario.plans_built");
+  static const obs::Counter scenarios =
+      obs::MetricsRegistry::global().counter("scenario.scenarios_planned");
+  static const obs::Counter resolutions_avoided =
+      obs::MetricsRegistry::global().counter("scenario.resolutions_avoided");
+  static const obs::Counter masks_deduped =
+      obs::MetricsRegistry::global().counter("scenario.masks_deduped");
+  plans.add();
+  scenarios.add(static_cast<double>(stats.scenarios));
+  resolutions_avoided.add(static_cast<double>(stats.resolutions_avoided));
+  masks_deduped.add(
+      static_cast<double>(stats.mask_references - stats.distinct_masks));
+}
+
+}  // namespace
 
 MaskColumn MaskColumn::build(const data::YearEventLossTable& yelt,
                              std::span<const EventId> excluded_events,
@@ -68,14 +90,14 @@ ScenarioPlan ScenarioPlan::build(const finance::Portfolio& base,
   }
 
   // 2. One resolution per distinct contract, shared through the cache.
-  Stopwatch resolve_watch;
+  obs::Timer resolve_timer("scenario.plan_resolve");
   std::vector<const data::EventLossTable*> elts;
   elts.reserve(plan.contracts_.size());
   for (const finance::Contract* contract : plan.contracts_) {
     elts.push_back(&contract->elt());
   }
   plan.resolution_ = data::MultiResolution::build(elts, yelt, cache, cfg);
-  plan.resolve_seconds_ = resolve_watch.seconds();
+  plan.resolve_seconds_ = resolve_timer.stop();
   plan.stats_.contracts_resolved = plan.contracts_.size();
 
   // 3. Mask dedupe by excluded-set content (specs are normalised, so
@@ -218,6 +240,7 @@ ScenarioPlan ScenarioPlan::build(const finance::Portfolio& base,
     RISKAN_REQUIRE(!specs[s].conditioning || conditioning_hits[s],
                    "conditioning event is in no contract ELT of the scenario's book");
   }
+  publish_plan_stats(plan.stats_);
   return plan;
 }
 
@@ -226,14 +249,14 @@ void ScenarioPlan::rebind(const data::YearEventLossTable& yelt, data::ResolverCa
   RISKAN_REQUIRE(!contracts_.empty(), "rebind before build");
   RISKAN_REQUIRE(yelt.trials() > 0, "scenario plan needs a YELT with trials");
 
-  Stopwatch resolve_watch;
+  obs::Timer resolve_timer("scenario.plan_resolve");
   std::vector<const data::EventLossTable*> elts;
   elts.reserve(contracts_.size());
   for (const finance::Contract* contract : contracts_) {
     elts.push_back(&contract->elt());
   }
   resolution_ = data::MultiResolution::build(elts, yelt, cache, cfg);
-  resolve_seconds_ = resolve_watch.seconds();
+  resolve_seconds_ = resolve_timer.stop();
 
   for (std::size_t m = 0; m < masks_.size(); ++m) {
     masks_[m] = MaskColumn::build(yelt, mask_excluded_[m], cfg);

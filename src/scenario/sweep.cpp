@@ -10,9 +10,9 @@
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
 #include "data/trial_source.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::scenario {
 
@@ -35,7 +35,11 @@ ScenarioSweepResult run_adaptive_sweep(const finance::Portfolio& portfolio,
                                        const core::EngineConfig& config) {
   namespace adaptive = core::adaptive;
   const adaptive::AdaptiveConfig& ad = config.adaptive;
-  Stopwatch watch;
+  // The adaptive loop is the outermost scope of its sweep: the per-block
+  // re-entries below carry a cleared obs config, so the whole run is one
+  // observability window.
+  obs::RunObsScope obs_scope(config.obs);
+  obs::Timer timer("scenario.adaptive_sweep");
 
   data::ReblockedSource grid(source, ad.block_trials, ad.max_trials);
   adaptive::ConvergenceController controller(ad, grid.trials());
@@ -46,6 +50,7 @@ ScenarioSweepResult run_adaptive_sweep(const finance::Portfolio& portfolio,
   while (!controller.should_stop() && grid.next(block)) {
     core::EngineConfig inner = config;
     inner.adaptive = {};
+    inner.obs = {};
     inner.trial_base = config.trial_base + block.trial_offset;
     data::SingleBlockSource one(block.yelt);
     ScenarioSweepResult r = run_scenario_sweep(portfolio, one, specs, inner);
@@ -86,11 +91,12 @@ ScenarioSweepResult run_adaptive_sweep(const finance::Portfolio& portfolio,
     spec.validate();
   }
   out.report = build_report(out.base, out.scenarios, validated);
-  out.seconds = watch.seconds();
+  out.seconds = timer.stop();
   for (core::EngineResult& scenario : out.scenarios) {
     scenario.seconds = out.seconds;
   }
   out.base.seconds = out.seconds;
+  out.obs_report = obs_scope.finish();
   return out;
 }
 
@@ -119,7 +125,8 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
   if (config.adaptive.enabled()) {
     return run_adaptive_sweep(portfolio, source, specs, config);
   }
-  Stopwatch watch;
+  obs::RunObsScope obs_scope(config.obs);
+  obs::Timer timer("scenario.sweep");
 
   // Normalise validated copies; the base book is the implicit scenario 0.
   std::vector<ScenarioSpec> all;
@@ -288,7 +295,7 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
     }
   });
 
-  const double engine_seconds = watch.seconds();
+  const double engine_seconds = timer.seconds();
   for (ScenarioRun& run : runs) {
     run.result.seconds = engine_seconds;
     run.result.resolve_seconds = resolve_seconds;
@@ -303,7 +310,8 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
   out.plan = stats;
   out.report = build_report(out.base, out.scenarios,
                             std::span<const ScenarioSpec>(all).subspan(1));
-  out.seconds = watch.seconds();
+  out.seconds = timer.stop();
+  out.obs_report = obs_scope.finish();
   return out;
 }
 

@@ -28,11 +28,13 @@
 // and telemetry only.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/aggregate_engine.hpp"
 #include "data/yelt.hpp"
+#include "obs/obs.hpp"
 #include "finance/contract.hpp"
 #include "scenario/plan.hpp"
 #include "scenario/report.hpp"
@@ -52,6 +54,8 @@ struct ScenarioSweepResult {
   PlanStats plan;
   /// Whole-sweep wall-clock (plan + pass + report).
   double seconds = 0.0;
+  /// End-of-run observability report when EngineConfig::obs requested one.
+  std::shared_ptr<const obs::ObsReport> obs_report;
 };
 
 /// Runs every scenario in `specs` (plus the implicit base) over the book

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
 
 namespace riskan::warehouse {
 
@@ -33,7 +33,7 @@ RiskCube::RiskCube(const finance::Portfolio& portfolio, const core::EngineResult
   RISKAN_REQUIRE(result.contract_ylts.size() == portfolio.size(),
                  "cube needs per-contract YLTs (run the engine with keep_contract_ylts)");
   RISKAN_REQUIRE(!portfolio.empty(), "cube of an empty portfolio");
-  Stopwatch watch;
+  obs::Timer watch("warehouse.cube_build");
 
   const TrialId trials = result.portfolio_ylt.trials();
   trials_ = trials;
@@ -88,7 +88,7 @@ RiskCube::RiskCube(const finance::Portfolio& portfolio, const core::EngineResult
       },
       ParallelConfig{pool, /*grain=*/1});
 
-  stats_.precompute_seconds = watch.seconds();
+  stats_.precompute_seconds = watch.stop();
 }
 
 const CubeCell* RiskCube::query(const CubeQuery& q) const {
