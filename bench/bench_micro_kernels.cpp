@@ -5,10 +5,12 @@
 // dense LUT, metering overhead).
 #include <benchmark/benchmark.h>
 
+#include "core/batch_simd.hpp"
 #include "core/secondary.hpp"
 #include "data/scan.hpp"
 #include "data/volcano.hpp"
 #include "finance/terms.hpp"
+#include "util/aligned.hpp"
 #include "util/distributions.hpp"
 #include "util/prng.hpp"
 
@@ -138,6 +140,94 @@ void BM_ApplyOccurrence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApplyOccurrence);
+
+// Scalar loop vs the dispatched lane kernel over one occurrence buffer —
+// the E16 micro-surface. On scalar builds the lane call falls back to the
+// same scalar loop, so the pair reads as a no-op there (which is the point:
+// the delta IS the vectorization win).
+util::AlignedVector<Money> occurrence_buffer(std::size_t n) {
+  util::AlignedVector<Money> gu(n);
+  Xoshiro256ss rng(7);
+  for (auto& g : gu) {
+    g = 2e6 * to_unit_double(rng());
+  }
+  return gu;
+}
+
+void BM_ApplyOccurrenceScalarBuffer(benchmark::State& state) {
+  const auto terms = finance::LayerTerms::typical();
+  const auto gu = occurrence_buffer(static_cast<std::size_t>(state.range(0)));
+  util::AlignedVector<Money> occ(gu.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < gu.size(); ++i) {
+      occ[i] = finance::apply_occurrence(terms, gu[i]);
+    }
+    benchmark::DoNotOptimize(occ.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(gu.size()));
+}
+BENCHMARK(BM_ApplyOccurrenceScalarBuffer)->Arg(64)->Arg(1'024)->Arg(16'384);
+
+void BM_ApplyOccurrenceLanes(benchmark::State& state) {
+  const auto terms = finance::LayerTerms::typical();
+  const auto gu = occurrence_buffer(static_cast<std::size_t>(state.range(0)));
+  util::AlignedVector<Money> occ(gu.size());
+  for (auto _ : state) {
+    core::batch::apply_occurrence_lanes(terms, gu.data(), gu.size(), occ.data());
+    benchmark::DoNotOptimize(occ.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(gu.size()));
+}
+BENCHMARK(BM_ApplyOccurrenceLanes)->Arg(64)->Arg(1'024)->Arg(16'384);
+
+// The compact kernel's structure at micro scale: gather means by row index,
+// then the occurrence algebra. Fused scalar loop vs gather-into-scratch +
+// lane apply (the shape the vector kernel uses).
+void BM_GatherApplyScalarFused(benchmark::State& state) {
+  const auto terms = finance::LayerTerms::typical();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto means = occurrence_buffer(4'096);
+  util::AlignedVector<std::uint32_t> rows(n);
+  Xoshiro256ss rng(8);
+  for (auto& r : rows) {
+    r = static_cast<std::uint32_t>(sample_index(rng, means.size()));
+  }
+  util::AlignedVector<Money> occ(n);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < n; ++k) {
+      occ[k] = finance::apply_occurrence(terms, means[rows[k]]);
+    }
+    benchmark::DoNotOptimize(occ.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GatherApplyScalarFused)->Arg(1'024)->Arg(16'384);
+
+void BM_GatherApplyLanes(benchmark::State& state) {
+  const auto terms = finance::LayerTerms::typical();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto means = occurrence_buffer(4'096);
+  util::AlignedVector<std::uint32_t> rows(n);
+  Xoshiro256ss rng(8);
+  for (auto& r : rows) {
+    r = static_cast<std::uint32_t>(sample_index(rng, means.size()));
+  }
+  util::AlignedVector<Money> gu(n);
+  util::AlignedVector<Money> occ(n);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < n; ++k) {
+      gu[k] = means[rows[k]];
+    }
+    core::batch::apply_occurrence_lanes(terms, gu.data(), n, occ.data());
+    benchmark::DoNotOptimize(occ.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GatherApplyLanes)->Arg(1'024)->Arg(16'384);
 
 void BM_NormalInvCdf(benchmark::State& state) {
   double p = 0.0001;

@@ -67,17 +67,40 @@ enum class Backend {
   Sequential,
   Threaded,
   DeviceSim,
+  /// Vectorized trial kernel (AVX2/NEON, runtime-dispatched) on the
+  /// caller's thread — pool-free like Sequential. Requires a build with
+  /// RISKAN_ENABLE_SIMD and a supporting host (validate_engine_config
+  /// rejects it otherwise; RISKAN_SIMD=off forces rejection).
+  Simd,
+  /// The vectorized kernel under the Threaded trial-chunk partition
+  /// (trial_grain applies unchanged).
+  ThreadedSimd,
 };
 
 const char* to_string(Backend backend) noexcept;
 
-/// Every backend, in to_string order — the shared iteration helper for
-/// equivalence-matrix tests and benches (no per-file backend lists).
+/// Every always-available backend, in to_string order — the shared
+/// iteration helper for equivalence-matrix tests and benches (no per-file
+/// backend lists). The Simd backends are excluded because scalar-only
+/// builds reject them; matrices add kSimdBackends rows behind
+/// exec::simd_available().
 inline constexpr Backend kAllBackends[] = {Backend::Sequential, Backend::Threaded,
                                            Backend::DeviceSim};
 /// The host backends (everything but the simulated device), for matrices
 /// that sweep `trial_grain` or other host-only knobs.
 inline constexpr Backend kHostBackends[] = {Backend::Sequential, Backend::Threaded};
+/// The vectorized backends, usable only when exec::simd_available()
+/// (core/simd.hpp) — SIMD-gated matrix rows iterate these.
+inline constexpr Backend kSimdBackends[] = {Backend::Simd, Backend::ThreadedSimd};
+
+/// Backends bound to the caller's thread (never the pool): resolution
+/// builds and block decodes under them must run inline, both for the
+/// single-thread contract (MapReduce map tasks invoke the engine from pool
+/// workers, where submitting and blocking can deadlock) and for dist
+/// workers, which are forked processes without a pool.
+constexpr bool pool_free(Backend backend) noexcept {
+  return backend == Backend::Sequential || backend == Backend::Simd;
+}
 
 /// Per-run telemetry of the DeviceSim executor, for the E2/E4 reports:
 /// metered traffic per access class plus the calibrated performance-model

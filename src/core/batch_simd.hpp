@@ -1,0 +1,126 @@
+// The vectorized twin of core::batch::process_trials.
+//
+// One kernel per compiled ISA (AVX2: 4 Money lanes, NEON: 2), all stamped
+// from the width-generic template in batch_simd_impl.hpp. The kernel walks
+// trials in blocks (so the scalar per-trial bookkeeping amortizes over a
+// long contiguous occurrence range instead of re-starting the vector loop
+// every ~dozen hits) and classifies each gather group:
+//
+//   vector-compact — singleton compact-CSR group with no mask column: the
+//       block's whole hit range is walked in W-wide chunks — rows gathered
+//       (or the pre-sampled ground-up buffer loaded), loss_scale and the
+//       LayerTerms occurrence algebra applied lane-parallel into an
+//       occurrence-loss chunk — and a scalar fold pass then consumes that
+//       chunk IN OCCURRENCE ORDER, advancing a trial cursor over the CSR
+//       offsets, which is what keeps the annual sums and the OEP
+//       accumulator bit-identical to the scalar kernel. The sub-width
+//       remainder of each chunk runs the scalar ops in the same order (the
+//       lane-tail contract).
+//   vector-dense — singleton dense group, secondary off: row sentinels
+//       (kNoLoss) become masked-out gather lanes that contribute +0.0 —
+//       exactly the scalar `continue`'s effect on the annual sum, since
+//       every occurrence contribution is non-negative.
+//   scalar — everything else (search gather, mask columns, multi-slot
+//       shared-gather groups) falls back to batch::process_trials for the
+//       (group, block) — same code, so equality across the full feature
+//       matrix holds by construction.
+//
+// Shared outputs (the portfolio roll-up, a shared OEP accumulator) see the
+// same per-cell addition order as the scalar kernel: the block loop is
+// outermost and groups run in plan order within it, so for any fixed trial
+// the groups touch that trial's cells in the scalar kernel's group order,
+// and within a (slot, trial) the fold is in occurrence order.
+//
+// Secondary uncertainty on vector-compact slots is handled by sampling
+// each chunk's hits into a scratch buffer first (beta rejection sampling
+// is inherently scalar; detail::fill_ground_up_compact_range below,
+// compiled in the portable TU) and vectorizing everything downstream of
+// the sample. The sampling streams are identical, so so are the draws.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/portfolio_batch.hpp"
+
+namespace riskan::core::batch {
+
+/// Lane-utilization telemetry of simd kernel invocations, published by the
+/// SimdExecutor as exec.simd.* counters.
+struct SimdStats {
+  std::uint64_t vector_occurrences = 0;  ///< processed in full W-wide chunks
+  std::uint64_t tail_occurrences = 0;    ///< scalar sub-width remainders
+  std::uint64_t scalar_occurrences = 0;  ///< scalar-fallback groups
+
+  SimdStats& operator+=(const SimdStats& o) noexcept {
+    vector_occurrences += o.vector_occurrences;
+    tail_occurrences += o.tail_occurrences;
+    scalar_occurrences += o.scalar_occurrences;
+    return *this;
+  }
+};
+
+/// Shared signature of the per-ISA kernels: process_trials' arguments plus
+/// the stats sink (chunk scratch lives on the kernel's own stack).
+using SimdKernelFn = std::uint64_t (*)(std::span<const Slot> slots,
+                                       std::span<const Group> groups,
+                                       std::span<const std::uint64_t> yelt_offsets,
+                                       const Philox4x32& philox, bool secondary,
+                                       TrialId trial_base, TrialId lo, TrialId hi,
+                                       std::span<Money> annual_scratch, SimdStats& stats);
+
+// Per-ISA kernels; each is defined only when its RISKAN_SIMD_* macro is
+// compiled in (exec::simd_dispatch() is the only referent).
+std::uint64_t process_trials_simd_avx2(std::span<const Slot> slots,
+                                       std::span<const Group> groups,
+                                       std::span<const std::uint64_t> yelt_offsets,
+                                       const Philox4x32& philox, bool secondary,
+                                       TrialId trial_base, TrialId lo, TrialId hi,
+                                       std::span<Money> annual_scratch, SimdStats& stats);
+std::uint64_t process_trials_simd_neon(std::span<const Slot> slots,
+                                       std::span<const Group> groups,
+                                       std::span<const std::uint64_t> yelt_offsets,
+                                       const Philox4x32& philox, bool secondary,
+                                       TrialId trial_base, TrialId lo, TrialId hi,
+                                       std::span<Money> annual_scratch, SimdStats& stats);
+
+/// Vectorized finance::apply_occurrence over a contiguous ground-up buffer,
+/// dispatched like the kernel (scalar loop when no ISA is active). The
+/// kernel-level micro-surface: property tests assert bitwise equality with
+/// the scalar call per element, bench_micro_kernels times it against the
+/// scalar loop.
+void apply_occurrence_lanes(const finance::LayerTerms& terms, const Money* ground_up,
+                            std::size_t n, Money* occ);
+
+// Per-ISA bodies of apply_occurrence_lanes, defined with their kernels.
+void apply_occurrence_lanes_avx2(const finance::LayerTerms& terms, const Money* ground_up,
+                                 std::size_t n, Money* occ);
+void apply_occurrence_lanes_neon(const finance::LayerTerms& terms, const Money* ground_up,
+                                 std::size_t n, Money* occ);
+
+namespace detail {
+
+// Scalar helpers the wide TUs link against instead of instantiating —
+// compiled in portfolio_batch.cpp with the portable baseline flags, so a
+// per-file -mavx2 TU never emits comdat PRNG/beta/finish code that could
+// be picked for a pre-AVX2 host.
+
+/// batch-internal conditioned_annual of one (slot, trial).
+Money conditioned_annual_slot(const Slot& s, TrialId t);
+
+/// batch-internal finish_slot_trial (aggregate terms, share, output sinks)
+/// over a block of trials: annuals[t - t0] is trial t's occurrence sum.
+void finish_slot_trials_out(const Slot& s, TrialId t0, TrialId t1, const Money* annuals);
+
+/// Samples the ground-up losses of the compact hit range [k_begin, k_end)
+/// of slot `s` into `out`, under the exact per-occurrence streams the
+/// scalar kernel keys (contract, layer, trial_base + t, seq). `t_first` is
+/// any trial at or before the one containing k_begin; the walk advances it
+/// across the slot's hit offsets.
+void fill_ground_up_compact_range(const Slot& s, const Philox4x32& philox,
+                                  TrialId trial_base, TrialId t_first,
+                                  std::uint64_t k_begin, std::uint64_t k_end, Money* out);
+
+}  // namespace detail
+
+}  // namespace riskan::core::batch

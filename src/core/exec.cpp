@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 #include "core/secondary.hpp"
+#include "core/simd.hpp"
 #include "obs/obs.hpp"
 #include "parallel/device.hpp"
 #include "parallel/parallel_for.hpp"
@@ -187,6 +189,79 @@ class ThreadedExecutor final : public Executor {
  private:
   ThreadPool* pool_;
   std::size_t grain_;
+};
+
+/// The vectorized trial kernel on the runtime-dispatched ISA
+/// (core/batch_simd.hpp). Backend::Simd runs the whole range inline on the
+/// caller's thread — pool-free, so it can substitute for Sequential
+/// anywhere (dist workers use it); Backend::ThreadedSimd reuses the
+/// Threaded trial-chunk partition with a per-chunk scratch set. Lane
+/// utilization and the dispatched width are published as exec.simd.*.
+class SimdExecutor final : public Executor {
+ public:
+  SimdExecutor(const EngineConfig& config, bool threaded)
+      : pool_(config.pool),
+        grain_(config.trial_grain),
+        threaded_(threaded),
+        dispatch_(simd_dispatch()) {}
+
+  std::uint64_t execute(const ExecutionPlan& plan, const Philox4x32& philox) override {
+    static const ExecObs simd_metrics("simd");
+    static const ExecObs threaded_metrics("threaded-simd");
+    static const obs::Gauge width_gauge =
+        obs::MetricsRegistry::global().gauge("exec.simd.width");
+    static const obs::Counter vector_occ =
+        obs::MetricsRegistry::global().counter("exec.simd.vector_occurrences");
+    static const obs::Counter tail_occ =
+        obs::MetricsRegistry::global().counter("exec.simd.tail_occurrences");
+    static const obs::Counter scalar_occ =
+        obs::MetricsRegistry::global().counter("exec.simd.scalar_occurrences");
+    // validate_engine_config rejected unavailable dispatches at config
+    // time; this guards executors constructed around it.
+    RISKAN_REQUIRE(dispatch_.kernel != nullptr,
+                   "Simd executor without a usable vector ISA");
+    const ExecObs& metrics = threaded_ ? threaded_metrics : simd_metrics;
+    obs::Timer timer(threaded_ ? "exec.threaded-simd" : "exec.simd");
+    width_gauge.set(dispatch_.width);
+
+    batch::SimdStats stats;
+    std::uint64_t found = 0;
+    if (!threaded_) {
+      std::vector<Money> annual_scratch(plan.max_group_size);
+      found = dispatch_.kernel(plan.slots, plan.groups, plan.yelt_offsets, philox,
+                               plan.secondary, plan.trial_base, 0, plan.trials,
+                               annual_scratch, stats);
+    } else {
+      std::mutex stats_mutex;
+      found = parallel_reduce<std::uint64_t>(
+          0, plan.trials, 0,
+          [&](std::size_t lo, std::size_t hi) {
+            std::vector<Money> annual_scratch(plan.max_group_size);
+            batch::SimdStats chunk_stats;
+            const std::uint64_t chunk_found = dispatch_.kernel(
+                plan.slots, plan.groups, plan.yelt_offsets, philox, plan.secondary,
+                plan.trial_base, static_cast<TrialId>(lo), static_cast<TrialId>(hi),
+                annual_scratch, chunk_stats);
+            const std::lock_guard lock(stats_mutex);
+            stats += chunk_stats;
+            return chunk_found;
+          },
+          [](std::uint64_t a, std::uint64_t b) { return a + b; },
+          ParallelConfig{pool_, grain_});
+    }
+    vector_occ.add(static_cast<double>(stats.vector_occurrences));
+    tail_occ.add(static_cast<double>(stats.tail_occurrences));
+    scalar_occ.add(static_cast<double>(stats.scalar_occurrences));
+    metrics.executions.add();
+    metrics.seconds.observe(timer.stop());
+    return found;
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::size_t grain_;
+  bool threaded_;
+  SimdDispatch dispatch_;
 };
 
 /// The GPU execution model: runs the same process_trials kernel inside
@@ -594,6 +669,10 @@ std::unique_ptr<Executor> make_executor(const EngineConfig& config) {
       return std::make_unique<ThreadedExecutor>(config.pool, config.trial_grain);
     case Backend::DeviceSim:
       return std::make_unique<DeviceSimExecutor>(config);
+    case Backend::Simd:
+      return std::make_unique<SimdExecutor>(config, /*threaded=*/false);
+    case Backend::ThreadedSimd:
+      return std::make_unique<SimdExecutor>(config, /*threaded=*/true);
   }
   RISKAN_REQUIRE(false, "unknown backend");
   return nullptr;

@@ -20,6 +20,11 @@
 //           pool workers and rely on this).
 //       ThreadedExecutor — parallel_reduce over trial chunks
 //           (EngineConfig::trial_grain is the chunk knob).
+//       SimdExecutor — the vectorized trial kernel (core/batch_simd.hpp)
+//           on the runtime-dispatched ISA (core/simd.hpp); Backend::Simd
+//           runs the whole range inline (pool-free, like Sequential),
+//           Backend::ThreadedSimd composes the same kernel with the
+//           Threaded trial-chunk partition.
 //       DeviceSimExecutor — one kernel launch per residency chunk on the
 //           simulated many-core device (src/parallel/device.hpp): grid of
 //           device_block_dim-trial blocks, each block staging its slot

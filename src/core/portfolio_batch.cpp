@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/adaptive/driver.hpp"
+#include "core/batch_simd.hpp"
 #include "core/exec.hpp"
 #include "core/secondary.hpp"
 #include "data/resolved_yelt.hpp"
@@ -318,6 +319,37 @@ void finalize_oep(std::span<Money> oep, std::span<const Money> occurrence_accum,
   }
 }
 
+namespace detail {
+
+// Out-of-line exports of the kernel's scalar helpers for the per-ISA SIMD
+// TUs (core/batch_simd*.cpp): sampling and the trial finish stay compiled
+// with the portable baseline flags, so a wide TU links them instead of
+// re-instantiating PRNG/beta templates under its own ISA.
+
+Money conditioned_annual_slot(const Slot& s, TrialId t) { return conditioned_annual(s, t); }
+
+void finish_slot_trials_out(const Slot& s, TrialId t0, TrialId t1, const Money* annuals) {
+  for (TrialId t = t0; t < t1; ++t) {
+    finish_slot_trial(s, t, annuals[t - t0]);
+  }
+}
+
+void fill_ground_up_compact_range(const Slot& s, const Philox4x32& philox,
+                                  TrialId trial_base, TrialId t_first,
+                                  std::uint64_t k_begin, std::uint64_t k_end, Money* out) {
+  TrialId t = t_first;
+  for (std::uint64_t k = k_begin; k < k_end; ++k) {
+    while (k >= s.hit_offsets[t + 1]) {
+      ++t;
+    }
+    auto stream =
+        occurrence_stream(philox, s.contract_id, s.layer_id, trial_base + t, s.seqs[k]);
+    out[k - k_begin] = s.sampler->sample(s.rows[k], stream);
+  }
+}
+
+}  // namespace detail
+
 }  // namespace riskan::core::batch
 
 namespace riskan::core {
@@ -347,12 +379,13 @@ void run_group(std::span<AnalysisRun> group, data::TrialSource& source,
       obs::MetricsRegistry::global().histogram("batch.resolve_seconds");
   group_runs.add();
   const TrialId trials = source.trials();
-  const bool sequential = config.backend == Backend::Sequential;
-  // Sequential must stay off the pool (single-thread contract; MapReduce
-  // map tasks run it from pool workers, where blocking can deadlock).
+  // Pool-free backends must stay off the pool end to end (single-thread
+  // contract; MapReduce map tasks run them from pool workers, where
+  // blocking can deadlock).
   const ParallelConfig par_cfg =
-      sequential ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
-                 : ParallelConfig{config.pool, config.trial_grain};
+      pool_free(config.backend)
+          ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
+          : ParallelConfig{config.pool, config.trial_grain};
 
   data::ResolverCache local_cache;
   data::ResolverCache& cache = resolver_cache_for(config, source, local_cache);

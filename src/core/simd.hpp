@@ -1,0 +1,55 @@
+// Runtime SIMD dispatch for the vectorized trial kernel.
+//
+// The scalar build is the portable default: the wide kernels
+// (src/core/batch_simd*.cpp) are compiled only under the CMake option
+// RISKAN_ENABLE_SIMD, which defines RISKAN_SIMD_AVX2 (x86-64) or
+// RISKAN_SIMD_NEON (aarch64) for the library. At run time simd_dispatch()
+// picks the widest compiled ISA the host actually supports — AVX2 via
+// cpuid, NEON unconditionally on aarch64 — and hands back the kernel
+// pointer the SimdExecutor runs.
+//
+// Environment override (documented with RISKAN_OBS / RISKAN_TRACE in
+// docs/architecture.md):
+//   RISKAN_SIMD=off|0   — disable dispatch; Backend::Simd is then rejected
+//                         by validate_engine_config instead of silently
+//                         running scalar.
+//   RISKAN_SIMD=avx2    — require AVX2 (unavailable → rejected).
+//   RISKAN_SIMD=neon    — require NEON (unavailable → rejected).
+// The environment is re-read on every call so a process can flip the
+// override between runs (tests do).
+#pragma once
+
+#include "core/batch_simd.hpp"
+
+namespace riskan::core::exec {
+
+enum class SimdIsa {
+  None,
+  Avx2,
+  Neon,
+};
+
+/// The resolved dispatch decision: which ISA (if any) the vector kernels
+/// will run on, its Money lane width, and the kernel entry point.
+struct SimdDispatch {
+  SimdIsa isa = SimdIsa::None;
+  unsigned width = 0;  ///< Money lanes per vector; 0 = SIMD unavailable
+  const char* name = "none";
+  batch::SimdKernelFn kernel = nullptr;
+  /// Whether any wide kernel was compiled into this build at all
+  /// (RISKAN_ENABLE_SIMD); false means only the portable scalar kernel
+  /// exists.
+  bool compiled = false;
+  /// Why width == 0, for validate_engine_config's rejection message.
+  const char* reason = "";
+};
+
+/// Resolves the dispatch from the compiled kernels, the host CPU and the
+/// RISKAN_SIMD override. Cheap (a getenv and, on x86, a cached cpuid);
+/// called per executor construction and per config validation.
+SimdDispatch simd_dispatch();
+
+/// True when Backend::Simd / Backend::ThreadedSimd can run here.
+inline bool simd_available() { return simd_dispatch().width > 0; }
+
+}  // namespace riskan::core::exec

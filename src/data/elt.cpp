@@ -45,6 +45,10 @@ EventLossTable EventLossTable::from_rows(std::vector<EltRow> rows) {
       }
     }
   }
+  RISKAN_DEBUG_ASSERT_ALIGNED(table.event_ids_.data());
+  RISKAN_DEBUG_ASSERT_ALIGNED(table.mean_.data());
+  RISKAN_DEBUG_ASSERT_ALIGNED(table.sigma_.data());
+  RISKAN_DEBUG_ASSERT_ALIGNED(table.exposure_.data());
   return table;
 }
 

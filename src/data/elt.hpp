@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/types.hpp"
 
 namespace riskan::data {
@@ -80,11 +81,12 @@ class EventLossTable {
   std::size_t byte_size() const noexcept;
 
  private:
-  std::vector<EventId> event_ids_;
-  std::vector<Money> mean_;
-  std::vector<Money> sigma_;
-  std::vector<Money> exposure_;
-  std::vector<std::uint32_t> row_lookup_;  // empty when ids are too sparse
+  // SoA columns — 64-byte aligned (mean_ is the vector kernels' gather base).
+  util::AlignedVector<EventId> event_ids_;
+  util::AlignedVector<Money> mean_;
+  util::AlignedVector<Money> sigma_;
+  util::AlignedVector<Money> exposure_;
+  util::AlignedVector<std::uint32_t> row_lookup_;  // empty when ids are too sparse
 };
 
 }  // namespace riskan::data

@@ -44,6 +44,7 @@ ResolvedYelt ResolvedYelt::build(const EventLossTable& elt, const YearEventLossT
   const auto ids = elt.event_ids();
   const auto lookup = elt.row_lookup();
   auto* out = resolved.rows_.data();
+  RISKAN_DEBUG_ASSERT_ALIGNED(out);
 
   // Each chunk streams a contiguous slab of the events column and writes
   // the matching slab of the row column; chunk order never shows in the
@@ -127,6 +128,9 @@ CompactResolvedYelt CompactResolvedYelt::build(const ResolvedYelt& resolved,
   compact.rows_.resize(compact.trial_offsets_.back());
   auto* seqs_out = compact.seqs_.data();
   auto* rows_out = compact.rows_.data();
+  RISKAN_DEBUG_ASSERT_ALIGNED(compact.trial_offsets_.data());
+  RISKAN_DEBUG_ASSERT_ALIGNED(seqs_out);
+  RISKAN_DEBUG_ASSERT_ALIGNED(rows_out);
   parallel_for(
       0, trials,
       [&](std::size_t lo, std::size_t hi) {

@@ -26,6 +26,7 @@
 #include "data/elt.hpp"
 #include "data/yelt.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/aligned.hpp"
 
 namespace riskan::data {
 
@@ -56,7 +57,7 @@ class ResolvedYelt {
   std::size_t byte_size() const noexcept { return rows_.size() * sizeof(std::uint32_t); }
 
  private:
-  std::vector<std::uint32_t> rows_;
+  util::AlignedVector<std::uint32_t> rows_;  // gather column — 64-byte aligned
   std::uint64_t hits_ = 0;
 };
 
@@ -106,9 +107,10 @@ class CompactResolvedYelt {
   }
 
  private:
-  std::vector<std::uint64_t> trial_offsets_;
-  std::vector<std::uint32_t> seqs_;
-  std::vector<std::uint32_t> rows_;
+  // SoA gather columns of the batched/vectorized kernels — 64-byte aligned.
+  util::AlignedVector<std::uint64_t> trial_offsets_;
+  util::AlignedVector<std::uint32_t> seqs_;
+  util::AlignedVector<std::uint32_t> rows_;
 };
 
 class ResolverCache;

@@ -40,6 +40,7 @@ MaskColumn MaskColumn::build(const data::YearEventLossTable& yelt,
   const auto excluded_end = excluded_events.end();
 
   std::uint32_t* out = mask.adjusted_seq.data();
+  RISKAN_DEBUG_ASSERT_ALIGNED(out);
   const std::uint64_t excluded_total = parallel_reduce<std::uint64_t>(
       0, yelt.trials(), 0,
       [&](std::size_t lo, std::size_t hi) {

@@ -32,6 +32,7 @@
 #include "finance/contract.hpp"
 #include "parallel/parallel_for.hpp"
 #include "scenario/scenario.hpp"
+#include "util/aligned.hpp"
 
 namespace riskan::scenario {
 
@@ -42,7 +43,7 @@ namespace riskan::scenario {
 /// secondary-uncertainty stream key is what makes a mask scenario
 /// bit-identical to running on filter_yelt() output.
 struct MaskColumn {
-  std::vector<std::uint32_t> adjusted_seq;
+  util::AlignedVector<std::uint32_t> adjusted_seq;  // gather column — 64-byte aligned
   std::uint64_t excluded_occurrences = 0;
 
   /// One streamed pass over the YELT, parallel over trial slabs (each

@@ -137,12 +137,12 @@ ScenarioSweepResult run_scenario_sweep(const finance::Portfolio& portfolio,
     all.back().validate();
   }
 
-  // Sequential stays off the pool (single-thread contract, shared with
-  // MapReduce map tasks); the executor layer owns the backend dispatch.
-  const bool sequential = config.backend == core::Backend::Sequential;
+  // Pool-free backends stay off the pool (single-thread contract, shared
+  // with MapReduce map tasks); the executor layer owns the backend dispatch.
   const ParallelConfig par_cfg =
-      sequential ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
-                 : ParallelConfig{config.pool, config.trial_grain};
+      core::pool_free(config.backend)
+          ? ParallelConfig{nullptr, std::numeric_limits<std::size_t>::max()}
+          : ParallelConfig{config.pool, config.trial_grain};
   data::ResolverCache local_cache;
   data::ResolverCache& cache = core::resolver_cache_for(config, source, local_cache);
 

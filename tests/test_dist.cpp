@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/aggregate_engine.hpp"
+#include "core/simd.hpp"
 #include "data/serialize.hpp"
 #include "data/trial_source.hpp"
 #include "dist/coordinator.hpp"
@@ -156,6 +157,31 @@ TEST_P(DistRecovery, StalledWorkerBitIdentical) {
   expect_bit_identical(result.portfolio_ylt);
   EXPECT_GE(result.stats.leases_expired, 1u);
   EXPECT_GE(result.stats.blocks_retried, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Simd engine across the distribution runtime
+// ---------------------------------------------------------------------------
+
+// A caller running Backend::Simd gets the vector kernel inside every forked
+// worker (the coordinator keeps Simd for workers — it is pool-free and
+// bit-identical — and only demotes pool-backed backends to Sequential), and
+// the fold must still reproduce the single-process Sequential reference
+// exactly. 0 workers covers the in-process fallback path under Simd.
+TEST(DistSimd, SimdEngineBitIdenticalAcrossWorkerCounts) {
+  if (!core::exec::simd_available()) {
+    GTEST_SKIP() << "no wide ISA dispatched on this build/host";
+  }
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    DistConfig config;
+    config.workers = workers;
+    core::EngineConfig engine;
+    engine.backend = core::Backend::Simd;
+    const auto result = run_distributed_aggregate(world().portfolio, engine,
+                                                  world().specs, fetcher(), config);
+    expect_bit_identical(result.portfolio_ylt);
+    EXPECT_EQ(result.stats.blocks_total, world().specs.size());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -11,11 +11,23 @@
 
 #include "core/aggregate_engine.hpp"
 #include "core/portfolio_batch.hpp"
+#include "core/simd.hpp"
 #include "data/resolved_yelt.hpp"
 #include "finance/contract.hpp"
 
 namespace riskan::core {
 namespace {
+
+/// Every host backend plus — when this build/host dispatches a wide ISA —
+/// the Simd pair, so the equivalence matrices grow the vectorized rows
+/// automatically on SIMD-enabled builds.
+std::vector<Backend> backends_with_simd() {
+  std::vector<Backend> backends(std::begin(kAllBackends), std::end(kAllBackends));
+  if (exec::simd_available()) {
+    backends.insert(backends.end(), std::begin(kSimdBackends), std::end(kSimdBackends));
+  }
+  return backends;
+}
 
 finance::Portfolio book(std::size_t contracts, int layers, std::uint64_t seed = 99,
                         EventId catalog = 800, std::size_t elt_rows = 150) {
@@ -64,10 +76,11 @@ TEST(PortfolioBatch, BitIdenticalAcrossBackendsGrainsAndSecondary) {
   const auto yelt = lens(1'500);
 
   for (const bool secondary : {false, true}) {
-    for (const Backend backend : kAllBackends) {
+    for (const Backend backend : backends_with_simd()) {
       for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
-        if (backend != Backend::Threaded && grain != 0) {
-          continue;  // grain only affects the threaded backend
+        if (backend != Backend::Threaded && backend != Backend::ThreadedSimd &&
+            grain != 0) {
+          continue;  // grain only affects the chunk-partitioned backends
         }
         EngineConfig config;
         config.backend = backend;
@@ -135,7 +148,7 @@ TEST(PortfolioBatch, DegenerateSingleContractBatch) {
   const auto portfolio = book(/*contracts=*/1, /*layers=*/2);
   const auto yelt = lens(1'000);
 
-  for (const Backend backend : kAllBackends) {
+  for (const Backend backend : backends_with_simd()) {
     EngineConfig config;
     config.backend = backend;
     config.batch_contracts = false;

@@ -20,6 +20,7 @@
 #include "core/aggregate_engine.hpp"
 #include "core/portfolio_batch.hpp"
 #include "core/post_event.hpp"
+#include "core/simd.hpp"
 #include "data/resolved_yelt.hpp"
 #include "finance/contract.hpp"
 #include "scenario/plan.hpp"
@@ -76,6 +77,18 @@ void expect_identical(const core::EngineResult& a, const core::EngineResult& b,
 /// generated book, so exclusion scenarios change real losses.
 std::vector<EventId> busy_events() { return {1, 2, 3, 5, 8, 13, 21, 34, 55, 89}; }
 
+/// Every host backend plus the Simd pair when this build/host dispatches a
+/// wide ISA (mask scenarios exercise the vector kernel's scalar fallback).
+std::vector<core::Backend> backends_with_simd() {
+  std::vector<core::Backend> backends(std::begin(core::kAllBackends),
+                                      std::end(core::kAllBackends));
+  if (core::exec::simd_available()) {
+    backends.insert(backends.end(), std::begin(core::kSimdBackends),
+                    std::end(core::kSimdBackends));
+  }
+  return backends;
+}
+
 TEST(ScenarioSweep, IdentityBitIdenticalAcrossBackendsGrainsAndSecondary) {
   const auto portfolio = book(/*contracts=*/4, /*layers=*/3);
   const auto yelt = lens(1'200);
@@ -90,10 +103,11 @@ TEST(ScenarioSweep, IdentityBitIdenticalAcrossBackendsGrainsAndSecondary) {
   specs[2].excluded_events = busy_events();
 
   for (const bool secondary : {false, true}) {
-    for (const core::Backend backend : core::kAllBackends) {
+    for (const core::Backend backend : backends_with_simd()) {
       for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
-        if (backend != core::Backend::Threaded && grain != 0) {
-          continue;  // grain only affects the threaded pass
+        if (backend != core::Backend::Threaded &&
+            backend != core::Backend::ThreadedSimd && grain != 0) {
+          continue;  // grain only affects the chunk-partitioned backends
         }
         core::EngineConfig config;
         config.backend = backend;
@@ -134,9 +148,10 @@ TEST(ScenarioSweep, MaskBitIdenticalToFilteredYeltAcrossBackendsGrainsAndSeconda
   specs[0].excluded_events = excluded;
 
   for (const bool secondary : {false, true}) {
-    for (const core::Backend backend : core::kAllBackends) {
+    for (const core::Backend backend : backends_with_simd()) {
       for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{97}}) {
-        if (backend != core::Backend::Threaded && grain != 0) {
+        if (backend != core::Backend::Threaded &&
+            backend != core::Backend::ThreadedSimd && grain != 0) {
           continue;
         }
         core::EngineConfig config;

@@ -11,6 +11,7 @@
 
 #include "core/aggregate_engine.hpp"
 #include "core/portfolio_batch.hpp"
+#include "core/simd.hpp"
 #include "core/streaming.hpp"
 #include "data/chunked_file.hpp"
 #include "data/serialize.hpp"
@@ -362,6 +363,10 @@ class StreamedEquivalence
 
 TEST_P(StreamedEquivalence, BitIdenticalAcrossBackendsBatchingSecondary) {
   const auto [backend, batch, secondary] = GetParam();
+  if ((backend == Backend::Simd || backend == Backend::ThreadedSimd) &&
+      !core::exec::simd_available()) {
+    GTEST_SKIP() << "no wide ISA dispatched on this build/host";
+  }
   const auto w = make_workload();
   const std::string path = "/tmp/riskan_equiv_" + std::to_string(static_cast<int>(backend)) +
                            (batch ? "_b" : "_n") + (secondary ? "_s" : "_m") + ".yeltc";
@@ -388,6 +393,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(core::kAllBackends), ::testing::Bool(),
                        ::testing::Bool()));
 
+// The vectorized rows of the same matrix — exercising the out-of-core
+// rebind path (plan lowered once, re-bound per block) under the Simd
+// executors; skipped on builds/hosts without a wide ISA.
+INSTANTIATE_TEST_SUITE_P(
+    SimdMatrix, StreamedEquivalence,
+    ::testing::Combine(::testing::ValuesIn(core::kSimdBackends), ::testing::Bool(),
+                       ::testing::Bool()));
+
 TEST(StreamedEquivalence, TrialBaseOffsetsCompose) {
   // A streamed run under a global trial_base matches the in-memory run
   // under the same base (MapReduce-style composition).
@@ -412,6 +425,10 @@ class StreamedSweep : public ::testing::TestWithParam<Backend> {};
 
 TEST_P(StreamedSweep, BitIdenticalToInMemorySweep) {
   const Backend backend = GetParam();
+  if ((backend == Backend::Simd || backend == Backend::ThreadedSimd) &&
+      !core::exec::simd_available()) {
+    GTEST_SKIP() << "no wide ISA dispatched on this build/host";
+  }
   const auto w = make_workload(4, 400);
   const std::string path =
       "/tmp/riskan_sweep_" + std::to_string(static_cast<int>(backend)) + ".yeltc";
@@ -446,6 +463,8 @@ TEST_P(StreamedSweep, BitIdenticalToInMemorySweep) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, StreamedSweep,
                          ::testing::ValuesIn(core::kAllBackends));
+INSTANTIATE_TEST_SUITE_P(SimdBackends, StreamedSweep,
+                         ::testing::ValuesIn(core::kSimdBackends));
 
 TEST(StreamedBatch, MultiBlockSourceThroughRunPortfolioBatch) {
   const auto w = make_workload(3, 250);
