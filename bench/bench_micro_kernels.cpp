@@ -63,6 +63,136 @@ void BM_SecondarySample(benchmark::State& state) {
 }
 BENCHMARK(BM_SecondarySample);
 
+// Batched Philox: the scalar block loop vs the dispatched lane engine over
+// one counter batch — the raw-uniform-generation surface of E17. On scalar
+// builds the lane call falls back to the same loop, so the pair reads as a
+// no-op there.
+void BM_PhiloxBlocksScalar(benchmark::State& state) {
+  const Philox4x32 philox(9);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::AlignedVector<std::uint64_t> hi(n);
+  util::AlignedVector<std::uint64_t> lo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = i;
+    lo[i] = i * 31;
+  }
+  util::AlignedVector<std::uint64_t> out(2 * n);
+  for (auto _ : state) {
+    philox_blocks_scalar(philox, hi.data(), lo.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PhiloxBlocksScalar)->Arg(64)->Arg(256)->Arg(4'096);
+
+void BM_PhiloxBlocksLanes(benchmark::State& state) {
+  const Philox4x32 philox(9);
+  const PhiloxLanes lanes(philox);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::AlignedVector<std::uint64_t> hi(n);
+  util::AlignedVector<std::uint64_t> lo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = i;
+    lo[i] = i * 31;
+  }
+  util::AlignedVector<std::uint64_t> out(2 * n);
+  for (auto _ : state) {
+    lanes.blocks(hi.data(), lo.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["lane_width"] = static_cast<double>(lanes.width());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PhiloxBlocksLanes)->Arg(64)->Arg(256)->Arg(4'096);
+
+// Batched secondary sampling vs the per-occurrence scalar loop, on two
+// parameter regimes: well-conditioned rows where the Marsaglia–Tsang first
+// attempt almost always accepts (the fast path carries the batch), and
+// high-CV rows (both beta shapes < 1) where the scalar rejection-tail
+// fallback fires often. The fast-path hit rate is reported as a counter —
+// it is the number that decides whether batching pays.
+data::EventLossTable sampler_elt(bool rejection_heavy) {
+  std::vector<data::EltRow> rows;
+  for (EventId e = 0; e < 64; ++e) {
+    if (rejection_heavy) {
+      const Money mean = 1e5 + 3e4 * static_cast<Money>(e % 10);
+      rows.push_back({e, mean, 2.2 * mean, 4e6});
+    } else {
+      rows.push_back({e, 1.6e6 + 1e4 * static_cast<Money>(e), 4e5, 4e6});
+    }
+  }
+  return data::EventLossTable::from_rows(std::move(rows));
+}
+
+void run_sample_lanes(benchmark::State& state, bool rejection_heavy) {
+  const auto elt = sampler_elt(rejection_heavy);
+  const core::SecondarySampler sampler(elt);
+  const Philox4x32 philox(11);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::AlignedVector<std::uint32_t> rows(n);
+  util::AlignedVector<std::uint64_t> lo(n);
+  util::AlignedVector<Money> out(n);
+  std::uint64_t trial = 0;
+  std::uint64_t fast = 0;
+  std::uint64_t tail = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i] = static_cast<std::uint32_t>(i % sampler.size());
+      lo[i] = ((trial + i) << 20) | (i & 0xF);
+    }
+    trial += n;
+    sampler.sample_lanes(philox, /*hi_key=*/(1u << 16) | 1u, rows.data(), lo.data(), n,
+                         out.data(), fast, tail);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["fast_hit_rate"] =
+      fast + tail == 0 ? 0.0
+                       : static_cast<double>(fast) / static_cast<double>(fast + tail);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_SampleLanesFastPath(benchmark::State& state) {
+  run_sample_lanes(state, /*rejection_heavy=*/false);
+}
+BENCHMARK(BM_SampleLanesFastPath)->Arg(256)->Arg(4'096);
+
+void BM_SampleLanesRejectionHeavy(benchmark::State& state) {
+  run_sample_lanes(state, /*rejection_heavy=*/true);
+}
+BENCHMARK(BM_SampleLanesRejectionHeavy)->Arg(256)->Arg(4'096);
+
+void run_sample_scalar(benchmark::State& state, bool rejection_heavy) {
+  const auto elt = sampler_elt(rejection_heavy);
+  const core::SecondarySampler sampler(elt);
+  const Philox4x32 philox(11);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::AlignedVector<Money> out(n);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      PhiloxStream stream(philox, (1u << 16) | 1u, ((trial + i) << 20) | (i & 0xF));
+      out[i] = sampler.sample(i % sampler.size(), stream);
+    }
+    trial += n;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_SampleScalarFastParams(benchmark::State& state) {
+  run_sample_scalar(state, /*rejection_heavy=*/false);
+}
+BENCHMARK(BM_SampleScalarFastParams)->Arg(256)->Arg(4'096);
+
+void BM_SampleScalarRejectionHeavy(benchmark::State& state) {
+  run_sample_scalar(state, /*rejection_heavy=*/true);
+}
+BENCHMARK(BM_SampleScalarRejectionHeavy)->Arg(256)->Arg(4'096);
+
 data::EventLossTable bench_elt(std::size_t rows) {
   std::vector<data::EltRow> out;
   out.reserve(rows);

@@ -16,10 +16,11 @@
 //       accumulator bit-identical to the scalar kernel. The sub-width
 //       remainder of each chunk runs the scalar ops in the same order (the
 //       lane-tail contract).
-//   vector-dense — singleton dense group, secondary off: row sentinels
-//       (kNoLoss) become masked-out gather lanes that contribute +0.0 —
-//       exactly the scalar `continue`'s effect on the annual sum, since
-//       every occurrence contribution is non-negative.
+//   vector-dense — singleton dense group: row sentinels (kNoLoss) become
+//       masked-out gather lanes (secondary off) or exact-+0.0 sampled
+//       buffer entries (secondary on) that contribute +0.0 — exactly the
+//       scalar `continue`'s effect on the annual sum, since every
+//       occurrence contribution is non-negative.
 //   scalar — everything else (search gather, mask columns, multi-slot
 //       shared-gather groups) falls back to batch::process_trials for the
 //       (group, block) — same code, so equality across the full feature
@@ -31,11 +32,17 @@
 // the groups touch that trial's cells in the scalar kernel's group order,
 // and within a (slot, trial) the fold is in occurrence order.
 //
-// Secondary uncertainty on vector-compact slots is handled by sampling
-// each chunk's hits into a scratch buffer first (beta rejection sampling
-// is inherently scalar; detail::fill_ground_up_compact_range below,
-// compiled in the portable TU) and vectorizing everything downstream of
-// the sample. The sampling streams are identical, so so are the draws.
+// Secondary uncertainty on vector slots samples each chunk's hits into a
+// scratch buffer first (detail::fill_ground_up_*_range below, compiled in
+// the portable TU) and vectorizes everything downstream of the sample. The
+// fill itself is batched: SecondarySampler::sample_lanes draws every
+// occurrence's Philox blocks lane-parallel (util::PhiloxLanes) and resolves
+// the common case — degenerate rows and gamma pairs that accept on the
+// first Marsaglia–Tsang attempt — in a per-lane fast path, falling back to
+// the scalar sampler on a fresh stream, in occurrence order, for the
+// rejection tail. Each occurrence's stream is keyed exactly as the scalar
+// kernel keys it, so the draws are identical; docs/architecture.md carries
+// the full bit-identity argument.
 #pragma once
 
 #include <cstdint>
@@ -51,11 +58,15 @@ struct SimdStats {
   std::uint64_t vector_occurrences = 0;  ///< processed in full W-wide chunks
   std::uint64_t tail_occurrences = 0;    ///< scalar sub-width remainders
   std::uint64_t scalar_occurrences = 0;  ///< scalar-fallback groups
+  std::uint64_t sampler_fast = 0;        ///< secondary draws: lane fast path
+  std::uint64_t sampler_tail = 0;        ///< secondary draws: scalar rejection tail
 
   SimdStats& operator+=(const SimdStats& o) noexcept {
     vector_occurrences += o.vector_occurrences;
     tail_occurrences += o.tail_occurrences;
     scalar_occurrences += o.scalar_occurrences;
+    sampler_fast += o.sampler_fast;
+    sampler_tail += o.sampler_tail;
     return *this;
   }
 };
@@ -98,6 +109,18 @@ void apply_occurrence_lanes_avx2(const finance::LayerTerms& terms, const Money* 
 void apply_occurrence_lanes_neon(const finance::LayerTerms& terms, const Money* ground_up,
                                  std::size_t n, Money* occ);
 
+/// Vectorized running max of values[0..n) seeded with `init`, dispatched
+/// like apply_occurrence_lanes (scalar loop when no ISA is active). Bitwise
+/// order-invariant for this input class — finalize_oep accumulators are
+/// non-NaN and >= +0.0 (sums of non-negative contributions seeded with
+/// 0.0), so no -0.0/NaN tie can make the lane max pick differently from the
+/// scalar scan.
+Money max_range_lanes(const Money* values, std::size_t n, Money init);
+
+// Per-ISA bodies of max_range_lanes, defined with their kernels.
+Money max_range_lanes_avx2(const Money* values, std::size_t n, Money init);
+Money max_range_lanes_neon(const Money* values, std::size_t n, Money init);
+
 namespace detail {
 
 // Scalar helpers the wide TUs link against instead of instantiating —
@@ -116,10 +139,25 @@ void finish_slot_trials_out(const Slot& s, TrialId t0, TrialId t1, const Money* 
 /// of slot `s` into `out`, under the exact per-occurrence streams the
 /// scalar kernel keys (contract, layer, trial_base + t, seq). `t_first` is
 /// any trial at or before the one containing k_begin; the walk advances it
-/// across the slot's hit offsets.
+/// across the slot's hit offsets. Sampling goes through the batched
+/// SecondarySampler::sample_lanes path; `stats` collects its fast/tail
+/// split.
 void fill_ground_up_compact_range(const Slot& s, const Philox4x32& philox,
                                   TrialId trial_base, TrialId t_first,
-                                  std::uint64_t k_begin, std::uint64_t k_end, Money* out);
+                                  std::uint64_t k_begin, std::uint64_t k_end, Money* out,
+                                  SimdStats& stats);
+
+/// Dense-gather sibling of the above: samples the global occurrence range
+/// [i_begin, i_end), writing exact +0.0 for kNoLoss sentinel rows (the
+/// vector pass adds those lanes where the scalar kernel `continue`s, which
+/// cannot change a non-negative annual sum). Streams are keyed with
+/// seq = i - yelt_offsets[t], the scalar dense walk's key. Returns the
+/// found-lookup count.
+std::uint64_t fill_ground_up_dense_range(const Slot& s, const Philox4x32& philox,
+                                         TrialId trial_base, TrialId t_first,
+                                         std::span<const std::uint64_t> yelt_offsets,
+                                         std::uint64_t i_begin, std::uint64_t i_end,
+                                         Money* out, SimdStats& stats);
 
 }  // namespace detail
 

@@ -77,6 +77,24 @@ void apply_occurrence_lanes_avx2(const finance::LayerTerms& terms, const Money* 
   impl::apply_occurrence_lanes_impl<Avx2Ops>(terms, ground_up, n, occ);
 }
 
+Money max_range_lanes_avx2(const Money* values, std::size_t n, Money init) {
+  // Safe to reorder bitwise for finalize_oep's input class (non-NaN,
+  // >= +0.0): vmaxpd picks b on ties, std::max keeps a — but equal
+  // non-negative doubles share one bit pattern, so the pick cannot differ.
+  std::size_t k = 0;
+  __m256d m = _mm256_set1_pd(init);
+  for (; k + 4 <= n; k += 4) {
+    m = _mm256_max_pd(m, _mm256_loadu_pd(values + k));
+  }
+  const __m128d pair =
+      _mm_max_pd(_mm256_castpd256_pd128(m), _mm256_extractf128_pd(m, 1));
+  Money best = _mm_cvtsd_f64(_mm_max_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; k < n; ++k) {
+    best = std::max(best, values[k]);
+  }
+  return best;
+}
+
 }  // namespace riskan::core::batch
 
 #endif  // RISKAN_SIMD_AVX2

@@ -61,6 +61,7 @@ enum class GroupClass : std::uint8_t {
 };
 
 inline GroupClass classify(const Slot* gs, std::uint32_t gsize, bool secondary) noexcept {
+  (void)secondary;  // secondary-on now rides both vector paths (batched sampling)
   if (gsize != 1) {
     return GroupClass::Scalar;
   }
@@ -70,7 +71,7 @@ inline GroupClass classify(const Slot* gs, std::uint32_t gsize, bool secondary) 
     // sampling per lane and stays scalar.
     return s.mask_seq == nullptr ? GroupClass::VecCompact : GroupClass::Scalar;
   }
-  if (s.gather == Gather::Dense && !secondary) {
+  if (s.gather == Gather::Dense) {
     return GroupClass::VecDense;
   }
   return GroupClass::Scalar;
@@ -122,7 +123,8 @@ inline void vec_compact_block(const Slot& s, const Philox4x32& philox, bool seco
     const std::uint32_t* seqs = s.seqs + c0;
     const Money* gu = gu_chunk;
     if (secondary) {
-      detail::fill_ground_up_compact_range(s, philox, trial_base, t, c0, c0 + n, gu_chunk);
+      detail::fill_ground_up_compact_range(s, philox, trial_base, t, c0, c0 + n, gu_chunk,
+                                           stats);
     }
 
     std::size_t k = 0;
@@ -175,15 +177,20 @@ inline void vec_compact_block(const Slot& s, const Philox4x32& philox, bool seco
 }
 
 /// One vector-dense (slot, block): the block's full occurrence range,
-/// kNoLoss rows as masked gather lanes. Returns the found-lookup count
-/// (scalar parity). Dense slots have inert transforms by plan contract, so
-/// every annual base is 0.
+/// kNoLoss rows as masked gather lanes (secondary off) or sampled into the
+/// ground-up buffer with sentinels as exact +0.0 (secondary on — the fill
+/// and the batched sampler live in portable TUs). Returns the found-lookup
+/// count (scalar parity). Dense slots have inert transforms by plan
+/// contract, so every annual base is 0.
 template <typename V>
-inline std::uint64_t vec_dense_block(const Slot& s, TrialId t0, TrialId t1,
+inline std::uint64_t vec_dense_block(const Slot& s, const Philox4x32& philox,
+                                     bool secondary, TrialId trial_base, TrialId t0,
+                                     TrialId t1,
                                      std::span<const std::uint64_t> yelt_offsets,
                                      SimdStats& stats) {
   constexpr std::size_t W = V::kWidth;
   alignas(64) Money occ_chunk[kOccChunk];
+  alignas(64) Money gu_chunk[kOccChunk];
   Money annuals[kTrialBlock];
   std::fill(annuals, annuals + (t1 - t0), 0.0);
 
@@ -198,20 +205,34 @@ inline std::uint64_t vec_dense_block(const Slot& s, TrialId t0, TrialId t1,
     const std::size_t n =
         static_cast<std::size_t>(std::min<std::uint64_t>(kOccChunk, h1 - c0));
     const std::uint32_t* dense = s.dense_rows + c0;
+    const Money* gu = gu_chunk;
+    if (secondary) {
+      found += detail::fill_ground_up_dense_range(s, philox, trial_base, t, yelt_offsets,
+                                                  c0, c0 + n, gu_chunk, stats);
+    }
 
     std::size_t k = 0;
     for (; k + W <= n; k += W) {
-      // Masked-out lanes gather exact +0.0; apply_occurrence(terms, 0) is
-      // +0.0 for both retention kinds (retention ≥ 0 by terms.validate),
-      // and the annual sum is a sum of non-negatives, so adding those
-      // lanes in place of the scalar `continue` never changes a bit.
-      const auto mg = V::gather_masked(s.means, dense + k);
-      found += mg.found;
-      V::store(occ_chunk + k, occurrence_lanes<V>(s.terms, mg.values));
+      // Masked-out lanes gather (or fill as) exact +0.0;
+      // apply_occurrence(terms, 0) is +0.0 for both retention kinds
+      // (retention ≥ 0 by terms.validate), and the annual sum is a sum of
+      // non-negatives, so adding those lanes in place of the scalar
+      // `continue` never changes a bit.
+      if (secondary) {
+        V::store(occ_chunk + k, occurrence_lanes<V>(s.terms, V::load(gu + k)));
+      } else {
+        const auto mg = V::gather_masked(s.means, dense + k);
+        found += mg.found;
+        V::store(occ_chunk + k, occurrence_lanes<V>(s.terms, mg.values));
+      }
     }
     stats.vector_occurrences += k;
     stats.tail_occurrences += n - k;
     for (; k < n; ++k) {
+      if (secondary) {
+        occ_chunk[k] = finance::apply_occurrence(s.terms, gu[k]);
+        continue;
+      }
       const std::uint32_t row = dense[k];
       if (row == data::ResolvedYelt::kNoLoss) {
         occ_chunk[k] = 0.0;
@@ -270,7 +291,8 @@ std::uint64_t process_trials_simd(std::span<const Slot> slots, std::span<const G
                                stats);
           break;
         case GroupClass::VecDense:
-          found += vec_dense_block<V>(gs[0], b0, b1, yelt_offsets, stats);
+          found += vec_dense_block<V>(gs[0], philox, secondary, trial_base, b0, b1,
+                                      yelt_offsets, stats);
           break;
         case GroupClass::Scalar: {
           // Bit-identical by construction: the scalar kernel itself, one

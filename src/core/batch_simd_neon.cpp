@@ -79,6 +79,22 @@ void apply_occurrence_lanes_neon(const finance::LayerTerms& terms, const Money* 
   impl::apply_occurrence_lanes_impl<NeonOps>(terms, ground_up, n, occ);
 }
 
+Money max_range_lanes_neon(const Money* values, std::size_t n, Money init) {
+  // Safe to reorder bitwise for finalize_oep's input class (non-NaN,
+  // >= +0.0): equal non-negative doubles share one bit pattern, so the
+  // tie leg of vmaxq cannot diverge from std::max's.
+  std::size_t k = 0;
+  float64x2_t m = vdupq_n_f64(init);
+  for (; k + 2 <= n; k += 2) {
+    m = vmaxq_f64(m, vld1q_f64(values + k));
+  }
+  Money best = std::max(vgetq_lane_f64(m, 0), vgetq_lane_f64(m, 1));
+  for (; k < n; ++k) {
+    best = std::max(best, values[k]);
+  }
+  return best;
+}
+
 }  // namespace riskan::core::batch
 
 #endif  // RISKAN_SIMD_NEON

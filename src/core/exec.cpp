@@ -216,6 +216,10 @@ class SimdExecutor final : public Executor {
         obs::MetricsRegistry::global().counter("exec.simd.tail_occurrences");
     static const obs::Counter scalar_occ =
         obs::MetricsRegistry::global().counter("exec.simd.scalar_occurrences");
+    static const obs::Counter sampler_fast =
+        obs::MetricsRegistry::global().counter("exec.simd.sampler.fast");
+    static const obs::Counter sampler_tail =
+        obs::MetricsRegistry::global().counter("exec.simd.sampler.tail");
     // validate_engine_config rejected unavailable dispatches at config
     // time; this guards executors constructed around it.
     RISKAN_REQUIRE(dispatch_.kernel != nullptr,
@@ -252,6 +256,8 @@ class SimdExecutor final : public Executor {
     vector_occ.add(static_cast<double>(stats.vector_occurrences));
     tail_occ.add(static_cast<double>(stats.tail_occurrences));
     scalar_occ.add(static_cast<double>(stats.scalar_occurrences));
+    sampler_fast.add(static_cast<double>(stats.sampler_fast));
+    sampler_tail.add(static_cast<double>(stats.sampler_tail));
     metrics.executions.add();
     metrics.seconds.observe(timer.stop());
     return found;

@@ -7,6 +7,7 @@
 #include "core/batch_simd.hpp"
 #include "core/exec.hpp"
 #include "core/secondary.hpp"
+#include "core/simd.hpp"
 #include "data/resolved_yelt.hpp"
 #include "data/trial_source.hpp"
 #include "finance/terms.hpp"
@@ -310,10 +311,40 @@ std::uint64_t process_trials(std::span<const Slot> slots, std::span<const Group>
 void finalize_oep(std::span<Money> oep, std::span<const Money> occurrence_accum,
                   std::span<const std::uint64_t> yelt_offsets,
                   std::span<const Money> conditioned_accum) {
+  // Per-trial max over the accumulator range, lane-parallel where a wide
+  // ISA dispatches. Reordering the max is bitwise safe for this input:
+  // every accumulator cell is a sum of non-negative contributions seeded
+  // with 0.0 (no NaN, no -0.0), and equal non-negative doubles share one
+  // bit pattern, so any reduction order picks the same bits. The dispatch
+  // is resolved once per call, not per trial.
+  const exec::SimdDispatch dispatch = exec::simd_dispatch();
+  using MaxFn = Money (*)(const Money*, std::size_t, Money);
+  MaxFn max_fn = nullptr;
+  switch (dispatch.isa) {
+#if defined(RISKAN_SIMD_AVX2)
+    case exec::SimdIsa::Avx2:
+      max_fn = max_range_lanes_avx2;
+      break;
+#endif
+#if defined(RISKAN_SIMD_NEON)
+    case exec::SimdIsa::Neon:
+      max_fn = max_range_lanes_neon;
+      break;
+#endif
+    default:
+      break;
+  }
   for (TrialId t = 0; t < static_cast<TrialId>(oep.size()); ++t) {
     Money worst = conditioned_accum.empty() ? 0.0 : std::max(0.0, conditioned_accum[t]);
-    for (std::uint64_t i = yelt_offsets[t]; i < yelt_offsets[t + 1]; ++i) {
-      worst = std::max(worst, occurrence_accum[i]);
+    const std::uint64_t begin = yelt_offsets[t];
+    const std::uint64_t end = yelt_offsets[t + 1];
+    if (max_fn != nullptr) {
+      worst = max_fn(occurrence_accum.data() + begin,
+                     static_cast<std::size_t>(end - begin), worst);
+    } else {
+      for (std::uint64_t i = begin; i < end; ++i) {
+        worst = std::max(worst, occurrence_accum[i]);
+      }
     }
     oep[t] = worst;
   }
@@ -334,18 +365,91 @@ void finish_slot_trials_out(const Slot& s, TrialId t0, TrialId t1, const Money* 
   }
 }
 
+namespace {
+
+/// Stream-key scratch batch for the batched fills (16 KiB of stack).
+constexpr std::size_t kFillBatch = 1024;
+
+inline std::uint64_t slot_hi_key(const Slot& s) noexcept {
+  return (static_cast<std::uint64_t>(s.contract_id) << 16) |
+         static_cast<std::uint64_t>(s.layer_id);
+}
+
+inline std::uint64_t stream_lo_key(TrialId trial, std::uint32_t seq) noexcept {
+  return (static_cast<std::uint64_t>(trial) << 20) | static_cast<std::uint64_t>(seq);
+}
+
+}  // namespace
+
 void fill_ground_up_compact_range(const Slot& s, const Philox4x32& philox,
                                   TrialId trial_base, TrialId t_first,
-                                  std::uint64_t k_begin, std::uint64_t k_end, Money* out) {
+                                  std::uint64_t k_begin, std::uint64_t k_end, Money* out,
+                                  SimdStats& stats) {
+  // Build each occurrence's stream-lo key (trial << 20 | seq — the exact
+  // occurrence_stream key) in batches, then hand the whole batch to the
+  // lane-parallel sampler. hi is constant per slot.
+  const std::uint64_t hi = slot_hi_key(s);
+  std::uint64_t lo[kFillBatch];
   TrialId t = t_first;
-  for (std::uint64_t k = k_begin; k < k_end; ++k) {
-    while (k >= s.hit_offsets[t + 1]) {
-      ++t;
+  for (std::uint64_t b = k_begin; b < k_end; b += kFillBatch) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kFillBatch, k_end - b));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = b + i;
+      while (k >= s.hit_offsets[t + 1]) {
+        ++t;
+      }
+      lo[i] = stream_lo_key(trial_base + t, s.seqs[k]);
     }
-    auto stream =
-        occurrence_stream(philox, s.contract_id, s.layer_id, trial_base + t, s.seqs[k]);
-    out[k - k_begin] = s.sampler->sample(s.rows[k], stream);
+    s.sampler->sample_lanes(philox, hi, s.rows + b, lo, n, out + (b - k_begin),
+                            stats.sampler_fast, stats.sampler_tail);
   }
+}
+
+std::uint64_t fill_ground_up_dense_range(const Slot& s, const Philox4x32& philox,
+                                         TrialId trial_base, TrialId t_first,
+                                         std::span<const std::uint64_t> yelt_offsets,
+                                         std::uint64_t i_begin, std::uint64_t i_end,
+                                         Money* out, SimdStats& stats) {
+  // Dense rows carry kNoLoss sentinels: compact the live occurrences into
+  // a batch (rows + stream keys + output positions), sample lane-parallel,
+  // scatter back. Sentinel cells get exact +0.0 so the vector pass can add
+  // them where the scalar kernel skips (annual sums of non-negatives).
+  const std::uint64_t hi = slot_hi_key(s);
+  std::uint32_t rows[kFillBatch];
+  std::uint64_t lo[kFillBatch];
+  std::uint32_t pos[kFillBatch];
+  Money buf[kFillBatch];
+  std::uint64_t found = 0;
+  TrialId t = t_first;
+  for (std::uint64_t b = i_begin; b < i_end; b += kFillBatch) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kFillBatch, i_end - b));
+    std::size_t live = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t i = b + j;
+      while (i >= yelt_offsets[t + 1]) {
+        ++t;
+      }
+      const std::uint32_t row = s.dense_rows[i];
+      if (row == data::ResolvedYelt::kNoLoss) {
+        out[i - i_begin] = 0.0;
+        continue;
+      }
+      rows[live] = row;
+      lo[live] = stream_lo_key(trial_base + t,
+                               static_cast<std::uint32_t>(i - yelt_offsets[t]));
+      pos[live] = static_cast<std::uint32_t>(i - i_begin);
+      ++live;
+    }
+    found += live;
+    s.sampler->sample_lanes(philox, hi, rows, lo, live, buf, stats.sampler_fast,
+                            stats.sampler_tail);
+    for (std::size_t j = 0; j < live; ++j) {
+      out[pos[j]] = buf[j];
+    }
+  }
+  return found;
 }
 
 }  // namespace detail

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/elt.hpp"
+#include "util/aligned.hpp"
 #include "util/distributions.hpp"
 #include "util/prng.hpp"
 
@@ -23,6 +24,18 @@ namespace riskan::core {
 /// Precomputed per-ELT-row beta parameters (method of moments on the
 /// normalised loss mean/sigma). Computing these once per table keeps the
 /// per-occurrence hot path to a gamma-pair draw.
+///
+/// Two layouts over the same parameters: the AoS Param array serves the
+/// scalar per-occurrence path (and device constant-memory packing), and a
+/// cache-line-packed LaneRow array serves sample_lanes — the vector pass's
+/// batched path, which draws all Philox blocks lane-parallel and runs the
+/// Marsaglia–Tsang first-attempt fast path per lane, falling back to the
+/// scalar sampler (fresh stream, in occurrence order) for the rejection
+/// tail. Fallback recomputes from the stream's start, so a bail at any
+/// point costs draws, never correctness. Occurrence rows arrive in random
+/// catalogue order, so everything the fast path touches for one row —
+/// squeeze constants for both marginals, boost exponents, exposure, flags
+/// — is packed into exactly one 64-byte line.
 class SecondarySampler {
  public:
   /// Precomputes parameters for every row of `elt`.
@@ -38,6 +51,15 @@ class SecondarySampler {
     }
     return p.exposure * sample_beta(rng, p.alpha, p.beta);
   }
+
+  /// Batched sampling for the vector pass: out[i] = sample(rows[i], s_i)
+  /// where s_i is the occurrence stream (engine, hi_key, lo[i]) — exactly
+  /// what the scalar kernel would construct per occurrence. `fast` / `tail`
+  /// count occurrences resolved by the lane fast path (degenerate rows
+  /// included) vs the scalar rejection-tail fallback.
+  void sample_lanes(const Philox4x32& engine, std::uint64_t hi_key,
+                    const std::uint32_t* rows, const std::uint64_t* lo, std::size_t n,
+                    Money* out, std::uint64_t& fast, std::uint64_t& tail) const;
 
   std::size_t size() const noexcept { return params_.size(); }
 
@@ -55,7 +77,32 @@ class SecondarySampler {
   const Param& param(std::size_t row) const { return params_[row]; }
 
  private:
+  // Row classification bits of LaneRow::flags.
+  static constexpr std::uint32_t kDegenerate = 1;  ///< no draws; value precomputed
+  static constexpr std::uint32_t kBoostAlpha = 2;  ///< alpha < 1: one boost uniform
+  static constexpr std::uint32_t kBoostBeta = 4;   ///< beta < 1: one boost uniform
+
+  /// One cache line of everything sample_lanes reads for a row. The squeeze
+  /// constants are precomputed per gamma marginal with the boosted shape
+  /// where the scalar sampler would boost, via the same expressions
+  /// sample_gamma evaluates — so the committed fast-path values are
+  /// bit-identical. Degenerate rows stash their precomputed value in d_a
+  /// (the gamma constants are never read for them).
+  struct alignas(64) LaneRow {
+    double d_a = 0.0;   ///< alpha marginal: shape - 1/3 (degenerate: the value)
+    double c_a = 0.0;   ///< alpha marginal: 1/sqrt(9 d)
+    double inv_a = 0.0; ///< 1/alpha (read only when kBoostAlpha)
+    double d_b = 0.0;
+    double c_b = 0.0;
+    double inv_b = 0.0;
+    Money exposure = 0.0;
+    std::uint32_t flags = 0;
+    std::uint32_t pad_ = 0;
+  };
+  static_assert(sizeof(LaneRow) == 64, "LaneRow must fill one cache line");
+
   std::vector<Param> params_;
+  util::AlignedVector<LaneRow> lane_rows_;
 };
 
 /// Builds the Philox stream for one (contract, layer, trial, occurrence).

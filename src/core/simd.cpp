@@ -1,5 +1,6 @@
 #include "core/simd.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
 
@@ -91,6 +92,27 @@ void apply_occurrence_lanes(const finance::LayerTerms& terms, const Money* groun
   for (std::size_t i = 0; i < n; ++i) {
     occ[i] = finance::apply_occurrence(terms, ground_up[i]);
   }
+}
+
+Money max_range_lanes(const Money* values, std::size_t n, Money init) {
+  const auto dispatch = exec::simd_dispatch();
+  switch (dispatch.isa) {
+#if defined(RISKAN_SIMD_AVX2)
+    case exec::SimdIsa::Avx2:
+      return max_range_lanes_avx2(values, n, init);
+#endif
+#if defined(RISKAN_SIMD_NEON)
+    case exec::SimdIsa::Neon:
+      return max_range_lanes_neon(values, n, init);
+#endif
+    default:
+      break;
+  }
+  Money best = init;
+  for (std::size_t i = 0; i < n; ++i) {
+    best = std::max(best, values[i]);
+  }
+  return best;
 }
 
 }  // namespace riskan::core::batch

@@ -88,6 +88,16 @@ std::uint32_t sample_poisson(Rng& rng, double mean) {
 // Normal / lognormal
 // ---------------------------------------------------------------------------
 
+/// Box–Muller kernel on two open uniforms. Factored out of
+/// sample_standard_normal so the lane-parallel secondary fast path
+/// (core/secondary.cpp) evaluates the exact same expression on words it
+/// drew in batch — any transcendental stays this scalar libm call per
+/// lane, which is what keeps the committed values bit-identical to the
+/// scalar sampler.
+inline double normal_from_uniforms(double u1, double u2) noexcept {
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
 /// Standard normal via Box–Muller (both branches consumed deterministically:
 /// exactly two uniforms per variate, which keeps counter-based replay
 /// aligned).
@@ -95,7 +105,7 @@ template <typename Rng>
 double sample_standard_normal(Rng& rng) {
   const double u1 = to_unit_double_open(rng());
   const double u2 = to_unit_double_open(rng());
-  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return normal_from_uniforms(u1, u2);
 }
 
 template <typename Rng>
@@ -124,7 +134,22 @@ inline double normal_cdf(double x) {
 // Gamma / Beta
 // ---------------------------------------------------------------------------
 
+/// Marsaglia–Tsang acceptance for one attempt: `x` is the normal draw, `v3`
+/// the cubed shifted value (already checked > 0), `u` the open uniform. The
+/// squeeze and log tests consume no randomness, so the lane-parallel fast
+/// path (core/secondary.cpp) can run both and still bail to a scalar
+/// recompute on rejection without perturbing the stream.
+inline bool gamma_accept(double x, double v3, double u, double d) noexcept {
+  const double x2 = x * x;
+  if (u < 1.0 - 0.0331 * x2 * x2) {
+    return true;
+  }
+  return std::log(u) < 0.5 * x2 + d * (1.0 - v3 + std::log(v3));
+}
+
 /// Gamma(shape, scale=1) via Marsaglia–Tsang squeeze; boosts shape < 1.
+/// Draw order per attempt: two uniforms for the normal, then — only when
+/// the shifted value stays positive — one uniform for the acceptance test.
 template <typename Rng>
 double sample_gamma(Rng& rng, double shape) {
   RISKAN_REQUIRE(shape > 0.0, "gamma shape must be positive");
@@ -136,18 +161,14 @@ double sample_gamma(Rng& rng, double shape) {
   const double d = shape - 1.0 / 3.0;
   const double c = 1.0 / std::sqrt(9.0 * d);
   for (;;) {
-    double x = sample_standard_normal(rng);
+    const double x = sample_standard_normal(rng);
     double v = 1.0 + c * x;
     if (v <= 0.0) {
       continue;
     }
     v = v * v * v;
     const double u = to_unit_double_open(rng());
-    const double x2 = x * x;
-    if (u < 1.0 - 0.0331 * x2 * x2) {
-      return d * v;
-    }
-    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+    if (gamma_accept(x, v, u, d)) {
       return d * v;
     }
   }

@@ -1,5 +1,8 @@
 #include "util/prng.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 namespace riskan {
 
 namespace {
@@ -96,6 +99,70 @@ std::array<std::uint64_t, 2> Philox4x32::block(std::uint64_t hi, std::uint64_t l
   });
   return {static_cast<std::uint64_t>(out[0]) | (static_cast<std::uint64_t>(out[1]) << 32),
           static_cast<std::uint64_t>(out[2]) | (static_cast<std::uint64_t>(out[3]) << 32)};
+}
+
+void philox_blocks_scalar(const Philox4x32& engine, const std::uint64_t* hi,
+                          const std::uint64_t* lo, std::size_t n,
+                          std::uint64_t* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto blk = engine.block(hi[i], lo[i]);
+    out[2 * i] = blk[0];
+    out[2 * i + 1] = blk[1];
+  }
+}
+
+namespace {
+
+struct BlocksDispatch {
+  void (*fn)(const Philox4x32&, const std::uint64_t*, const std::uint64_t*, std::size_t,
+             std::uint64_t*);
+  unsigned width;
+};
+
+/// Mirrors core/exec's RISKAN_SIMD contract at the util layer (this TU
+/// cannot depend on core): off|0 forces the scalar body; avx512/avx2/neon
+/// pin an ISA when compiled in and runnable, otherwise scalar. The
+/// environment is re-read per resolution so tests can flip the override
+/// between runs. The AVX-512 stamp is Philox-only (the trial kernel has no
+/// 512-bit body yet), so "avx512" here coexists with the trial kernel
+/// dispatching AVX2 — both are bit-identical to scalar, so mixing widths
+/// never mixes results.
+BlocksDispatch resolve_blocks() noexcept {
+  const char* env = std::getenv("RISKAN_SIMD");
+  const std::string_view want = env != nullptr ? env : "";
+  if (want == "off" || want == "0") {
+    return {philox_blocks_scalar, 1};
+  }
+#if defined(RISKAN_SIMD_AVX512)
+  if (want.empty() || want == "avx512") {
+    static const bool kHasAvx512 = __builtin_cpu_supports("avx512f");
+    if (kHasAvx512) {
+      return {philox_blocks_avx512, 16};
+    }
+  }
+#endif
+#if defined(RISKAN_SIMD_AVX2)
+  if (want.empty() || want == "avx2") {
+    static const bool kHasAvx2 = __builtin_cpu_supports("avx2");
+    if (kHasAvx2) {
+      return {philox_blocks_avx2, 8};
+    }
+  }
+#endif
+#if defined(RISKAN_SIMD_NEON)
+  if (want.empty() || want == "neon") {
+    return {philox_blocks_neon, 4};
+  }
+#endif
+  return {philox_blocks_scalar, 1};
+}
+
+}  // namespace
+
+PhiloxLanes::PhiloxLanes(const Philox4x32& engine) noexcept : engine_(&engine) {
+  const BlocksDispatch d = resolve_blocks();
+  fn_ = d.fn;
+  width_ = d.width;
 }
 
 }  // namespace riskan

@@ -92,6 +92,9 @@ class Philox4x32 {
   /// Used as (trial, event) -> random block in aggregate analysis.
   std::array<std::uint64_t, 2> block(std::uint64_t hi, std::uint64_t lo) const noexcept;
 
+  /// The round key (the batched block kernels broadcast it per lane).
+  const Key& key() const noexcept { return key_; }
+
  private:
   Key key_;
 };
@@ -99,35 +102,88 @@ class Philox4x32 {
 /// A std::uniform_random_bit_generator facade over Philox for one logical
 /// stream: fixes (hi, lo) as stream id and walks a third index. Lets
 /// counter-based streams feed ordinary distribution code.
+///
+/// The engine is held by pointer (it outlives the stream at every
+/// construction site: streams are per-occurrence temporaries over a
+/// per-analysis engine), and the word counter folds the old spare flag
+/// into its low bit, so the per-draw fast path is one branch on parity
+/// instead of a flag test plus a 16-byte engine copy per stream. Word w
+/// still comes from block w/2 under counter (hi ^ (w >> 2), lo + (w >> 1))
+/// — the emitted bit-stream is unchanged (tests replay it).
 class PhiloxStream {
  public:
   using result_type = std::uint64_t;
 
   PhiloxStream(const Philox4x32& engine, std::uint64_t hi, std::uint64_t lo) noexcept
-      : engine_(engine), hi_(hi), lo_(lo) {}
+      : engine_(&engine), hi_(hi), lo_(lo) {}
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
 
   result_type operator()() noexcept {
-    if (have_spare_) {
-      have_spare_ = false;
-      return spare_;
+    const std::uint64_t w = word_++;
+    if ((w & 1) == 0) {
+      block_ = engine_->block(hi_ ^ (w >> 2), lo_ + (w >> 1));
+      return block_[0];
     }
-    const auto blk = engine_.block(hi_ ^ (index_ >> 1), lo_ + index_);
-    ++index_;
-    spare_ = blk[1];
-    have_spare_ = true;
-    return blk[0];
+    return block_[1];
   }
 
  private:
-  Philox4x32 engine_;
+  const Philox4x32* engine_;
   std::uint64_t hi_;
   std::uint64_t lo_;
-  std::uint64_t index_ = 0;
-  std::uint64_t spare_ = 0;
-  bool have_spare_ = false;
+  std::uint64_t word_ = 0;
+  std::array<std::uint64_t, 2> block_{};
+};
+
+/// Scalar body of the batched block evaluation: out[2i], out[2i+1] =
+/// engine.block(hi[i], lo[i]). The lane-parallel kernels fall back to it
+/// for sub-width tails, and scalar builds dispatch it directly.
+void philox_blocks_scalar(const Philox4x32& engine, const std::uint64_t* hi,
+                          const std::uint64_t* lo, std::size_t n,
+                          std::uint64_t* out) noexcept;
+
+// Per-ISA bodies; each is defined only when its RISKAN_SIMD_* macro is
+// compiled in (src/util/prng_lanes_*.cpp), mirroring the trial-kernel
+// stamps in src/core/batch_simd_*.cpp.
+void philox_blocks_avx2(const Philox4x32& engine, const std::uint64_t* hi,
+                        const std::uint64_t* lo, std::size_t n,
+                        std::uint64_t* out) noexcept;
+void philox_blocks_avx512(const Philox4x32& engine, const std::uint64_t* hi,
+                          const std::uint64_t* lo, std::size_t n,
+                          std::uint64_t* out) noexcept;
+void philox_blocks_neon(const Philox4x32& engine, const std::uint64_t* hi,
+                        const std::uint64_t* lo, std::size_t n,
+                        std::uint64_t* out) noexcept;
+
+/// Batched Philox block evaluation over W logical (hi, lo) counters at
+/// once. Philox is a pure function of (key, counter), and its round is
+/// 32-bit mul-hi/lo, xor and add — all lane-exact integer ops — so the
+/// lane-parallel kernels are bit-identical to Philox4x32::block by
+/// construction (tests assert it word for word). Construction resolves the
+/// widest compiled ISA the host supports, honouring the RISKAN_SIMD
+/// environment override (off|0 forces the scalar body; avx512/avx2/neon
+/// pin an ISA, falling back to scalar when it cannot run here).
+class PhiloxLanes {
+ public:
+  explicit PhiloxLanes(const Philox4x32& engine) noexcept;
+
+  /// out[2i], out[2i+1] = engine.block(hi[i], lo[i]) for i in [0, n).
+  void blocks(const std::uint64_t* hi, const std::uint64_t* lo, std::size_t n,
+              std::uint64_t* out) const noexcept {
+    fn_(*engine_, hi, lo, n, out);
+  }
+
+  /// Counters evaluated per hardware pass (1 = scalar body).
+  unsigned width() const noexcept { return width_; }
+
+ private:
+  using BlocksFn = void (*)(const Philox4x32&, const std::uint64_t*,
+                            const std::uint64_t*, std::size_t, std::uint64_t*);
+  const Philox4x32* engine_;
+  BlocksFn fn_;
+  unsigned width_;
 };
 
 /// Converts a 64-bit random word to a double uniform in [0, 1).

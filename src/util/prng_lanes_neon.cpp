@@ -1,0 +1,88 @@
+// NEON stamp of the batched Philox block kernel: 4 logical (hi, lo)
+// counters per pass, the 4x32 state held as four uint32x4_t. Integer
+// mul-hi/lo, xor and round-key adds are lane-exact, so the outputs match
+// Philox4x32::block bit for bit (tests assert it against the scalar
+// engine). NEON is baseline on aarch64, so this TU needs no extra flags.
+#ifdef RISKAN_SIMD_NEON
+
+#include <arm_neon.h>
+
+#include "util/prng.hpp"
+
+namespace riskan {
+
+namespace {
+
+// The Salmon et al. multipliers / Weyl constants (same values as the
+// scalar engine in prng.cpp; the equality tests pin them together).
+constexpr std::uint32_t kM0 = 0xD2511F53u;
+constexpr std::uint32_t kM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kW0 = 0x9E3779B9u;
+constexpr std::uint32_t kW1 = 0xBB67AE85u;
+
+/// High 32 bits of u32 x u32 per lane via the widening multiply.
+inline uint32x4_t mulhi32x4(uint32x4_t a, uint32x4_t b) noexcept {
+  const uint64x2_t lo = vmull_u32(vget_low_u32(a), vget_low_u32(b));
+  const uint64x2_t hi = vmull_u32(vget_high_u32(a), vget_high_u32(b));
+  return vcombine_u32(vshrn_n_u64(lo, 32), vshrn_n_u64(hi, 32));
+}
+
+}  // namespace
+
+void philox_blocks_neon(const Philox4x32& engine, const std::uint64_t* hi,
+                        const std::uint64_t* lo, std::size_t n,
+                        std::uint64_t* out) noexcept {
+  const Philox4x32::Key key = engine.key();
+  const uint32x4_t m0 = vdupq_n_u32(kM0);
+  const uint32x4_t m1 = vdupq_n_u32(kM1);
+  const uint32x4_t w0 = vdupq_n_u32(kW0);
+  const uint32x4_t w1 = vdupq_n_u32(kW1);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint64x2_t l01 = vld1q_u64(lo + i);
+    const uint64x2_t l23 = vld1q_u64(lo + i + 2);
+    const uint64x2_t h01 = vld1q_u64(hi + i);
+    const uint64x2_t h23 = vld1q_u64(hi + i + 2);
+
+    // Narrow the four u64 counters into u32 columns (lane order preserved).
+    uint32x4_t c0 = vcombine_u32(vmovn_u64(l01), vmovn_u64(l23));
+    uint32x4_t c1 = vcombine_u32(vshrn_n_u64(l01, 32), vshrn_n_u64(l23, 32));
+    uint32x4_t c2 = vcombine_u32(vmovn_u64(h01), vmovn_u64(h23));
+    uint32x4_t c3 = vcombine_u32(vshrn_n_u64(h01, 32), vshrn_n_u64(h23, 32));
+
+    uint32x4_t k0 = vdupq_n_u32(key[0]);
+    uint32x4_t k1 = vdupq_n_u32(key[1]);
+    for (int round = 0; round < 10; ++round) {
+      const uint32x4_t h0 = mulhi32x4(c0, m0);
+      const uint32x4_t l0 = vmulq_u32(c0, m0);
+      const uint32x4_t h1 = mulhi32x4(c2, m1);
+      const uint32x4_t l1 = vmulq_u32(c2, m1);
+      const uint32x4_t n0 = veorq_u32(veorq_u32(h1, c1), k0);
+      const uint32x4_t n2 = veorq_u32(veorq_u32(h0, c3), k1);
+      c0 = n0;
+      c1 = l1;
+      c2 = n2;
+      c3 = l0;
+      k0 = vaddq_u32(k0, w0);
+      k1 = vaddq_u32(k1, w1);
+    }
+
+    // out[2i] = c0|c1<<32, out[2i+1] = c2|c3<<32: zip the u32 columns into
+    // per-counter u64 words, then zip those into the interleaved layout.
+    const uint64x2_t a01 = vreinterpretq_u64_u32(vzip1q_u32(c0, c1));  // A0 A1
+    const uint64x2_t a23 = vreinterpretq_u64_u32(vzip2q_u32(c0, c1));  // A2 A3
+    const uint64x2_t b01 = vreinterpretq_u64_u32(vzip1q_u32(c2, c3));  // B0 B1
+    const uint64x2_t b23 = vreinterpretq_u64_u32(vzip2q_u32(c2, c3));  // B2 B3
+    std::uint64_t* o = out + 2 * i;
+    vst1q_u64(o, vzip1q_u64(a01, b01));      // A0 B0
+    vst1q_u64(o + 2, vzip2q_u64(a01, b01));  // A1 B1
+    vst1q_u64(o + 4, vzip1q_u64(a23, b23));  // A2 B2
+    vst1q_u64(o + 6, vzip2q_u64(a23, b23));  // A3 B3
+  }
+  philox_blocks_scalar(engine, hi + i, lo + i, n - i, out + 2 * i);
+}
+
+}  // namespace riskan
+
+#endif  // RISKAN_SIMD_NEON

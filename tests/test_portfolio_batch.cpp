@@ -201,6 +201,60 @@ TEST(PortfolioBatch, DisjointEltEventSets) {
   }
 }
 
+TEST(PortfolioBatch, RejectionHeavySecondaryBitIdenticalAcrossBackends) {
+  // A book whose ELT rows have CV >= 2 pushes both beta shape parameters
+  // below 1: the batched sampler's first-attempt fast path rejects often,
+  // so this matrix runs the scalar rejection-tail fallback hard. Degenerate
+  // and pinned rows ride along to mix zero-draw lanes into the same
+  // batches. Hit counts around the vector width keep lane tails in play.
+  const EventId catalog = 90;
+  std::vector<data::EltRow> heavy_rows;
+  for (EventId e = 0; e < catalog; ++e) {
+    const Money exposure = 4e6;
+    if (e % 11 == 0) {
+      heavy_rows.push_back({e, 0.0, 1e5, exposure});  // degenerate: zero mean
+    } else if (e % 11 == 1) {
+      heavy_rows.push_back({e, exposure, 1e5, exposure});  // pinned at limit
+    } else {
+      // mean_ratio 0.025–0.1 with sigma = 2–2.5x mean: alpha < 1 rows.
+      const Money mean = 1e5 + 3e4 * static_cast<Money>(e % 10);
+      heavy_rows.push_back({e, mean, 2.2 * mean, exposure});
+    }
+  }
+  finance::Layer layer;
+  layer.id = 1;
+  layer.terms = finance::LayerTerms::typical();
+  layer.terms.occ_retention = 5e4;
+  layer.terms.occ_limit = 3e6;
+  finance::Portfolio portfolio;
+  portfolio.add(
+      finance::Contract(1, data::EventLossTable::from_rows(heavy_rows), {layer}));
+  portfolio.add(finance::Contract(
+      2,
+      data::EventLossTable::from_rows(
+          std::vector<data::EltRow>(heavy_rows.begin(), heavy_rows.begin() + 45)),
+      {layer}));
+
+  const auto yelt = lens(700, catalog, /*seed=*/19);
+
+  EngineConfig config;
+  config.secondary_uncertainty = true;
+  config.backend = Backend::Sequential;
+  config.batch_contracts = false;
+  const auto reference = run_aggregate_analysis(portfolio, yelt, config);
+
+  for (const Backend backend : backends_with_simd()) {
+    config.backend = backend;
+    for (const bool batched : {false, true}) {
+      config.batch_contracts = batched;
+      const auto result = run_aggregate_analysis(portfolio, yelt, config);
+      expect_identical(reference, result,
+                       std::string("rejection-heavy/") + to_string(backend) +
+                           (batched ? "/batched" : "/per-contract"));
+    }
+  }
+}
+
 TEST(PortfolioBatch, TrialBaseAndLeanOutputsMatch) {
   const auto portfolio = book(/*contracts=*/3, /*layers=*/2);
   const auto yelt = lens(700);

@@ -171,6 +171,47 @@ TEST(ScenarioSweep, MaskBitIdenticalToFilteredYeltAcrossBackendsGrainsAndSeconda
   }
 }
 
+TEST(ScenarioSweep, MaskOnRejectionHeavyBookBitIdenticalToFilteredYelt) {
+  // High-CV ELT rows (both beta shapes < 1) make the batched sampler's
+  // rejection-tail fallback fire constantly; the mask re-keys occurrence
+  // sequences on top of that. The filtered-table equivalence must survive
+  // the combination on every backend, vectorized ones included.
+  const EventId catalog = 80;
+  std::vector<data::EltRow> heavy_rows;
+  for (EventId e = 0; e < catalog; ++e) {
+    const Money mean = 1e5 + 2e4 * static_cast<Money>(e % 9);
+    heavy_rows.push_back({e, mean, 2.3 * mean, 4e6});
+  }
+  finance::Layer layer;
+  layer.id = 1;
+  layer.terms = finance::LayerTerms::typical();
+  layer.terms.occ_retention = 5e4;
+  layer.terms.occ_limit = 3e6;
+  finance::Portfolio portfolio;
+  portfolio.add(
+      finance::Contract(1, data::EventLossTable::from_rows(heavy_rows), {layer}));
+
+  const auto yelt = lens(500, catalog, /*seed=*/23);
+  const std::vector<EventId> excluded = {2, 7, 11, 30, 55};
+  const auto filtered = filter_yelt(yelt, excluded);
+  ASSERT_LT(filtered.entries(), yelt.entries());
+
+  std::vector<ScenarioSpec> specs(1);
+  specs[0].name = "mask";
+  specs[0].excluded_events = excluded;
+
+  for (const core::Backend backend : backends_with_simd()) {
+    core::EngineConfig config;
+    config.backend = backend;
+    config.secondary_uncertainty = true;
+
+    const auto reference = core::run_portfolio_batch(portfolio, filtered, config);
+    const auto sweep = run_scenario_sweep(portfolio, yelt, specs, config);
+    expect_identical(reference, sweep.scenarios[0],
+                     std::string("rejection-heavy mask/") + core::to_string(backend));
+  }
+}
+
 TEST(ScenarioSweep, DeviceSimBlockDimSweepIsBitIdentical) {
   // The sweep runs natively in simulated device blocks; the block
   // partition (32/128/512 trials per block) is pure scheduling and must

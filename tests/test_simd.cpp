@@ -10,13 +10,16 @@
 // on scalar builds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/aggregate_engine.hpp"
 #include "core/portfolio_batch.hpp"
+#include "core/secondary.hpp"
 #include "core/simd.hpp"
+#include "data/elt.hpp"
 #include "finance/contract.hpp"
 #include "finance/terms.hpp"
 #include "util/require.hpp"
@@ -166,6 +169,130 @@ TEST(ApplyOccurrenceLanes, MatchesScalarBitwiseBothRetentionKinds) {
       }
     }
   }
+}
+
+/// An ELT covering every parameter class of the batched sampler: zero-mean
+/// and pinned-at-exposure degenerates, a deterministic (tiny-sigma) row,
+/// both-shapes >= 1, single-boost rows on each side, and a very high-CV row
+/// where both shapes sit well below 1 (rejection-heavy).
+data::EventLossTable sampler_class_elt() {
+  const Money exposure = 4e6;
+  std::vector<data::EltRow> rows;
+  rows.push_back({0, 0.0, 1e5, exposure});     // degenerate: zero mean
+  rows.push_back({1, exposure, 1e5, exposure});  // degenerate: pinned at limit
+  rows.push_back({2, 1e6, 1e-6, exposure});    // degenerate: deterministic
+  rows.push_back({3, 2e6, 6e5, exposure});     // alpha, beta both >= 1
+  rows.push_back({4, 1e5, 2e5, exposure});     // CV 2: alpha < 1 (boost)
+  rows.push_back({5, 3.9e6, 2e5, exposure});   // mirrored: beta < 1 (boost)
+  rows.push_back({6, 4e5, 1e6, exposure});     // CV 2.5: both shapes < 1
+  return data::EventLossTable::from_rows(std::move(rows));
+}
+
+TEST(SecondarySamplerLanes, MatchesScalarSampleBitwise) {
+  // sample_lanes must commit, per occurrence, exactly the bits the scalar
+  // sampler draws from occurrence_stream — fast path and rejection-tail
+  // fallback alike — across every parameter class and across batch sizes
+  // that exercise sub-width lane tails and the 64-occurrence batching.
+  const auto elt = sampler_class_elt();
+  const SecondarySampler sampler(elt);
+  const Philox4x32 engine(0xB10CDEADu);
+  const std::uint64_t hi_key = (std::uint64_t{12} << 16) | 3u;  // contract 12, layer 3
+
+  std::uint64_t fast = 0;
+  std::uint64_t tail = 0;
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+        std::size_t{17}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{130}, std::size_t{257}}) {
+    std::vector<std::uint32_t> rows(n);
+    std::vector<std::uint64_t> lo(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i] = static_cast<std::uint32_t>(i % sampler.size());
+      lo[i] = (static_cast<std::uint64_t>(i) << 20) | static_cast<std::uint64_t>(i % 7);
+    }
+    std::vector<Money> out(n, -1.0);
+    const std::uint64_t fast_before = fast;
+    const std::uint64_t tail_before = tail;
+    sampler.sample_lanes(engine, hi_key, rows.data(), lo.data(), n, out.data(), fast,
+                         tail);
+    EXPECT_EQ((fast - fast_before) + (tail - tail_before), n) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      PhiloxStream stream(engine, hi_key, lo[i]);
+      const Money scalar = sampler.sample(rows[i], stream);
+      ASSERT_EQ(out[i], scalar) << "n=" << n << " i=" << i << " row=" << rows[i];
+    }
+  }
+
+  // The same contract holds with vector dispatch forced off: the facade
+  // falls back to the scalar block body without moving a bit.
+  EnvGuard guard("RISKAN_SIMD", "off");
+  const std::size_t n = 130;
+  std::vector<std::uint32_t> rows(n);
+  std::vector<std::uint64_t> lo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i] = static_cast<std::uint32_t>(i % sampler.size());
+    lo[i] = (static_cast<std::uint64_t>(i) << 20) | static_cast<std::uint64_t>(i % 7);
+  }
+  std::vector<Money> out(n, -1.0);
+  sampler.sample_lanes(engine, hi_key, rows.data(), lo.data(), n, out.data(), fast,
+                       tail);
+  for (std::size_t i = 0; i < n; ++i) {
+    PhiloxStream stream(engine, hi_key, lo[i]);
+    ASSERT_EQ(out[i], sampler.sample(rows[i], stream)) << "off-mode i=" << i;
+  }
+}
+
+TEST(SecondarySamplerLanes, RejectionHeavyRowsExerciseTheFallback) {
+  // A table of only very high-CV rows (both gamma shapes < 1) rejects the
+  // first Marsaglia–Tsang attempt often enough that the scalar fallback
+  // must fire — and every fallback sample still matches the scalar path.
+  std::vector<data::EltRow> heavy;
+  heavy.push_back({0, 4e5, 1e6, 4e6});
+  heavy.push_back({1, 1e5, 2.4e5, 4e6});
+  const auto elt = data::EventLossTable::from_rows(std::move(heavy));
+  const SecondarySampler sampler(elt);
+  const Philox4x32 engine(0x7E57u);
+  const std::uint64_t hi_key = (std::uint64_t{1} << 16) | 1u;
+
+  const std::size_t n = 2048;
+  std::vector<std::uint32_t> rows(n);
+  std::vector<std::uint64_t> lo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i] = static_cast<std::uint32_t>(i & 1);
+    lo[i] = static_cast<std::uint64_t>(i) << 20;
+  }
+  std::vector<Money> out(n);
+  std::uint64_t fast = 0;
+  std::uint64_t tail = 0;
+  sampler.sample_lanes(engine, hi_key, rows.data(), lo.data(), n, out.data(), fast,
+                       tail);
+  EXPECT_EQ(fast + tail, n);
+  EXPECT_GT(tail, 0u) << "high-CV rows should reject some first attempts";
+  EXPECT_GT(fast, 0u) << "most first attempts should still accept";
+  for (std::size_t i = 0; i < n; ++i) {
+    PhiloxStream stream(engine, hi_key, lo[i]);
+    ASSERT_EQ(out[i], sampler.sample(rows[i], stream)) << "i=" << i;
+  }
+}
+
+TEST(MaxRangeLanes, MatchesScalarMaxIncludingTails) {
+  // finalize_oep's vector scan: bitwise-equal to the scalar running max on
+  // its input class (non-NaN, >= +0.0) for every length and seed value,
+  // including ties and sub-width tails.
+  const std::vector<Money> values = {0.0, 3.5e6, 1.0, 3.5e6, 2e9,  0.0, 7.25,
+                                     2e9, 1e-12, 5.0, 42.0,  42.0, 41.0};
+  for (std::size_t n = 0; n <= values.size(); ++n) {
+    for (const Money init : {0.0, 1.0, 1e12}) {
+      Money scalar = init;
+      for (std::size_t i = 0; i < n; ++i) {
+        scalar = std::max(scalar, values[i]);
+      }
+      EXPECT_EQ(batch::max_range_lanes(values.data(), n, init), scalar)
+          << "n=" << n << " init=" << init;
+    }
+  }
+  EnvGuard guard("RISKAN_SIMD", "off");
+  EXPECT_EQ(batch::max_range_lanes(values.data(), values.size(), 0.0), 2e9);
 }
 
 finance::Portfolio simd_book(std::size_t contracts, int layers,

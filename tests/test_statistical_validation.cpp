@@ -14,6 +14,7 @@
 #include "catmod/event_catalog.hpp"
 #include "catmod/yelt_bridge.hpp"
 #include "core/aggregate_engine.hpp"
+#include "core/simd.hpp"
 #include "data/elt.hpp"
 #include "finance/contract.hpp"
 #include "util/distributions.hpp"
@@ -96,6 +97,25 @@ TEST_P(ChainValidation, SecondarySamplingPreservesTheMean) {
   // Without occurrence terms the beta draw is unbiased, so the means agree
   // up to sampling error (the sampled run has extra variance).
   EXPECT_NEAR(sampled.portfolio_ylt.mean() / base.portfolio_ylt.mean(), 1.0, 0.05);
+
+  // The vectorized backends run the same chain: bit-identical to the
+  // sequential sampled result, so the statistical property transfers by
+  // construction — and this asserts it really does at 30k-trial scale.
+  if (core::exec::simd_available()) {
+    for (const core::Backend backend :
+         {core::Backend::Simd, core::Backend::ThreadedSimd}) {
+      core::EngineConfig wide = on;
+      wide.backend = backend;
+      const auto vec = core::run_aggregate_analysis(chain.portfolio, yelt, wide);
+      ASSERT_EQ(vec.portfolio_ylt.trials(), sampled.portfolio_ylt.trials());
+      for (TrialId t = 0; t < vec.portfolio_ylt.trials(); ++t) {
+        ASSERT_EQ(vec.portfolio_ylt[t], sampled.portfolio_ylt[t])
+            << core::to_string(backend) << " trial " << t;
+      }
+      EXPECT_NEAR(vec.portfolio_ylt.mean() / base.portfolio_ylt.mean(), 1.0, 0.05)
+          << core::to_string(backend);
+    }
+  }
 }
 
 TEST_P(ChainValidation, OccurrenceTermsOnlyEverReduce) {
